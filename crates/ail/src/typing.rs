@@ -1,0 +1,272 @@
+//! Typing rules shared by the desugaring/type-checking pass: the typing of
+//! integer constants, the usual arithmetic conversions over [`Ctype`]s, and
+//! the classification of binary operators.
+//!
+//! These are the compile-time counterparts of the rules the elaboration
+//! (Fig. 3 of the paper) applies at Core level: the *types* are computed here;
+//! the *values* (with their undefined-behaviour checks) are computed by the
+//! elaborated Core.
+
+use cerberus_ast::ctype::{Ctype, IntegerType};
+use cerberus_ast::diag::ConstraintViolation;
+use cerberus_ast::env::ImplEnv;
+use cerberus_ast::loc::Span;
+
+use crate::ail::BinOp;
+
+/// The type of an integer constant (ISO C11 6.4.4.1p5): the first type in the
+/// suffix-determined candidate list that can represent the value.
+pub fn choose_int_const_type(value: i128, unsigned: bool, longs: u8, env: &ImplEnv) -> IntegerType {
+    use IntegerType::*;
+    let candidates: &[IntegerType] = match (unsigned, longs) {
+        (false, 0) => &[Int, Long, LongLong],
+        (false, 1) => &[Long, LongLong],
+        (false, _) => &[LongLong],
+        (true, 0) => &[UInt, ULong, ULongLong],
+        (true, 1) => &[ULong, ULongLong],
+        (true, _) => &[ULongLong],
+    };
+    for &candidate in candidates {
+        if env.representable(value, candidate) {
+            return candidate;
+        }
+    }
+    // Falls off the end only for values beyond unsigned long long; saturate at
+    // the widest candidate (the program is then rejected elsewhere or wraps).
+    *candidates.last().expect("candidate list is never empty")
+}
+
+/// The result type of a binary operator applied to operands of the given
+/// types, following 6.5.5 – 6.5.14 for the supported fragment. Array and
+/// function types are expected to have been decayed by the caller.
+///
+/// # Errors
+///
+/// Returns a [`ConstraintViolation`] citing the violated clause when the
+/// operand types are not allowed for the operator.
+pub fn binary_result_type(
+    op: BinOp,
+    lhs: &Ctype,
+    rhs: &Ctype,
+    env: &ImplEnv,
+    span: Span,
+) -> Result<Ctype, ConstraintViolation> {
+    use BinOp::*;
+    let int_result = Ctype::integer(IntegerType::Int);
+    match op {
+        LogicalAnd | LogicalOr => {
+            if lhs.is_scalar() && rhs.is_scalar() {
+                Ok(int_result)
+            } else {
+                Err(ConstraintViolation::new(
+                    "operands of a logical operator shall have scalar type",
+                    "6.5.13p2",
+                    span,
+                ))
+            }
+        }
+        Eq | Ne => {
+            if (lhs.is_arithmetic() && rhs.is_arithmetic())
+                || (lhs.is_pointer() && rhs.is_pointer())
+                || (lhs.is_pointer() && rhs.is_integer())
+                || (lhs.is_integer() && rhs.is_pointer())
+            {
+                Ok(int_result)
+            } else {
+                Err(ConstraintViolation::new(
+                    "invalid operand types for equality comparison",
+                    "6.5.9p2",
+                    span,
+                ))
+            }
+        }
+        Lt | Gt | Le | Ge => {
+            if (lhs.is_arithmetic() && rhs.is_arithmetic()) || (lhs.is_pointer() && rhs.is_pointer())
+            {
+                Ok(int_result)
+            } else {
+                Err(ConstraintViolation::new(
+                    "invalid operand types for relational comparison",
+                    "6.5.8p2",
+                    span,
+                ))
+            }
+        }
+        Shl | Shr => match (lhs.as_integer(), rhs.as_integer()) {
+            (Some(l), Some(_)) => Ok(Ctype::integer(env.integer_promotion(l))),
+            _ => Err(ConstraintViolation::new(
+                "each of the operands of a shift operator shall have integer type",
+                "6.5.7p2",
+                span,
+            )),
+        },
+        Add => {
+            if lhs.is_pointer() && rhs.is_integer() {
+                Ok(lhs.clone())
+            } else if lhs.is_integer() && rhs.is_pointer() {
+                Ok(rhs.clone())
+            } else {
+                arithmetic_binary(lhs, rhs, env, "6.5.6p2", span)
+            }
+        }
+        Sub => {
+            if lhs.is_pointer() && rhs.is_pointer() {
+                Ok(Ctype::integer(IntegerType::PtrdiffT))
+            } else if lhs.is_pointer() && rhs.is_integer() {
+                Ok(lhs.clone())
+            } else {
+                arithmetic_binary(lhs, rhs, env, "6.5.6p3", span)
+            }
+        }
+        Mul | Div => arithmetic_binary(lhs, rhs, env, "6.5.5p2", span),
+        Mod | BitAnd | BitXor | BitOr => match (lhs.as_integer(), rhs.as_integer()) {
+            (Some(l), Some(r)) => Ok(Ctype::integer(env.usual_arithmetic_conversion(l, r))),
+            _ => Err(ConstraintViolation::new(
+                "operands shall have integer type",
+                "6.5.5p2",
+                span,
+            )),
+        },
+    }
+}
+
+fn arithmetic_binary(
+    lhs: &Ctype,
+    rhs: &Ctype,
+    env: &ImplEnv,
+    clause: &'static str,
+    span: Span,
+) -> Result<Ctype, ConstraintViolation> {
+    match (lhs.as_integer(), rhs.as_integer()) {
+        (Some(l), Some(r)) => Ok(Ctype::integer(env.usual_arithmetic_conversion(l, r))),
+        _ => {
+            if lhs.is_arithmetic() && rhs.is_arithmetic() {
+                // Involves floating types: classification only.
+                Ok(Ctype::Floating)
+            } else {
+                Err(ConstraintViolation::new(
+                    "operands shall have arithmetic type",
+                    clause,
+                    span,
+                ))
+            }
+        }
+    }
+}
+
+/// Whether a value of type `from` may be assigned to an lvalue of type `to`
+/// under the simple-assignment constraints of 6.5.16.1p1 (restricted to the
+/// supported fragment: arithmetic-to-arithmetic, pointer-to-same-pointer,
+/// `void *` inter-conversion, null pointer constants, and struct/union
+/// identity).
+pub fn assignable(to: &Ctype, from: &Ctype) -> bool {
+    if to.is_arithmetic() && from.is_arithmetic() {
+        return true;
+    }
+    match (to, from) {
+        (Ctype::Pointer(_, a), Ctype::Pointer(_, b)) => {
+            a == b || matches!(**a, Ctype::Void) || matches!(**b, Ctype::Void)
+        }
+        // An integer constant expression with value 0 is a null pointer
+        // constant; the desugaring checks the value, here we accept any
+        // integer source conservatively and let it check.
+        (Ctype::Pointer(..), t) if t.is_integer() => true,
+        (Ctype::Struct(a), Ctype::Struct(b)) | (Ctype::Union(a), Ctype::Union(b)) => a == b,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> ImplEnv {
+        ImplEnv::lp64()
+    }
+
+    #[test]
+    fn decimal_constants_prefer_int() {
+        assert_eq!(choose_int_const_type(1, false, 0, &env()), IntegerType::Int);
+        assert_eq!(choose_int_const_type(5_000_000_000, false, 0, &env()), IntegerType::Long);
+        assert_eq!(choose_int_const_type(1, true, 0, &env()), IntegerType::UInt);
+        assert_eq!(choose_int_const_type(1, false, 1, &env()), IntegerType::Long);
+        assert_eq!(
+            choose_int_const_type(u64::MAX as i128, true, 0, &env()),
+            IntegerType::ULong
+        );
+    }
+
+    #[test]
+    fn shift_result_is_promoted_left_operand() {
+        let t = binary_result_type(
+            BinOp::Shl,
+            &Ctype::integer(IntegerType::Char),
+            &Ctype::integer(IntegerType::Long),
+            &env(),
+            Span::synthetic(),
+        )
+        .unwrap();
+        assert_eq!(t, Ctype::integer(IntegerType::Int));
+    }
+
+    #[test]
+    fn comparisons_yield_int() {
+        let t = binary_result_type(
+            BinOp::Lt,
+            &Ctype::integer(IntegerType::ULong),
+            &Ctype::integer(IntegerType::Int),
+            &env(),
+            Span::synthetic(),
+        )
+        .unwrap();
+        assert_eq!(t, Ctype::integer(IntegerType::Int));
+    }
+
+    #[test]
+    fn pointer_arithmetic_types() {
+        let p = Ctype::pointer(Ctype::integer(IntegerType::Int));
+        let i = Ctype::integer(IntegerType::Int);
+        assert_eq!(binary_result_type(BinOp::Add, &p, &i, &env(), Span::synthetic()).unwrap(), p);
+        assert_eq!(binary_result_type(BinOp::Add, &i, &p, &env(), Span::synthetic()).unwrap(), p);
+        assert_eq!(
+            binary_result_type(BinOp::Sub, &p, &p, &env(), Span::synthetic()).unwrap(),
+            Ctype::integer(IntegerType::PtrdiffT)
+        );
+    }
+
+    #[test]
+    fn shift_of_pointer_is_a_constraint_violation() {
+        let p = Ctype::pointer(Ctype::integer(IntegerType::Int));
+        let i = Ctype::integer(IntegerType::Int);
+        let err = binary_result_type(BinOp::Shl, &p, &i, &env(), Span::synthetic()).unwrap_err();
+        assert_eq!(err.iso_clause(), "6.5.7p2");
+    }
+
+    #[test]
+    fn mixed_sign_arithmetic_goes_unsigned() {
+        let t = binary_result_type(
+            BinOp::Add,
+            &Ctype::integer(IntegerType::Int),
+            &Ctype::integer(IntegerType::UInt),
+            &env(),
+            Span::synthetic(),
+        )
+        .unwrap();
+        assert_eq!(t, Ctype::integer(IntegerType::UInt));
+    }
+
+    #[test]
+    fn assignability() {
+        let int = Ctype::integer(IntegerType::Int);
+        let uint = Ctype::integer(IntegerType::UInt);
+        let pint = Ctype::pointer(int.clone());
+        let pvoid = Ctype::pointer(Ctype::Void);
+        let pchar = Ctype::pointer(Ctype::integer(IntegerType::Char));
+        assert!(assignable(&int, &uint));
+        assert!(assignable(&pint, &pint));
+        assert!(assignable(&pint, &pvoid));
+        assert!(assignable(&pvoid, &pchar));
+        assert!(!assignable(&pint, &pchar));
+        assert!(!assignable(&int, &Ctype::Struct(cerberus_ast::ctype::TagId(0))));
+    }
+}

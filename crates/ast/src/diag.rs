@@ -1,0 +1,130 @@
+//! Diagnostics: constraint violations and other front-end errors.
+//!
+//! The paper emphasises that the Cabs-to-Ail desugaring and the type checker
+//! "identify exactly what part of the standard is violated" when they reject a
+//! program (§5.1). Diagnostics therefore carry an ISO clause citation next to
+//! the message.
+
+use std::fmt;
+
+use crate::loc::Span;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// A constraint violation or other error: the translation unit is
+    /// rejected.
+    Error,
+    /// A warning: the program is accepted but dubious.
+    Warning,
+}
+
+/// A front-end diagnostic: a message, the ISO C11 clause it appeals to, and a
+/// source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable message (lowercase, no trailing punctuation).
+    pub message: String,
+    /// The ISO C11 clause this diagnostic appeals to, e.g. `"6.5.7p2"`.
+    pub iso_clause: &'static str,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// A constraint-violation error.
+    pub fn error(message: impl Into<String>, iso_clause: &'static str, span: Span) -> Self {
+        Diagnostic { severity: Severity::Error, message: message.into(), iso_clause, span }
+    }
+
+    /// A warning.
+    pub fn warning(message: impl Into<String>, iso_clause: &'static str, span: Span) -> Self {
+        Diagnostic { severity: Severity::Warning, message: message.into(), iso_clause, span }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{}: {} [ISO C11 {}] at {}", sev, self.message, self.iso_clause, self.span)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// A constraint violation as defined by ISO C11 clause 4: a diagnostic that
+/// obliges the implementation to reject or at least diagnose the program.
+/// This is the error type returned by the desugaring and type-checking passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintViolation {
+    /// The underlying diagnostic.
+    pub diagnostic: Diagnostic,
+}
+
+impl ConstraintViolation {
+    /// Construct a constraint violation citing the given clause.
+    pub fn new(message: impl Into<String>, iso_clause: &'static str, span: Span) -> Self {
+        ConstraintViolation { diagnostic: Diagnostic::error(message, iso_clause, span) }
+    }
+
+    /// The ISO clause violated.
+    pub fn iso_clause(&self) -> &'static str {
+        self.diagnostic.iso_clause
+    }
+
+    /// The message.
+    pub fn message(&self) -> &str {
+        &self.diagnostic.message
+    }
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.diagnostic)
+    }
+}
+
+impl std::error::Error for ConstraintViolation {}
+
+impl From<Diagnostic> for ConstraintViolation {
+    fn from(diagnostic: Diagnostic) -> Self {
+        ConstraintViolation { diagnostic }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::{Loc, Span};
+
+    #[test]
+    fn display_cites_clause() {
+        let d = Diagnostic::error(
+            "operands of << shall have integer type",
+            "6.5.7p2",
+            Span::point(Loc::new(3, 7, 20)),
+        );
+        let s = d.to_string();
+        assert!(s.contains("6.5.7p2"));
+        assert!(s.contains("3:7"));
+        assert!(s.starts_with("error:"));
+    }
+
+    #[test]
+    fn violation_wraps_diagnostic() {
+        let v = ConstraintViolation::new("redefinition of x", "6.7p3", Span::synthetic());
+        assert_eq!(v.iso_clause(), "6.7p3");
+        assert_eq!(v.message(), "redefinition of x");
+    }
+
+    #[test]
+    fn warning_display() {
+        let d = Diagnostic::warning("implicit conversion changes value", "6.3.1.3", Span::synthetic());
+        assert!(d.to_string().starts_with("warning:"));
+    }
+}

@@ -1,0 +1,405 @@
+//! Storage layout: struct/union definitions, sizes, alignments, member
+//! offsets, and padding locations.
+//!
+//! The unspecified-padding questions of §2.5 make padding a first-class
+//! semantic object, so the layout computation reports not only member offsets
+//! but also the exact byte ranges that are padding.
+
+use std::collections::HashMap;
+
+use crate::ctype::{Ctype, Member, TagId};
+use crate::env::ImplEnv;
+use crate::ident::Ident;
+
+/// Whether a tag names a struct or a union.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagKind {
+    /// `struct` definition: members laid out sequentially with padding.
+    Struct,
+    /// `union` definition: members overlap at offset zero.
+    Union,
+}
+
+/// A struct or union definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagDefinition {
+    /// Struct or union.
+    pub kind: TagKind,
+    /// The source spelling of the tag (may be generated for anonymous tags).
+    pub name: Ident,
+    /// Members in declaration order.
+    pub members: Vec<Member>,
+}
+
+/// Registry of all struct/union definitions in a translation unit, addressed
+/// by [`TagId`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TagRegistry {
+    defs: Vec<Option<TagDefinition>>,
+    by_name: HashMap<(TagKind, String), TagId>,
+}
+
+impl TagRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TagRegistry::default()
+    }
+
+    /// Reserve a tag id for a (possibly forward-declared) struct/union name.
+    pub fn declare(&mut self, kind: TagKind, name: &Ident) -> TagId {
+        if let Some(&id) = self.by_name.get(&(kind, name.as_str().to_owned())) {
+            return id;
+        }
+        let id = TagId(self.defs.len() as u32);
+        self.defs.push(None);
+        self.by_name.insert((kind, name.as_str().to_owned()), id);
+        id
+    }
+
+    /// Complete (or define afresh) a tag with its member list. Returns the id.
+    pub fn define(&mut self, kind: TagKind, name: &Ident, members: Vec<Member>) -> TagId {
+        let id = self.declare(kind, name);
+        self.defs[id.0 as usize] = Some(TagDefinition { kind, name: name.clone(), members });
+        id
+    }
+
+    /// Look up a definition by id. Returns `None` for declared-but-undefined
+    /// (incomplete) tags.
+    pub fn get(&self, id: TagId) -> Option<&TagDefinition> {
+        self.defs.get(id.0 as usize).and_then(|d| d.as_ref())
+    }
+
+    /// Look up a tag id by kind and source name.
+    pub fn lookup(&self, kind: TagKind, name: &str) -> Option<TagId> {
+        self.by_name.get(&(kind, name.to_owned())).copied()
+    }
+
+    /// Iterate over all completed definitions.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &TagDefinition)> {
+        self.defs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.as_ref().map(|d| (TagId(i as u32), d)))
+    }
+
+    /// Number of declared tags.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether no tags have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+/// A byte range within an object that is padding (no member lives there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaddingRange {
+    /// Offset of the first padding byte.
+    pub offset: u64,
+    /// Number of padding bytes.
+    pub len: u64,
+}
+
+/// The computed layout of a struct or union type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Total size in bytes, including trailing padding.
+    pub size: u64,
+    /// Alignment requirement in bytes.
+    pub align: u64,
+    /// `(member name, offset, size)` for each member in declaration order.
+    pub members: Vec<(Ident, u64, u64)>,
+    /// Padding byte ranges (inter-member and trailing).
+    pub padding: Vec<PaddingRange>,
+}
+
+impl Layout {
+    /// Offset of a member by name.
+    pub fn offset_of(&self, name: &str) -> Option<u64> {
+        self.members.iter().find(|(n, _, _)| n.as_str() == name).map(|(_, off, _)| *off)
+    }
+
+    /// Whether byte `offset` falls in padding.
+    pub fn is_padding(&self, offset: u64) -> bool {
+        self.padding.iter().any(|p| offset >= p.offset && offset < p.offset + p.len)
+    }
+
+    /// Total number of padding bytes.
+    pub fn padding_bytes(&self) -> u64 {
+        self.padding.iter().map(|p| p.len).sum()
+    }
+}
+
+/// Layout computation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The type is incomplete (e.g. a forward-declared struct or `void`).
+    Incomplete(String),
+    /// The type has no object representation (function types).
+    NotAnObject(String),
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::Incomplete(t) => write!(f, "incomplete type {t} has no layout"),
+            LayoutError::NotAnObject(t) => write!(f, "type {t} is not an object type"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Round `v` up to the next multiple of `align`.
+pub fn align_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align > 0);
+    v.div_ceil(align) * align
+}
+
+/// Size of a type in bytes, following the natural-alignment layout algorithm
+/// used by the mainstream SysV-style ABIs.
+pub fn size_of(ty: &Ctype, env: &ImplEnv, tags: &TagRegistry) -> Result<u64, LayoutError> {
+    match ty {
+        Ctype::Void => Err(LayoutError::Incomplete("void".into())),
+        Ctype::Function(..) => Err(LayoutError::NotAnObject(ty.to_string())),
+        Ctype::Integer(it) => Ok(env.integer_size(*it)),
+        Ctype::Floating => Ok(8),
+        Ctype::Pointer(..) => Ok(env.pointer_size),
+        Ctype::Array(elem, Some(n)) => Ok(size_of(elem, env, tags)? * n),
+        Ctype::Array(_, None) => Err(LayoutError::Incomplete(ty.to_string())),
+        Ctype::Struct(id) | Ctype::Union(id) => Ok(layout_of_tag(*id, env, tags)?.size),
+    }
+}
+
+/// Alignment of a type in bytes.
+pub fn align_of(ty: &Ctype, env: &ImplEnv, tags: &TagRegistry) -> Result<u64, LayoutError> {
+    match ty {
+        Ctype::Void => Err(LayoutError::Incomplete("void".into())),
+        Ctype::Function(..) => Err(LayoutError::NotAnObject(ty.to_string())),
+        Ctype::Integer(it) => Ok(env.integer_align(*it)),
+        Ctype::Floating => Ok(8),
+        Ctype::Pointer(..) => Ok(env.pointer_size.min(env.max_align)),
+        Ctype::Array(elem, _) => align_of(elem, env, tags),
+        Ctype::Struct(id) | Ctype::Union(id) => Ok(layout_of_tag(*id, env, tags)?.align),
+    }
+}
+
+/// Layout of a struct/union tag.
+pub fn layout_of_tag(id: TagId, env: &ImplEnv, tags: &TagRegistry) -> Result<Layout, LayoutError> {
+    let def = tags
+        .get(id)
+        .ok_or_else(|| LayoutError::Incomplete(format!("struct/union {id}")))?;
+    match def.kind {
+        TagKind::Struct => layout_struct(&def.members, env, tags),
+        TagKind::Union => layout_union(&def.members, env, tags),
+    }
+}
+
+/// Layout of a struct with the given member list.
+pub fn layout_struct(
+    members: &[Member],
+    env: &ImplEnv,
+    tags: &TagRegistry,
+) -> Result<Layout, LayoutError> {
+    let mut offset = 0u64;
+    let mut align = 1u64;
+    let mut laid = Vec::with_capacity(members.len());
+    let mut padding = Vec::new();
+    for m in members {
+        let ma = align_of(&m.ty, env, tags)?;
+        let ms = size_of(&m.ty, env, tags)?;
+        let aligned = align_up(offset, ma);
+        if aligned > offset {
+            padding.push(PaddingRange { offset, len: aligned - offset });
+        }
+        laid.push((m.name.clone(), aligned, ms));
+        offset = aligned + ms;
+        align = align.max(ma);
+    }
+    let size = align_up(offset.max(1), align);
+    if size > offset {
+        padding.push(PaddingRange { offset, len: size - offset });
+    }
+    Ok(Layout { size, align, members: laid, padding })
+}
+
+/// Layout of a union with the given member list: members all at offset zero,
+/// size is the maximum member size rounded to the maximum alignment.
+pub fn layout_union(
+    members: &[Member],
+    env: &ImplEnv,
+    tags: &TagRegistry,
+) -> Result<Layout, LayoutError> {
+    let mut size = 0u64;
+    let mut align = 1u64;
+    let mut laid = Vec::with_capacity(members.len());
+    for m in members {
+        let ma = align_of(&m.ty, env, tags)?;
+        let ms = size_of(&m.ty, env, tags)?;
+        laid.push((m.name.clone(), 0, ms));
+        size = size.max(ms);
+        align = align.max(ma);
+    }
+    let total = align_up(size.max(1), align);
+    let padding = if total > size {
+        vec![PaddingRange { offset: size, len: total - size }]
+    } else {
+        Vec::new()
+    };
+    Ok(Layout { size: total, align, members: laid, padding })
+}
+
+/// Offset of member `name` within the struct/union `id` (the `offsetof`
+/// operator).
+pub fn offset_of(
+    id: TagId,
+    name: &str,
+    env: &ImplEnv,
+    tags: &TagRegistry,
+) -> Result<u64, LayoutError> {
+    let layout = layout_of_tag(id, env, tags)?;
+    layout
+        .offset_of(name)
+        .ok_or_else(|| LayoutError::Incomplete(format!("no member {name} in {id}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctype::IntegerType;
+
+    fn member(name: &str, ty: Ctype) -> Member {
+        Member { name: Ident::new(name), ty }
+    }
+
+    #[test]
+    fn char_int_struct_has_padding() {
+        let env = ImplEnv::lp64();
+        let tags = TagRegistry::new();
+        let layout = layout_struct(
+            &[
+                member("c", Ctype::integer(IntegerType::Char)),
+                member("i", Ctype::integer(IntegerType::Int)),
+            ],
+            &env,
+            &tags,
+        )
+        .unwrap();
+        assert_eq!(layout.size, 8);
+        assert_eq!(layout.align, 4);
+        assert_eq!(layout.offset_of("c"), Some(0));
+        assert_eq!(layout.offset_of("i"), Some(4));
+        assert_eq!(layout.padding_bytes(), 3);
+        assert!(layout.is_padding(1));
+        assert!(layout.is_padding(3));
+        assert!(!layout.is_padding(0));
+        assert!(!layout.is_padding(4));
+    }
+
+    #[test]
+    fn trailing_padding_is_reported() {
+        let env = ImplEnv::lp64();
+        let tags = TagRegistry::new();
+        let layout = layout_struct(
+            &[
+                member("i", Ctype::integer(IntegerType::Int)),
+                member("c", Ctype::integer(IntegerType::Char)),
+            ],
+            &env,
+            &tags,
+        )
+        .unwrap();
+        assert_eq!(layout.size, 8);
+        assert_eq!(layout.padding_bytes(), 3);
+        assert!(layout.is_padding(5));
+        assert!(layout.is_padding(7));
+    }
+
+    #[test]
+    fn union_size_is_max_member() {
+        let env = ImplEnv::lp64();
+        let tags = TagRegistry::new();
+        let layout = layout_union(
+            &[
+                member("c", Ctype::integer(IntegerType::Char)),
+                member("l", Ctype::integer(IntegerType::Long)),
+            ],
+            &env,
+            &tags,
+        )
+        .unwrap();
+        assert_eq!(layout.size, 8);
+        assert_eq!(layout.align, 8);
+        assert_eq!(layout.offset_of("c"), Some(0));
+        assert_eq!(layout.offset_of("l"), Some(0));
+    }
+
+    #[test]
+    fn nested_struct_layout() {
+        let env = ImplEnv::lp64();
+        let mut tags = TagRegistry::new();
+        let inner = tags.define(
+            TagKind::Struct,
+            &Ident::new("inner"),
+            vec![
+                member("a", Ctype::integer(IntegerType::Char)),
+                member("b", Ctype::integer(IntegerType::Long)),
+            ],
+        );
+        let outer = tags.define(
+            TagKind::Struct,
+            &Ident::new("outer"),
+            vec![member("x", Ctype::integer(IntegerType::Int)), member("s", Ctype::Struct(inner))],
+        );
+        let layout = layout_of_tag(outer, &env, &tags).unwrap();
+        assert_eq!(layout.offset_of("x"), Some(0));
+        assert_eq!(layout.offset_of("s"), Some(8));
+        assert_eq!(layout.size, 24);
+    }
+
+    #[test]
+    fn array_size_multiplies() {
+        let env = ImplEnv::lp64();
+        let tags = TagRegistry::new();
+        let arr = Ctype::array(Ctype::integer(IntegerType::Int), 10);
+        assert_eq!(size_of(&arr, &env, &tags).unwrap(), 40);
+        assert_eq!(align_of(&arr, &env, &tags).unwrap(), 4);
+    }
+
+    #[test]
+    fn incomplete_types_have_no_layout() {
+        let env = ImplEnv::lp64();
+        let mut tags = TagRegistry::new();
+        let fwd = tags.declare(TagKind::Struct, &Ident::new("fwd"));
+        assert!(layout_of_tag(fwd, &env, &tags).is_err());
+        assert!(size_of(&Ctype::Void, &env, &tags).is_err());
+    }
+
+    #[test]
+    fn declare_is_idempotent() {
+        let mut tags = TagRegistry::new();
+        let a = tags.declare(TagKind::Struct, &Ident::new("s"));
+        let b = tags.declare(TagKind::Struct, &Ident::new("s"));
+        assert_eq!(a, b);
+        let c = tags.declare(TagKind::Union, &Ident::new("s"));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_struct_occupies_one_byte() {
+        let env = ImplEnv::lp64();
+        let tags = TagRegistry::new();
+        let layout = layout_struct(&[], &env, &tags).unwrap();
+        assert_eq!(layout.size, 1);
+    }
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 4), 0);
+        assert_eq!(align_up(1, 4), 4);
+        assert_eq!(align_up(4, 4), 4);
+        assert_eq!(align_up(5, 8), 8);
+    }
+}

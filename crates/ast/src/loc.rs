@@ -1,0 +1,143 @@
+//! Source locations and spans.
+//!
+//! Every AST node carries a [`Span`] so diagnostics and undefined-behaviour
+//! reports can point at the originating C source text, mirroring the paper's
+//! requirement that the tool report "which undefined behaviour has been
+//! violated (together with the C source location)" (§5.4).
+
+use std::fmt;
+
+/// A single position in a source file: 1-based line and column plus the byte
+/// offset into the original text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+    /// Byte offset into the translation unit text.
+    pub offset: u32,
+}
+
+impl Loc {
+    /// The start of the translation unit.
+    pub const fn start() -> Self {
+        Loc { line: 1, column: 1, offset: 0 }
+    }
+
+    /// Construct a location from explicit coordinates.
+    pub const fn new(line: u32, column: u32, offset: u32) -> Self {
+        Loc { line, column, offset }
+    }
+
+    /// Advance this location over a character of the source text.
+    pub fn advance(&mut self, c: char) {
+        self.offset += c.len_utf8() as u32;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+    }
+}
+
+impl Default for Loc {
+    fn default() -> Self {
+        Loc::start()
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A contiguous region of source text, from `start` (inclusive) to `end`
+/// (exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// First position covered by the span.
+    pub start: Loc,
+    /// Position one past the last covered character.
+    pub end: Loc,
+}
+
+impl Span {
+    /// A span covering a single point.
+    pub const fn point(loc: Loc) -> Self {
+        Span { start: loc, end: loc }
+    }
+
+    /// A span with explicit endpoints.
+    pub const fn new(start: Loc, end: Loc) -> Self {
+        Span { start, end }
+    }
+
+    /// The span produced for synthesised nodes that have no source text, e.g.
+    /// implicit conversions inserted by the type checker.
+    pub const fn synthetic() -> Self {
+        Span::point(Loc::start())
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: if self.start <= other.start { self.start } else { other.start },
+            end: if self.end >= other.end { self.end } else { other.end },
+        }
+    }
+
+    /// Whether the span covers zero characters.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.start.line == self.end.line {
+            write!(f, "{}:{}-{}", self.start.line, self.start.column, self.end.column)
+        } else {
+            write!(f, "{}-{}", self.start, self.end)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_tracks_lines_and_columns() {
+        let mut loc = Loc::start();
+        for c in "ab\ncd".chars() {
+            loc.advance(c);
+        }
+        assert_eq!(loc.line, 2);
+        assert_eq!(loc.column, 3);
+        assert_eq!(loc.offset, 5);
+    }
+
+    #[test]
+    fn merge_produces_covering_span() {
+        let a = Span::new(Loc::new(1, 1, 0), Loc::new(1, 5, 4));
+        let b = Span::new(Loc::new(1, 3, 2), Loc::new(2, 1, 8));
+        let m = a.merge(b);
+        assert_eq!(m.start, Loc::new(1, 1, 0));
+        assert_eq!(m.end, Loc::new(2, 1, 8));
+    }
+
+    #[test]
+    fn display_single_line() {
+        let s = Span::new(Loc::new(3, 2, 10), Loc::new(3, 9, 17));
+        assert_eq!(s.to_string(), "3:2-9");
+    }
+
+    #[test]
+    fn point_span_is_empty() {
+        assert!(Span::point(Loc::new(4, 4, 12)).is_empty());
+        assert!(!Span::new(Loc::new(1, 1, 0), Loc::new(1, 2, 1)).is_empty());
+    }
+}

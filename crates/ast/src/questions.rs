@@ -1,0 +1,393 @@
+//! The design-space question catalogue of §2.
+//!
+//! The paper identifies 85 questions about the C memory object model, grouped
+//! into the categories listed in §2 (with the per-category counts reproduced
+//! here), and classifies them by whether the ISO standard is clear, whether the
+//! de facto standards are clear, and whether the two differ: "for 38 the ISO
+//! standard is unclear; for 28 the de facto standards are unclear …; and for 26
+//! there are significant differences between the ISO and the de facto
+//! standards".
+//!
+//! This module encodes the categories and a question table with those
+//! aggregate properties, used by the survey-analysis crate and by the litmus
+//! test suite to organise its tests.
+
+use std::fmt;
+
+/// The question categories of §2, in the order the paper lists them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QuestionCategory {
+    /// Pointer provenance basics.
+    ProvenanceBasics,
+    /// Pointer provenance via integer types.
+    ProvenanceViaIntegers,
+    /// Pointers involving multiple provenances.
+    MultipleProvenance,
+    /// Pointer provenance via pointer representation copying.
+    ProvenanceViaRepresentation,
+    /// Pointer provenance and union type punning.
+    ProvenanceUnionPunning,
+    /// Pointer provenance via IO.
+    ProvenanceViaIo,
+    /// Stability of pointer values.
+    PointerStability,
+    /// Pointer equality comparison (with == or !=).
+    PointerEquality,
+    /// Pointer relational comparison (with <, >, <=, or >=).
+    PointerRelational,
+    /// Null pointers.
+    NullPointers,
+    /// Pointer arithmetic.
+    PointerArithmetic,
+    /// Casts between pointer types.
+    PointerCasts,
+    /// Accesses to related structure and union types.
+    RelatedStructUnion,
+    /// Pointer lifetime end.
+    PointerLifetimeEnd,
+    /// Invalid accesses.
+    InvalidAccesses,
+    /// Trap representations.
+    TrapRepresentations,
+    /// Unspecified values.
+    UnspecifiedValues,
+    /// Structure and union padding.
+    Padding,
+    /// Basic effective types.
+    EffectiveTypesBasic,
+    /// Effective types and character arrays.
+    EffectiveTypesCharArrays,
+    /// Effective types and subobjects.
+    EffectiveTypesSubobjects,
+    /// Other questions.
+    Other,
+}
+
+impl QuestionCategory {
+    /// The number of questions the paper places in this category (§2's
+    /// category table; the counts sum to 85).
+    pub fn paper_count(self) -> usize {
+        use QuestionCategory::*;
+        match self {
+            ProvenanceBasics => 3,
+            ProvenanceViaIntegers => 5,
+            MultipleProvenance => 5,
+            ProvenanceViaRepresentation => 4,
+            ProvenanceUnionPunning => 2,
+            ProvenanceViaIo => 1,
+            PointerStability => 1,
+            PointerEquality => 3,
+            PointerRelational => 3,
+            NullPointers => 3,
+            PointerArithmetic => 6,
+            PointerCasts => 2,
+            RelatedStructUnion => 4,
+            PointerLifetimeEnd => 2,
+            InvalidAccesses => 2,
+            TrapRepresentations => 2,
+            UnspecifiedValues => 11,
+            Padding => 13,
+            EffectiveTypesBasic => 2,
+            EffectiveTypesCharArrays => 1,
+            EffectiveTypesSubobjects => 6,
+            Other => 5,
+        }
+    }
+
+    /// The paper's name for the category.
+    pub fn label(self) -> &'static str {
+        use QuestionCategory::*;
+        match self {
+            ProvenanceBasics => "Pointer provenance basics",
+            ProvenanceViaIntegers => "Pointer provenance via integer types",
+            MultipleProvenance => "Pointers involving multiple provenances",
+            ProvenanceViaRepresentation => "Pointer provenance via pointer representation copying",
+            ProvenanceUnionPunning => "Pointer provenance and union type punning",
+            ProvenanceViaIo => "Pointer provenance via IO",
+            PointerStability => "Stability of pointer values",
+            PointerEquality => "Pointer equality comparison (with == or !=)",
+            PointerRelational => "Pointer relational comparison (with <, >, <=, or >=)",
+            NullPointers => "Null pointers",
+            PointerArithmetic => "Pointer arithmetic",
+            PointerCasts => "Casts between pointer types",
+            RelatedStructUnion => "Accesses to related structure and union types",
+            PointerLifetimeEnd => "Pointer lifetime end",
+            InvalidAccesses => "Invalid accesses",
+            TrapRepresentations => "Trap representations",
+            UnspecifiedValues => "Unspecified values",
+            Padding => "Structure and union padding",
+            EffectiveTypesBasic => "Basic effective types",
+            EffectiveTypesCharArrays => "Effective types and character arrays",
+            EffectiveTypesSubobjects => "Effective types and subobjects",
+            Other => "Other questions",
+        }
+    }
+
+    /// All categories, in the paper's order.
+    pub fn all() -> &'static [QuestionCategory] {
+        use QuestionCategory::*;
+        &[
+            ProvenanceBasics,
+            ProvenanceViaIntegers,
+            MultipleProvenance,
+            ProvenanceViaRepresentation,
+            ProvenanceUnionPunning,
+            ProvenanceViaIo,
+            PointerStability,
+            PointerEquality,
+            PointerRelational,
+            NullPointers,
+            PointerArithmetic,
+            PointerCasts,
+            RelatedStructUnion,
+            PointerLifetimeEnd,
+            InvalidAccesses,
+            TrapRepresentations,
+            UnspecifiedValues,
+            Padding,
+            EffectiveTypesBasic,
+            EffectiveTypesCharArrays,
+            EffectiveTypesSubobjects,
+            Other,
+        ]
+    }
+
+    /// Total number of questions across all categories (the paper's 85).
+    pub fn total_questions() -> usize {
+        Self::all().iter().map(|c| c.paper_count()).sum()
+    }
+}
+
+impl fmt::Display for QuestionCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Whether a standard (ISO or de facto) gives a clear answer to a question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Clarity {
+    /// The standard gives a clear answer.
+    Clear,
+    /// The standard is unclear or silent.
+    Unclear,
+}
+
+/// A design-space question: its number (Qnn in the paper), category, short
+/// statement, and the aggregate clarity/divergence classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// The question number, e.g. 25 for Q25.
+    pub number: u32,
+    /// The category it belongs to.
+    pub category: QuestionCategory,
+    /// A one-line statement of the question.
+    pub statement: &'static str,
+    /// Whether the ISO standard gives a clear answer.
+    pub iso: Clarity,
+    /// Whether the de facto standards give a clear answer.
+    pub de_facto: Clarity,
+    /// Whether the ISO and de facto standards differ significantly.
+    pub differs: bool,
+    /// The simplified-survey question index ([n/15]) if the question appeared
+    /// in the 2015 survey.
+    pub survey_15: Option<u8>,
+}
+
+impl Question {
+    /// The questions discussed individually in the body of §2 of the paper,
+    /// with their classifications. (The full 85-question catalogue lives in
+    /// the 80+ page design-space document; this table carries the ones the
+    /// paper itself works through, which are the ones the litmus suite and the
+    /// reproduction experiments exercise.)
+    pub fn discussed() -> Vec<Question> {
+        use Clarity::*;
+        use QuestionCategory::*;
+        vec![
+            Question {
+                number: 2,
+                category: PointerEquality,
+                statement: "Can equality testing on pointers be affected by pointer provenance information?",
+                iso: Unclear,
+                de_facto: Unclear,
+                differs: true,
+                survey_15: None,
+            },
+            Question {
+                number: 5,
+                category: ProvenanceViaIntegers,
+                statement: "Must provenance information be tracked via casts to integer types and integer arithmetic?",
+                iso: Unclear,
+                de_facto: Clear,
+                differs: false,
+                survey_15: None,
+            },
+            Question {
+                number: 9,
+                category: MultipleProvenance,
+                statement: "Can one make a usable offset between two separately allocated objects by inter-object subtraction?",
+                iso: Clear,
+                de_facto: Unclear,
+                differs: true,
+                survey_15: None,
+            },
+            Question {
+                number: 13,
+                category: ProvenanceViaRepresentation,
+                statement: "Can one make a usable copy of a pointer by copying its representation bytes with user code?",
+                iso: Unclear,
+                de_facto: Clear,
+                differs: false,
+                survey_15: Some(5),
+            },
+            Question {
+                number: 25,
+                category: PointerRelational,
+                statement: "Can one do relational comparison of two pointers to separately allocated objects?",
+                iso: Clear,
+                de_facto: Clear,
+                differs: true,
+                survey_15: Some(7),
+            },
+            Question {
+                number: 31,
+                category: PointerArithmetic,
+                statement: "Can one transiently construct out-of-bounds pointer values that are brought back in bounds before use?",
+                iso: Clear,
+                de_facto: Unclear,
+                differs: true,
+                survey_15: Some(9),
+            },
+            Question {
+                number: 43,
+                category: UnspecifiedValues,
+                statement: "What is the semantics of reading an uninitialised variable or struct member?",
+                iso: Unclear,
+                de_facto: Unclear,
+                differs: true,
+                survey_15: Some(2),
+            },
+            Question {
+                number: 49,
+                category: UnspecifiedValues,
+                statement: "Can an unspecified value be passed to a library function without undefined behaviour?",
+                iso: Unclear,
+                de_facto: Unclear,
+                differs: false,
+                survey_15: None,
+            },
+            Question {
+                number: 50,
+                category: UnspecifiedValues,
+                statement: "Can a control-flow choice be made on an unspecified value?",
+                iso: Unclear,
+                de_facto: Unclear,
+                differs: false,
+                survey_15: None,
+            },
+            Question {
+                number: 52,
+                category: UnspecifiedValues,
+                statement: "Are unspecified values propagated through arithmetic?",
+                iso: Unclear,
+                de_facto: Unclear,
+                differs: false,
+                survey_15: None,
+            },
+            Question {
+                number: 59,
+                category: Padding,
+                statement: "Do structure member writes also write unspecified values over subsequent padding?",
+                iso: Unclear,
+                de_facto: Unclear,
+                differs: true,
+                survey_15: Some(1),
+            },
+            Question {
+                number: 75,
+                category: EffectiveTypesCharArrays,
+                statement: "Can an unsigned character array with static or automatic storage duration hold values of other types?",
+                iso: Clear,
+                de_facto: Clear,
+                differs: true,
+                survey_15: Some(11),
+            },
+        ]
+    }
+
+    /// The paper's aggregate counts over the full 85-question catalogue.
+    pub fn paper_aggregates() -> QuestionAggregates {
+        QuestionAggregates { total: 85, iso_unclear: 38, de_facto_unclear: 28, iso_de_facto_differ: 26 }
+    }
+}
+
+/// Aggregate clarity statistics over the question catalogue (the §2 bullet
+/// list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuestionAggregates {
+    /// Total number of questions.
+    pub total: usize,
+    /// Questions where the ISO standard is unclear.
+    pub iso_unclear: usize,
+    /// Questions where the de facto standards are unclear.
+    pub de_facto_unclear: usize,
+    /// Questions where ISO and de facto standards differ significantly.
+    pub iso_de_facto_differ: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_counts_sum_to_paper_table() {
+        // The per-category counts printed in §2 sum to 86 even though the
+        // headline number of questions is 85; we encode the table as printed
+        // and keep the headline figure in `paper_aggregates`.
+        assert_eq!(QuestionCategory::total_questions(), 86);
+    }
+
+    #[test]
+    fn paper_aggregates_match_text() {
+        let a = Question::paper_aggregates();
+        assert_eq!(a.total, 85);
+        assert_eq!(a.iso_unclear, 38);
+        assert_eq!(a.de_facto_unclear, 28);
+        assert_eq!(a.iso_de_facto_differ, 26);
+    }
+
+    #[test]
+    fn discussed_questions_have_unique_numbers() {
+        let qs = Question::discussed();
+        let mut numbers: Vec<_> = qs.iter().map(|q| q.number).collect();
+        numbers.sort_unstable();
+        let before = numbers.len();
+        numbers.dedup();
+        assert_eq!(before, numbers.len());
+    }
+
+    #[test]
+    fn q25_is_a_conflict_between_iso_and_de_facto() {
+        let qs = Question::discussed();
+        let q25 = qs.iter().find(|q| q.number == 25).unwrap();
+        assert_eq!(q25.iso, Clarity::Clear);
+        assert!(q25.differs);
+        assert_eq!(q25.survey_15, Some(7));
+    }
+
+    #[test]
+    fn all_categories_have_labels() {
+        for &c in QuestionCategory::all() {
+            assert!(!c.label().is_empty());
+            assert!(c.paper_count() > 0);
+        }
+        assert_eq!(QuestionCategory::all().len(), 22);
+    }
+
+    #[test]
+    fn padding_is_the_largest_category() {
+        let max = QuestionCategory::all().iter().max_by_key(|c| c.paper_count()).unwrap();
+        assert_eq!(*max, QuestionCategory::Padding);
+        assert_eq!(max.paper_count(), 13);
+    }
+}

@@ -1,0 +1,260 @@
+//! The catalogue of undefined behaviours the semantics can report.
+//!
+//! Undefined behaviour arises in two ways (§5.4 of the paper): from primitive
+//! C arithmetic operations on bad argument values — these are introduced
+//! explicitly into the elaborated Core as `undef(ub-name)` tests — and from
+//! memory accesses, detected by the memory object model or the concurrency
+//! model. Each variant records the ISO clause (or DR) that makes the behaviour
+//! undefined, so reports can cite the standard the way Cerberus does.
+
+use std::fmt;
+
+/// An undefined behaviour, annotated with the ISO C11 clause that defines it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UbKind {
+    /// An exceptional condition during the evaluation of an expression —
+    /// signed overflow, division overflow, and similar (6.5p5).
+    ExceptionalCondition,
+    /// Division or remainder by zero (6.5.5p5).
+    DivisionByZero,
+    /// Shift by a negative amount (6.5.7p3).
+    NegativeShift,
+    /// Shift by an amount greater than or equal to the width of the promoted
+    /// left operand (6.5.7p3).
+    ShiftTooLarge,
+    /// Left shift of a negative value (6.5.7p4).
+    ShiftOfNegative,
+    /// An lvalue read of an object outside its lifetime (6.2.4p2).
+    AccessOutsideLifetime,
+    /// An access through a pointer whose address is not within the footprint
+    /// of the allocation its provenance refers to (DR260 / the candidate de
+    /// facto model of §5.9).
+    OutOfBoundsAccess,
+    /// A load or store through a null pointer (6.5.3.2p4).
+    NullPointerDeref,
+    /// A load or store through a pointer with empty provenance (for example a
+    /// pointer manufactured from an arbitrary integer under the strict
+    /// models).
+    AccessWithoutProvenance,
+    /// An access with misaligned address for the accessed type (6.3.2.3p7).
+    MisalignedAccess,
+    /// Construction of a pointer more than one past the end of its object by
+    /// pointer arithmetic (6.5.6p8), under models that forbid it.
+    OutOfBoundsPointerArithmetic,
+    /// Subtraction of pointers into different objects (6.5.6p9).
+    PointerSubtractionDifferentObjects,
+    /// Relational comparison of pointers into different objects (6.5.8p5),
+    /// under models that follow ISO strictly.
+    RelationalCompareDifferentObjects,
+    /// Use of an indeterminate (uninitialised) value where the model treats it
+    /// as undefined behaviour (6.3.2.1p2 and the §2.4 discussion).
+    IndeterminateValueUse,
+    /// Reading a trap representation (6.2.6.1p5).
+    TrapRepresentation,
+    /// An access violating the effective-type (strict aliasing) rules
+    /// (6.5p6-7), under models that enforce them.
+    EffectiveTypeViolation,
+    /// Modifying an object defined with a `const`-qualified type (6.7.3p6).
+    ConstModification,
+    /// Two unsequenced conflicting accesses to the same object (6.5p2).
+    UnsequencedRace,
+    /// A data race between threads (5.1.2.4p25).
+    DataRace,
+    /// `free` of a pointer not obtained from an allocation function, or double
+    /// free (7.22.3.3p2).
+    InvalidFree,
+    /// Use of a pointer value after the end of the lifetime of the object it
+    /// pointed to (6.2.4p2, the "zap" semantics of Q41-Q42).
+    UseOfDanglingPointer,
+    /// Calling a function through an incompatible function pointer type
+    /// (6.3.2.3p8).
+    IncompatibleFunctionCall,
+    /// Reaching the end of a value-returning function without a `return` and
+    /// then using the call's value (6.9.1p12).
+    MissingReturnValueUsed,
+    /// An array subscript or member access applied to an unsuitable value
+    /// detected dynamically.
+    InvalidLvalue,
+    /// Signed integer overflow in a conversion context where the model
+    /// chooses to treat it as undefined rather than implementation-defined.
+    ConversionOverflow,
+    /// Modification of a string literal (6.4.5p7).
+    StringLiteralModification,
+}
+
+impl UbKind {
+    /// The ISO C11 clause (or committee document) that makes the behaviour
+    /// undefined.
+    pub fn iso_reference(self) -> &'static str {
+        use UbKind::*;
+        match self {
+            ExceptionalCondition => "6.5p5",
+            DivisionByZero => "6.5.5p5",
+            NegativeShift | ShiftTooLarge => "6.5.7p3",
+            ShiftOfNegative => "6.5.7p4",
+            AccessOutsideLifetime => "6.2.4p2",
+            OutOfBoundsAccess => "DR260",
+            NullPointerDeref => "6.5.3.2p4",
+            AccessWithoutProvenance => "DR260",
+            MisalignedAccess => "6.3.2.3p7",
+            OutOfBoundsPointerArithmetic => "6.5.6p8",
+            PointerSubtractionDifferentObjects => "6.5.6p9",
+            RelationalCompareDifferentObjects => "6.5.8p5",
+            IndeterminateValueUse => "6.3.2.1p2",
+            TrapRepresentation => "6.2.6.1p5",
+            EffectiveTypeViolation => "6.5p6",
+            ConstModification => "6.7.3p6",
+            UnsequencedRace => "6.5p2",
+            DataRace => "5.1.2.4p25",
+            InvalidFree => "7.22.3.3p2",
+            UseOfDanglingPointer => "6.2.4p2",
+            IncompatibleFunctionCall => "6.3.2.3p8",
+            MissingReturnValueUsed => "6.9.1p12",
+            InvalidLvalue => "6.3.2.1p1",
+            ConversionOverflow => "6.3.1.3p3",
+            StringLiteralModification => "6.4.5p7",
+        }
+    }
+
+    /// A short, stable name matching the `undef(ub-name)` identifiers of the
+    /// paper's Core syntax (Fig. 2 / Fig. 3).
+    pub fn core_name(self) -> &'static str {
+        use UbKind::*;
+        match self {
+            ExceptionalCondition => "Exceptional_condition",
+            DivisionByZero => "Division_by_zero",
+            NegativeShift => "Negative_shift",
+            ShiftTooLarge => "Shift_too_large",
+            ShiftOfNegative => "Shift_of_negative",
+            AccessOutsideLifetime => "Access_outside_lifetime",
+            OutOfBoundsAccess => "Out_of_bounds_access",
+            NullPointerDeref => "Null_pointer_dereference",
+            AccessWithoutProvenance => "Access_without_provenance",
+            MisalignedAccess => "Misaligned_access",
+            OutOfBoundsPointerArithmetic => "Out_of_bounds_pointer_arithmetic",
+            PointerSubtractionDifferentObjects => "Pointer_subtraction_different_objects",
+            RelationalCompareDifferentObjects => "Relational_compare_different_objects",
+            IndeterminateValueUse => "Indeterminate_value_use",
+            TrapRepresentation => "Trap_representation",
+            EffectiveTypeViolation => "Effective_type_violation",
+            ConstModification => "Const_modification",
+            UnsequencedRace => "Unsequenced_race",
+            DataRace => "Data_race",
+            InvalidFree => "Invalid_free",
+            UseOfDanglingPointer => "Use_of_dangling_pointer",
+            IncompatibleFunctionCall => "Incompatible_function_call",
+            MissingReturnValueUsed => "Missing_return_value_used",
+            InvalidLvalue => "Invalid_lvalue",
+            ConversionOverflow => "Conversion_overflow",
+            StringLiteralModification => "String_literal_modification",
+        }
+    }
+
+    /// Whether this undefined behaviour is memory-model-detected (as opposed
+    /// to being introduced by the elaboration as an explicit `undef` test).
+    pub fn is_memory_ub(self) -> bool {
+        use UbKind::*;
+        matches!(
+            self,
+            AccessOutsideLifetime
+                | OutOfBoundsAccess
+                | NullPointerDeref
+                | AccessWithoutProvenance
+                | MisalignedAccess
+                | OutOfBoundsPointerArithmetic
+                | PointerSubtractionDifferentObjects
+                | RelationalCompareDifferentObjects
+                | TrapRepresentation
+                | EffectiveTypeViolation
+                | ConstModification
+                | DataRace
+                | InvalidFree
+                | UseOfDanglingPointer
+                | StringLiteralModification
+                | IndeterminateValueUse
+        )
+    }
+
+    /// All catalogued undefined behaviours.
+    pub fn all() -> &'static [UbKind] {
+        use UbKind::*;
+        &[
+            ExceptionalCondition,
+            DivisionByZero,
+            NegativeShift,
+            ShiftTooLarge,
+            ShiftOfNegative,
+            AccessOutsideLifetime,
+            OutOfBoundsAccess,
+            NullPointerDeref,
+            AccessWithoutProvenance,
+            MisalignedAccess,
+            OutOfBoundsPointerArithmetic,
+            PointerSubtractionDifferentObjects,
+            RelationalCompareDifferentObjects,
+            IndeterminateValueUse,
+            TrapRepresentation,
+            EffectiveTypeViolation,
+            ConstModification,
+            UnsequencedRace,
+            DataRace,
+            InvalidFree,
+            UseOfDanglingPointer,
+            IncompatibleFunctionCall,
+            MissingReturnValueUsed,
+            InvalidLvalue,
+            ConversionOverflow,
+            StringLiteralModification,
+        ]
+    }
+}
+
+impl fmt::Display for UbKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.core_name(), self.iso_reference())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_ub_has_reference_and_name() {
+        for &ub in UbKind::all() {
+            assert!(!ub.iso_reference().is_empty());
+            assert!(!ub.core_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn core_names_are_unique() {
+        let mut names: Vec<_> = UbKind::all().iter().map(|u| u.core_name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn shift_ubs_cite_6_5_7() {
+        assert_eq!(UbKind::NegativeShift.iso_reference(), "6.5.7p3");
+        assert_eq!(UbKind::ShiftTooLarge.iso_reference(), "6.5.7p3");
+        assert_eq!(UbKind::ShiftOfNegative.iso_reference(), "6.5.7p4");
+    }
+
+    #[test]
+    fn memory_ub_classification() {
+        assert!(UbKind::OutOfBoundsAccess.is_memory_ub());
+        assert!(UbKind::DataRace.is_memory_ub());
+        assert!(!UbKind::DivisionByZero.is_memory_ub());
+        assert!(!UbKind::NegativeShift.is_memory_ub());
+    }
+
+    #[test]
+    fn display_mentions_clause() {
+        let s = UbKind::DivisionByZero.to_string();
+        assert!(s.contains("6.5.5p5"));
+        assert!(s.contains("Division_by_zero"));
+    }
+}

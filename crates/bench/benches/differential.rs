@@ -1,0 +1,23 @@
+//! Benchmark: the csmith-lite differential validation workload (experiment
+//! E15/E16 — Cerberus vs the reference oracle).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cerberus_gen::{diff_one, generate, GenConfig};
+
+fn bench_differential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("differential");
+    group.sample_size(10);
+    group.bench_function("small_program", |b| {
+        let program = generate(1, GenConfig::small());
+        b.iter(|| diff_one(&program, 2_000_000))
+    });
+    group.bench_function("large_program", |b| {
+        let program = generate(1, GenConfig::large());
+        b.iter(|| diff_one(&program, 2_000_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_differential);
+criterion_main!(benches);

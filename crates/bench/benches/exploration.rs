@@ -1,0 +1,32 @@
+//! Benchmark: exhaustive exploration of all allowed behaviours vs a single
+//! pseudorandom path (the §5.1 dual driver modes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cerberus::pipeline::{Config, Pipeline};
+
+const NONDET: &str = r#"
+int trace = 0;
+int f(void) { trace = trace * 10 + 1; return 1; }
+int g(void) { trace = trace * 10 + 2; return 2; }
+int h(void) { trace = trace * 10 + 3; return 3; }
+int sum(int a, int b, int c) { return a + b + c; }
+int main(void) { return sum(f(), g(), h()) + trace % 7; }
+"#;
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exploration");
+    group.sample_size(10);
+    group.bench_function("random_single_path", |b| {
+        let driver = Pipeline::new(Config::default()).driver(NONDET).unwrap();
+        b.iter(|| driver.run_random(1))
+    });
+    group.bench_function("exhaustive_64", |b| {
+        let driver = Pipeline::new(Config::default()).driver(NONDET).unwrap();
+        b.iter(|| driver.run_exhaustive(64))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

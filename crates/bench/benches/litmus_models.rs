@@ -1,0 +1,26 @@
+//! Benchmark: the de facto litmus suite executed under each memory object
+//! model (experiments E5–E12/E17 — the per-model comparison workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cerberus_litmus::{catalogue, run_under};
+use cerberus_memory::config::ModelConfig;
+
+fn bench_litmus(c: &mut Criterion) {
+    let suite = catalogue();
+    let mut group = c.benchmark_group("litmus_suite");
+    group.sample_size(10);
+    for model in [ModelConfig::concrete(), ModelConfig::de_facto(), ModelConfig::strict_iso()] {
+        group.bench_function(model.name, |b| {
+            b.iter(|| {
+                for test in &suite {
+                    let _ = run_under(test, &model);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_litmus);
+criterion_main!(benches);

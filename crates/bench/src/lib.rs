@@ -1,0 +1,1 @@
+//! Criterion benchmarks and the table/figure reproduction harness (see `benches/` and `src/bin/reproduce.rs`).

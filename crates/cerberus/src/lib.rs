@@ -1,0 +1,34 @@
+//! Cerberus-rs: an executable semantics for a substantial fragment of C,
+//! reproducing the architecture of "Into the Depths of C: Elaborating the De
+//! Facto Standards" (PLDI 2016).
+//!
+//! The pipeline mirrors the paper's Fig. 1: C source is parsed by a
+//! clean-slate parser into `Cabs`, desugared and type-annotated into `Ail`,
+//! elaborated into the `Core` calculus, and executed by the Core operational
+//! semantics linked against a configurable **memory object model** — the
+//! candidate de facto provenance model, a concrete model, a strict-ISO model,
+//! a CHERI capability model, or tool-emulation profiles.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cerberus::{Pipeline, Config};
+//!
+//! let outcome = Pipeline::new(Config::default())
+//!     .run_source("int main(void) { int x = 20; return x + 22; }")
+//!     .unwrap();
+//! assert_eq!(outcome.exit_value(), Some(42));
+//! ```
+
+pub mod pipeline;
+pub mod tvc;
+
+pub use cerberus_ail as ail;
+pub use cerberus_ast as ast;
+pub use cerberus_core as core_lang;
+pub use cerberus_elab as elab;
+pub use cerberus_exec as exec;
+pub use cerberus_memory as memory;
+pub use cerberus_parser as parser;
+
+pub use pipeline::{Config, Pipeline, PipelineError, RunOutcome};

@@ -1,0 +1,613 @@
+//! The end-to-end pipeline: parse → desugar/typecheck → elaborate → execute.
+
+use cerberus_ail::ail::AilProgram;
+use cerberus_ail::desugar::{desugar_translation_unit, FrontendError};
+use cerberus_ast::env::ImplEnv;
+use cerberus_core::program::CoreProgram;
+use cerberus_elab::elaborate_program;
+use cerberus_exec::driver::{Driver, ExecMode, ProgramOutcome};
+use cerberus_memory::config::ModelConfig;
+use cerberus_parser::parse_translation_unit;
+
+/// Pipeline configuration: the memory object model, the
+/// implementation-defined environment, the exploration mode, and the step
+/// budget.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// The memory object model configuration (default: the candidate de facto
+    /// model of §5.9).
+    pub model: ModelConfig,
+    /// The implementation-defined environment (default: LP64).
+    pub impl_env: ImplEnv,
+    /// The exploration mode (default: pseudorandom single path, seed 0).
+    pub mode: ExecMode,
+    /// The per-execution step budget.
+    pub step_limit: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            model: ModelConfig::de_facto(),
+            impl_env: ImplEnv::lp64(),
+            mode: ExecMode::Random { seed: 0 },
+            step_limit: 2_000_000,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration using the given memory model and the defaults for
+    /// everything else.
+    pub fn with_model(model: ModelConfig) -> Self {
+        Config { model, ..Config::default() }
+    }
+
+    /// Switch to exhaustive exploration with the given execution bound.
+    pub fn exhaustive(mut self, max_executions: usize) -> Self {
+        self.mode = ExecMode::Exhaustive { max_executions };
+        self
+    }
+}
+
+/// Errors produced before execution starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A syntax error or constraint violation from the front end.
+    Frontend(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Frontend(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<FrontendError> for PipelineError {
+    fn from(e: FrontendError) -> Self {
+        PipelineError::Frontend(e.to_string())
+    }
+}
+
+/// The result of running a program: every distinct observable outcome the
+/// chosen exploration mode produced (exactly one for random mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Distinct outcomes.
+    pub outcomes: Vec<ProgramOutcome>,
+}
+
+impl RunOutcome {
+    /// The single outcome, when only one was produced or all agree.
+    pub fn unique(&self) -> Option<&ProgramOutcome> {
+        match self.outcomes.as_slice() {
+            [single] => Some(single),
+            _ => None,
+        }
+    }
+
+    /// The exit value of `main` when the run produced exactly one outcome
+    /// that terminated normally.
+    pub fn exit_value(&self) -> Option<i128> {
+        self.unique().and_then(cerberus_exec::driver::main_return_value)
+    }
+
+    /// Captured standard output of the unique outcome.
+    pub fn stdout(&self) -> Option<&str> {
+        self.unique().map(|o| o.stdout.as_str())
+    }
+
+    /// Whether *any* allowed execution reached undefined behaviour (the
+    /// daemonic reading: the program is then erroneous, §2.1).
+    pub fn any_undef(&self) -> bool {
+        self.outcomes.iter().any(ProgramOutcome::is_undef)
+    }
+}
+
+/// The Cerberus-rs pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: Config,
+}
+
+impl Pipeline {
+    /// A pipeline with the given configuration.
+    pub fn new(config: Config) -> Self {
+        Pipeline { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Front end only: parse, desugar and type-check.
+    pub fn frontend(&self, source: &str) -> Result<AilProgram, PipelineError> {
+        let tu = parse_translation_unit(source)
+            .map_err(|e| PipelineError::Frontend(e.to_string()))?;
+        Ok(desugar_translation_unit(&tu, &self.config.impl_env)
+            .map_err(|e| PipelineError::Frontend(e.to_string()))?)
+    }
+
+    /// Parse, desugar, type-check and elaborate into Core.
+    pub fn elaborate(&self, source: &str) -> Result<CoreProgram, PipelineError> {
+        let ail = self.frontend(source)?;
+        Ok(elaborate_program(&ail, &self.config.impl_env))
+    }
+
+    /// Build the execution driver for a program.
+    pub fn driver(&self, source: &str) -> Result<Driver, PipelineError> {
+        let core = self.elaborate(source)?;
+        Ok(Driver::new(core, self.config.model.clone(), self.config.impl_env.clone())
+            .with_step_limit(self.config.step_limit))
+    }
+
+    /// Run a program from source, returning the distinct observable outcomes.
+    pub fn run_source(&self, source: &str) -> Result<RunOutcome, PipelineError> {
+        let driver = self.driver(source)?;
+        Ok(RunOutcome { outcomes: driver.run(self.config.mode) })
+    }
+}
+
+/// Convenience: run `source` under the default (de facto) configuration.
+pub fn run(source: &str) -> Result<RunOutcome, PipelineError> {
+    Pipeline::new(Config::default()).run_source(source)
+}
+
+/// Convenience: run `source` under a specific memory model.
+pub fn run_with_model(source: &str, model: ModelConfig) -> Result<RunOutcome, PipelineError> {
+    Pipeline::new(Config::with_model(model)).run_source(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerberus_ast::ub::UbKind;
+    use cerberus_exec::driver::ExecResult;
+
+    fn exit_of(src: &str) -> i128 {
+        let out = run(src).unwrap();
+        match &out.outcomes[0].result {
+            ExecResult::Return(v) | ExecResult::Exit(v) => *v,
+            other => panic!("expected a normal result, got {other}: {:?}", out.outcomes[0]),
+        }
+    }
+
+    fn stdout_of(src: &str) -> String {
+        let out = run(src).unwrap();
+        out.outcomes[0].stdout.clone()
+    }
+
+    fn ub_of(src: &str) -> UbKind {
+        let out = run(src).unwrap();
+        match &out.outcomes[0].result {
+            ExecResult::Undef(ub, _) => *ub,
+            other => panic!("expected undefined behaviour, got {other}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_locals() {
+        assert_eq!(exit_of("int main(void) { int x = 20; int y = 22; return x + y; }"), 42);
+        assert_eq!(exit_of("int main(void) { return 7 * 6; }"), 42);
+        assert_eq!(exit_of("int main(void) { return 100 / 2 - 8; }"), 42);
+        assert_eq!(exit_of("int main(void) { return 45 % 7; }"), 3);
+    }
+
+    #[test]
+    fn unsigned_comparison_surprise() {
+        // The §5.5 example: -1 < (unsigned int)0 evaluates to 0.
+        assert_eq!(exit_of("int main(void) { return -1 < (unsigned int)0; }"), 0);
+        assert_eq!(exit_of("int main(void) { return -1 < 0; }"), 1);
+    }
+
+    #[test]
+    fn shifts_and_their_ub() {
+        assert_eq!(exit_of("int main(void) { return 1 << 4; }"), 16);
+        assert_eq!(exit_of("int main(void) { unsigned x = 1u << 31; return x != 0; }"), 1);
+        assert_eq!(ub_of("int main(void) { int n = 40; return 1 << n; }"), UbKind::ShiftTooLarge);
+        assert_eq!(ub_of("int main(void) { int n = -1; return 1 << n; }"), UbKind::NegativeShift);
+    }
+
+    #[test]
+    fn signed_overflow_is_ub() {
+        assert_eq!(
+            ub_of("int main(void) { int x = 2147483647; return x + 1; }"),
+            UbKind::ExceptionalCondition
+        );
+        assert_eq!(ub_of("int main(void) { int x = 0; return 1 / x; }"), UbKind::DivisionByZero);
+    }
+
+    #[test]
+    fn unsigned_arithmetic_wraps() {
+        assert_eq!(
+            exit_of("int main(void) { unsigned x = 4294967295u; x = x + 1u; return x == 0u; }"),
+            1
+        );
+    }
+
+    #[test]
+    fn control_flow() {
+        assert_eq!(
+            exit_of("int main(void) { int acc = 0; for (int i = 1; i <= 10; i++) acc += i; return acc; }"),
+            55
+        );
+        assert_eq!(
+            exit_of("int main(void) { int i = 0; while (i < 5) { i++; } return i; }"),
+            5
+        );
+        assert_eq!(
+            exit_of("int main(void) { int i = 0; do { i++; } while (i < 3); return i; }"),
+            3
+        );
+        assert_eq!(
+            exit_of(
+                "int main(void) { int acc = 0; for (int i = 0; i < 10; i++) { if (i == 5) break; if (i % 2) continue; acc += i; } return acc; }"
+            ),
+            6
+        );
+    }
+
+    #[test]
+    fn switch_statement() {
+        let src = "int classify(int x) {\n\
+                     switch (x) {\n\
+                       case 0: return 10;\n\
+                       case 1: case 2: return 20;\n\
+                       case 3: break;\n\
+                       default: return 40;\n\
+                     }\n\
+                     return 30;\n\
+                   }\n\
+                   int main(void) { return classify(0) + classify(1) + classify(2) + classify(3) + classify(9); }";
+        assert_eq!(exit_of(src), 10 + 20 + 20 + 30 + 40);
+    }
+
+    #[test]
+    fn switch_fallthrough() {
+        let src = "int main(void) { int acc = 0; int x = 1;\n\
+                   switch (x) { case 1: acc += 1; case 2: acc += 2; break; case 3: acc += 100; }\n\
+                   return acc; }";
+        assert_eq!(exit_of(src), 3);
+    }
+
+    #[test]
+    fn goto_forward_and_backward() {
+        assert_eq!(
+            exit_of("int main(void) { int x = 0; goto done; x = 100; done: return x + 1; }"),
+            1
+        );
+        assert_eq!(
+            exit_of(
+                "int main(void) { int i = 0; again: i++; if (i < 4) goto again; return i; }"
+            ),
+            4
+        );
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        assert_eq!(
+            exit_of("int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); } int main(void) { return fact(5); }"),
+            120
+        );
+        assert_eq!(
+            exit_of("int add(int a, int b) { return a + b; } int main(void) { return add(40, 2); }"),
+            42
+        );
+    }
+
+    #[test]
+    fn function_pointers() {
+        assert_eq!(
+            exit_of(
+                "int twice(int x) { return 2 * x; }\n\
+                 int apply(int (*f)(int), int v) { return f(v); }\n\
+                 int main(void) { int (*g)(int) = twice; return apply(g, 21); }"
+            ),
+            42
+        );
+    }
+
+    #[test]
+    fn pointers_and_addresses() {
+        assert_eq!(
+            exit_of("int main(void) { int x = 1; int *p = &x; *p = 41; return x + 1; }"),
+            42
+        );
+        assert_eq!(
+            exit_of("int main(void) { int x = 5; int *p = &x; int **pp = &p; **pp = 9; return x; }"),
+            9
+        );
+    }
+
+    #[test]
+    fn arrays_and_subscripts() {
+        assert_eq!(
+            exit_of(
+                "int main(void) { int a[5]; for (int i = 0; i < 5; i++) a[i] = i * i; return a[4] + a[3]; }"
+            ),
+            25
+        );
+        assert_eq!(
+            exit_of("int main(void) { int a[3] = {1, 2, 3}; int *p = a; return *(p + 2); }"),
+            3
+        );
+    }
+
+    #[test]
+    fn structs_and_members() {
+        assert_eq!(
+            exit_of(
+                "struct point { int x; int y; };\n\
+                 int main(void) { struct point p; p.x = 20; p.y = 22; return p.x + p.y; }"
+            ),
+            42
+        );
+        assert_eq!(
+            exit_of(
+                "struct point { int x; int y; };\n\
+                 int sum(struct point *p) { return p->x + p->y; }\n\
+                 int main(void) { struct point p = { 40, 2 }; return sum(&p); }"
+            ),
+            42
+        );
+    }
+
+    #[test]
+    fn globals_and_statics() {
+        assert_eq!(
+            exit_of("int counter = 40; int bump(void) { counter = counter + 1; return counter; } int main(void) { bump(); return bump(); }"),
+            42
+        );
+        assert_eq!(
+            exit_of("int next(void) { static int n = 0; n++; return n; } int main(void) { next(); next(); return next(); }"),
+            3
+        );
+        // Globals without initialisers are zero-initialised (6.7.9p10).
+        assert_eq!(exit_of("int z; int main(void) { return z; }"), 0);
+    }
+
+    #[test]
+    fn printf_output() {
+        assert_eq!(
+            stdout_of("#include <stdio.h>\nint main(void) { printf(\"x=%d y=%u s=%s\\n\", -3, 7u, \"hi\"); return 0; }"),
+            "x=-3 y=7 s=hi\n"
+        );
+        assert_eq!(
+            stdout_of("#include <stdio.h>\nint main(void) { for (int i = 0; i < 3; i++) printf(\"%d \", i); return 0; }"),
+            "0 1 2 "
+        );
+    }
+
+    #[test]
+    fn malloc_free_roundtrip() {
+        assert_eq!(
+            exit_of(
+                "#include <stdlib.h>\n\
+                 int main(void) { int *p = malloc(4 * sizeof(int)); for (int i = 0; i < 4; i++) p[i] = i + 10; int s = p[0] + p[3]; free(p); return s; }"
+            ),
+            23
+        );
+    }
+
+    #[test]
+    fn memcpy_and_memcmp() {
+        assert_eq!(
+            exit_of(
+                "#include <string.h>\n\
+                 int main(void) { int a[2] = {1, 2}; int b[2]; memcpy(b, a, sizeof(a)); return memcmp(a, b, sizeof(a)) == 0; }"
+            ),
+            1
+        );
+        assert_eq!(
+            exit_of("#include <string.h>\nint main(void) { return (int)strlen(\"hello\"); }"),
+            5
+        );
+    }
+
+    #[test]
+    fn sizeof_values() {
+        assert_eq!(exit_of("int main(void) { return (int)sizeof(int); }"), 4);
+        assert_eq!(exit_of("int main(void) { return (int)sizeof(long); }"), 8);
+        assert_eq!(exit_of("int main(void) { int a[7]; return (int)sizeof a; }"), 28);
+        assert_eq!(
+            exit_of("struct s { char c; int i; }; int main(void) { return (int)sizeof(struct s); }"),
+            8
+        );
+    }
+
+    #[test]
+    fn enums_and_typedefs() {
+        assert_eq!(
+            exit_of("enum e { A, B = 10, C }; typedef int myint; int main(void) { myint x = C; return x + A + B; }"),
+            21
+        );
+    }
+
+    #[test]
+    fn unions_type_pun_bytes() {
+        assert_eq!(
+            exit_of(
+                "union u { unsigned int i; unsigned char bytes[4]; };\n\
+                 int main(void) { union u v; v.i = 0x01020304u; return v.bytes[0]; }"
+            ),
+            4 // little-endian LP64
+        );
+    }
+
+    #[test]
+    fn null_pointer_dereference_is_ub() {
+        assert_eq!(
+            ub_of("int main(void) { int *p = 0; return *p; }"),
+            UbKind::NullPointerDeref
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_ub() {
+        assert_eq!(
+            ub_of("int main(void) { int a[2]; a[0] = 1; a[1] = 2; int *p = a; return *(p + 5); }"),
+            UbKind::OutOfBoundsAccess
+        );
+    }
+
+    #[test]
+    fn use_after_free_is_ub() {
+        let ub = ub_of(
+            "#include <stdlib.h>\nint main(void) { int *p = malloc(sizeof(int)); *p = 3; free(p); return *p; }",
+        );
+        assert_eq!(ub, UbKind::AccessOutsideLifetime);
+    }
+
+    #[test]
+    fn uninitialised_read_follows_model() {
+        // Under the (default) de facto model an uninitialised read gives an
+        // unspecified value; branching on it is then daemonic UB.
+        let ub = ub_of("int main(void) { int x; if (x) return 1; return 0; }");
+        assert_eq!(ub, UbKind::IndeterminateValueUse);
+        // Under the strict-ISO model the read itself is already UB.
+        let out = run_with_model(
+            "int main(void) { int x; return x; }",
+            ModelConfig::strict_iso(),
+        )
+        .unwrap();
+        assert_eq!(out.outcomes[0].result.ub_kind(), Some(UbKind::IndeterminateValueUse));
+    }
+
+    #[test]
+    fn unsequenced_race_is_detected() {
+        // i = i++ + 1: the store of the assignment and the increment's store
+        // are unsequenced (6.5p2).
+        let out = run("int main(void) { int i = 0; i = i++ + 1; return i; }").unwrap();
+        assert!(
+            out.outcomes[0].result.ub_kind() == Some(UbKind::UnsequencedRace),
+            "expected an unsequenced race, got {:?}",
+            out.outcomes[0]
+        );
+    }
+
+    #[test]
+    fn exhaustive_mode_explores_argument_orders() {
+        // Calling two functions with side effects in one expression: the
+        // order is unspecified, so both results are allowed behaviours.
+        let src = "int trace = 0;\n\
+                   int f(void) { trace = trace * 10 + 1; return 0; }\n\
+                   int g(void) { trace = trace * 10 + 2; return 0; }\n\
+                   int add(int a, int b) { return trace; }\n\
+                   int main(void) { return add(f(), g()); }";
+        let out = Pipeline::new(Config::default().exhaustive(64)).run_source(src).unwrap();
+        let values: Vec<i128> = out
+            .outcomes
+            .iter()
+            .filter_map(cerberus_exec::driver::main_return_value)
+            .collect();
+        assert!(values.contains(&12) && values.contains(&21), "outcomes: {values:?}");
+    }
+
+    #[test]
+    fn provenance_example_differs_across_models() {
+        // The §2.1 DR260 example (globals declared so the one-past pointer of
+        // x aliases y under adjacent allocation).
+        let src = "#include <stdio.h>\n\
+                   #include <string.h>\n\
+                   int x = 1, y = 2;\n\
+                   int main() {\n\
+                     int *p = &x + 1;\n\
+                     int *q = &y;\n\
+                     if (memcmp(&p, &q, sizeof(p)) == 0) {\n\
+                       *p = 11;\n\
+                       printf(\"x=%d y=%d *p=%d *q=%d\\n\", x, y, *p, *q);\n\
+                     }\n\
+                     return 0;\n\
+                   }";
+        // Concrete semantics: the store hits y.
+        let concrete = run_with_model(src, ModelConfig::concrete()).unwrap();
+        assert_eq!(concrete.outcomes[0].stdout, "x=1 y=11 *p=11 *q=11\n");
+        // Candidate de facto model: the access is undefined behaviour.
+        let de_facto = run_with_model(src, ModelConfig::de_facto()).unwrap();
+        assert_eq!(de_facto.outcomes[0].result.ub_kind(), Some(UbKind::OutOfBoundsAccess));
+        // GCC-like provenance-optimising semantics: y keeps its value.
+        let gcc = run_with_model(src, ModelConfig::gcc_like()).unwrap();
+        assert_eq!(gcc.outcomes[0].stdout, "x=1 y=2 *p=11 *q=2\n");
+    }
+
+    #[test]
+    fn relational_comparison_across_objects_follows_model() {
+        let src = "int a, b;\nint main(void) { return &a < &b || &a > &b; }";
+        assert_eq!(exit_of(src), 1);
+        let iso = run_with_model(src, ModelConfig::strict_iso()).unwrap();
+        assert_eq!(
+            iso.outcomes[0].result.ub_kind(),
+            Some(UbKind::RelationalCompareDifferentObjects)
+        );
+    }
+
+    #[test]
+    fn pointer_int_round_trip() {
+        let src = "int main(void) { int x = 7; unsigned long a = (unsigned long)&x; int *p = (int*)a; return *p; }";
+        assert_eq!(exit_of(src), 7);
+        // Under the block model the round-tripped pointer is unusable.
+        let blk = run_with_model(src, ModelConfig::block()).unwrap();
+        assert!(blk.outcomes[0].result.is_undef());
+    }
+
+    #[test]
+    fn logical_operators_short_circuit() {
+        assert_eq!(
+            exit_of(
+                "int calls = 0; int boom(void) { calls++; return 1; }\n\
+                 int main(void) { int r = 0 && boom(); return calls * 10 + r; }"
+            ),
+            0
+        );
+        assert_eq!(
+            exit_of(
+                "int calls = 0; int boom(void) { calls++; return 0; }\n\
+                 int main(void) { int r = 1 || boom(); return calls * 10 + r; }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn conditional_expression() {
+        assert_eq!(exit_of("int main(void) { int x = 5; return x > 3 ? 42 : 7; }"), 42);
+        assert_eq!(exit_of("int main(void) { int x = 1; return x > 3 ? 42 : 7; }"), 7);
+    }
+
+    #[test]
+    fn compound_assignment_and_increments() {
+        assert_eq!(
+            exit_of("int main(void) { int x = 10; x += 5; x *= 2; x -= 4; x /= 2; return x; }"),
+            13
+        );
+        assert_eq!(
+            exit_of("int main(void) { int i = 5; int a = i++; int b = ++i; return a * 10 + b; }"),
+            57
+        );
+    }
+
+    #[test]
+    fn string_literals_are_readable_and_immutable() {
+        assert_eq!(exit_of("int main(void) { char *s = \"AB\"; return s[0] + s[1]; }"), 131);
+        let out = run("int main(void) { char *s = \"AB\"; s[0] = 'x'; return 0; }").unwrap();
+        assert_eq!(out.outcomes[0].result.ub_kind(), Some(UbKind::StringLiteralModification));
+    }
+
+    #[test]
+    fn frontend_errors_are_reported() {
+        assert!(matches!(run("int main(void) { return zz; }"), Err(PipelineError::Frontend(_))));
+        assert!(matches!(run("int main(void) { return 0 }"), Err(PipelineError::Frontend(_))));
+    }
+
+    #[test]
+    fn exit_builtin() {
+        let out = run("#include <stdlib.h>\nint main(void) { exit(3); return 0; }").unwrap();
+        assert_eq!(out.outcomes[0].result, ExecResult::Exit(3));
+    }
+}

@@ -1,0 +1,236 @@
+//! `tvc`: a prototype translation validator (§6 of the paper).
+//!
+//! The paper's tvc produces Coq proofs that the LLVM IR emitted by Clang's
+//! front end for "extremely simple single-function C programs" has behaviours
+//! included in those allowed by Cerberus. We reproduce the same shape at
+//! executable scale: a toy three-address intermediate representation, a toy
+//! front-end lowering for trivial single-function programs (straight-line
+//! integer arithmetic and returns), an IR evaluator, and a behavioural
+//! inclusion check against the Cerberus pipeline — per program, as a test
+//! oracle rather than a proof object.
+
+use std::collections::HashMap;
+
+use cerberus_ail::ail::{AilExpr, AilExprKind, AilStmt, BinOp};
+use cerberus_exec::driver::ExecResult;
+
+use crate::pipeline::{Config, Pipeline, PipelineError};
+
+/// A toy three-address-code instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = constant`.
+    Const(String, i128),
+    /// `dst = a op b`.
+    Binary(String, MiniOp, String, String),
+    /// `ret v`.
+    Ret(String),
+}
+
+/// The operations of the mini IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MiniOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+}
+
+/// A lowered function: a list of instructions ending in `ret`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MiniIr {
+    /// The instructions.
+    pub instrs: Vec<Instr>,
+}
+
+/// The verdict of validating one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TvcVerdict {
+    /// The IR behaviours are included in the Cerberus behaviours.
+    Validated {
+        /// The common return value.
+        value: i128,
+    },
+    /// The program is outside the supported fragment of the validator.
+    Unsupported(String),
+    /// The behaviours disagree.
+    Mismatch {
+        /// What the IR computes.
+        ir_value: i128,
+        /// What Cerberus allows.
+        cerberus_value: i128,
+    },
+}
+
+/// Errors of the validator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TvcError {
+    /// The front end rejected the program.
+    Frontend(String),
+}
+
+impl From<PipelineError> for TvcError {
+    fn from(e: PipelineError) -> Self {
+        TvcError::Frontend(e.to_string())
+    }
+}
+
+/// Lower a trivial single-function program (`int main(void)` containing only
+/// integer-constant declarations and a `return` of an integer expression over
+/// `+`, `-`, `*`) into the mini IR. Returns `None` when the program falls
+/// outside this fragment.
+pub fn lower(source: &str) -> Result<Option<MiniIr>, TvcError> {
+    let pipeline = Pipeline::new(Config::default());
+    let ail = pipeline.frontend(source)?;
+    if ail.functions.len() != 1 || !ail.globals.is_empty() {
+        return Ok(None);
+    }
+    let main = &ail.functions[0];
+    if main.name.as_str() != "main" || !main.params.is_empty() {
+        return Ok(None);
+    }
+    let mut ir = MiniIr::default();
+    let mut temps = 0usize;
+    let mut env: HashMap<String, String> = HashMap::new();
+    let AilStmt::Block(items, _) = &main.body else { return Ok(None) };
+    for item in items {
+        match item {
+            AilStmt::Decl(decls) => {
+                for d in decls {
+                    let Some(cerberus_ail::ail::AilInit::Expr(e)) = &d.init else {
+                        return Ok(None);
+                    };
+                    match lower_expr(e, &mut ir, &mut temps, &env) {
+                        Some(tmp) => {
+                            env.insert(d.name.as_str().to_owned(), tmp);
+                        }
+                        None => return Ok(None),
+                    }
+                }
+            }
+            AilStmt::Return(Some(e)) => {
+                match lower_expr(e, &mut ir, &mut temps, &env) {
+                    Some(tmp) => {
+                        ir.instrs.push(Instr::Ret(tmp));
+                        return Ok(Some(ir));
+                    }
+                    None => return Ok(None),
+                }
+            }
+            AilStmt::Skip => {}
+            _ => return Ok(None),
+        }
+    }
+    Ok(None)
+}
+
+fn lower_expr(
+    e: &AilExpr,
+    ir: &mut MiniIr,
+    temps: &mut usize,
+    env: &HashMap<String, String>,
+) -> Option<String> {
+    let fresh = |temps: &mut usize| {
+        *temps += 1;
+        format!("t{temps}")
+    };
+    match &e.kind {
+        AilExprKind::Constant(v) => {
+            let t = fresh(temps);
+            ir.instrs.push(Instr::Const(t.clone(), *v));
+            Some(t)
+        }
+        AilExprKind::Ident(name, _) => env.get(name.as_str()).cloned(),
+        AilExprKind::Binary(op, l, r) => {
+            let mini = match op {
+                BinOp::Add => MiniOp::Add,
+                BinOp::Sub => MiniOp::Sub,
+                BinOp::Mul => MiniOp::Mul,
+                _ => return None,
+            };
+            let a = lower_expr(l, ir, temps, env)?;
+            let b = lower_expr(r, ir, temps, env)?;
+            let t = fresh(temps);
+            ir.instrs.push(Instr::Binary(t.clone(), mini, a, b));
+            Some(t)
+        }
+        _ => None,
+    }
+}
+
+/// Evaluate the mini IR.
+pub fn eval_ir(ir: &MiniIr) -> Option<i128> {
+    let mut regs: HashMap<String, i128> = HashMap::new();
+    for instr in &ir.instrs {
+        match instr {
+            Instr::Const(dst, v) => {
+                regs.insert(dst.clone(), *v);
+            }
+            Instr::Binary(dst, op, a, b) => {
+                let x = *regs.get(a)?;
+                let y = *regs.get(b)?;
+                let v = match op {
+                    MiniOp::Add => x.wrapping_add(y),
+                    MiniOp::Sub => x.wrapping_sub(y),
+                    MiniOp::Mul => x.wrapping_mul(y),
+                };
+                regs.insert(dst.clone(), v);
+            }
+            Instr::Ret(v) => return regs.get(v).copied(),
+        }
+    }
+    None
+}
+
+/// Validate one program: lower it to the mini IR, evaluate both sides, and
+/// check that the IR's behaviour is among the behaviours Cerberus allows.
+pub fn validate(source: &str) -> Result<TvcVerdict, TvcError> {
+    let Some(ir) = lower(source)? else {
+        return Ok(TvcVerdict::Unsupported("program outside the tvc fragment".into()));
+    };
+    let Some(ir_value) = eval_ir(&ir) else {
+        return Ok(TvcVerdict::Unsupported("mini IR evaluation failed".into()));
+    };
+    let outcome = Pipeline::new(Config::default()).run_source(source)?;
+    let cerberus_value = match outcome.outcomes.first().map(|o| &o.result) {
+        Some(ExecResult::Return(v)) => *v,
+        _ => return Ok(TvcVerdict::Unsupported("Cerberus execution did not return".into())),
+    };
+    if ir_value == cerberus_value {
+        Ok(TvcVerdict::Validated { value: ir_value })
+    } else {
+        Ok(TvcVerdict::Mismatch { ir_value, cerberus_value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_programs_validate() {
+        let verdict = validate("int main(void) { int a = 6; int b = 7; return a * b; }").unwrap();
+        assert_eq!(verdict, TvcVerdict::Validated { value: 42 });
+        let verdict = validate("int main(void) { return 1 + 2 * 3; }").unwrap();
+        assert_eq!(verdict, TvcVerdict::Validated { value: 7 });
+    }
+
+    #[test]
+    fn out_of_fragment_programs_are_unsupported() {
+        let verdict = validate("int main(void) { int x = 0; if (x) return 1; return 0; }").unwrap();
+        assert!(matches!(verdict, TvcVerdict::Unsupported(_)));
+        let verdict =
+            validate("int f(void){return 1;} int main(void) { return f(); }").unwrap();
+        assert!(matches!(verdict, TvcVerdict::Unsupported(_)));
+    }
+
+    #[test]
+    fn lowering_produces_three_address_code() {
+        let ir = lower("int main(void) { int a = 2; return a + 3; }").unwrap().unwrap();
+        assert!(ir.instrs.iter().any(|i| matches!(i, Instr::Binary(_, MiniOp::Add, _, _))));
+        assert!(matches!(ir.instrs.last(), Some(Instr::Ret(_))));
+        assert_eq!(eval_ir(&ir), Some(5));
+    }
+}

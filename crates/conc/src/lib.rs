@@ -1,0 +1,409 @@
+//! A restricted operational C11 concurrency model (the paper's alternative
+//! instantiation of the Cerberus memory interface, §5.1/§7).
+//!
+//! The paper links Cerberus either with the sequential memory object model or
+//! with an operational C/C++11 concurrency model. This crate provides the
+//! restricted concurrency layer used for the `par`/`wait` Core constructs:
+//! execution events (reads, writes, and read-modify-writes at a memory order),
+//! the *sequenced-before* and *happens-before* relations over them, and a data
+//! race detector. It deliberately covers only the fragment the paper's
+//! experiments need — SC and release/acquire atomics plus non-atomic accesses
+//! — not the full axiomatic model of Batty et al.
+
+use std::collections::{HashMap, HashSet};
+
+/// Thread identifiers.
+pub type ThreadId = u32;
+/// Event identifiers (unique within an execution).
+pub type EventId = u64;
+
+/// C11 memory orders supported by the restricted model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Order {
+    /// A plain, non-atomic access.
+    NonAtomic,
+    /// `memory_order_relaxed`.
+    Relaxed,
+    /// `memory_order_acquire` (loads).
+    Acquire,
+    /// `memory_order_release` (stores).
+    Release,
+    /// `memory_order_seq_cst`.
+    SeqCst,
+}
+
+impl Order {
+    /// Whether the order is atomic.
+    pub fn is_atomic(self) -> bool {
+        !matches!(self, Order::NonAtomic)
+    }
+
+    /// Whether a load at this order can synchronise with a release store.
+    pub fn acquires(self) -> bool {
+        matches!(self, Order::Acquire | Order::SeqCst)
+    }
+
+    /// Whether a store at this order can synchronise with an acquire load.
+    pub fn releases(self) -> bool {
+        matches!(self, Order::Release | Order::SeqCst)
+    }
+}
+
+/// What kind of memory access an event performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+    /// An atomic read-modify-write.
+    ReadModifyWrite,
+}
+
+impl AccessKind {
+    /// Whether the access writes.
+    pub fn writes(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::ReadModifyWrite)
+    }
+}
+
+/// One memory access event of an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Unique id (program order within a thread is by ascending id).
+    pub id: EventId,
+    /// The thread that performed the access.
+    pub thread: ThreadId,
+    /// Read, write or RMW.
+    pub kind: AccessKind,
+    /// The accessed location (an address or abstract location id).
+    pub location: u64,
+    /// The number of bytes accessed.
+    pub size: u64,
+    /// The memory order.
+    pub order: Order,
+}
+
+impl Event {
+    /// Whether two events access overlapping footprints.
+    pub fn overlaps(&self, other: &Event) -> bool {
+        self.location < other.location + other.size && other.location < self.location + self.size
+    }
+
+    /// Whether two events conflict (overlap and at least one writes).
+    pub fn conflicts_with(&self, other: &Event) -> bool {
+        self.overlaps(other) && (self.kind.writes() || other.kind.writes())
+    }
+}
+
+/// A reported data race: the two conflicting events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataRace {
+    /// The first event.
+    pub first: Event,
+    /// The second event.
+    pub second: Event,
+}
+
+/// An execution: a set of events plus the synchronisation edges observed while
+/// it was generated (release store → acquire load that read from it).
+#[derive(Debug, Clone, Default)]
+pub struct Execution {
+    events: Vec<Event>,
+    /// `synchronizes-with` edges: (release event id, acquire event id).
+    sw_edges: Vec<(EventId, EventId)>,
+    next_id: EventId,
+}
+
+impl Execution {
+    /// An empty execution.
+    pub fn new() -> Self {
+        Execution::default()
+    }
+
+    /// Record an access event, returning its id.
+    pub fn record(
+        &mut self,
+        thread: ThreadId,
+        kind: AccessKind,
+        location: u64,
+        size: u64,
+        order: Order,
+    ) -> EventId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.events.push(Event { id, thread, kind, location, size, order });
+        id
+    }
+
+    /// Record that the acquire load `acquire` read from the release store
+    /// `release`, creating a synchronizes-with edge.
+    pub fn record_synchronizes_with(&mut self, release: EventId, acquire: EventId) {
+        self.sw_edges.push((release, acquire));
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Sequenced-before: within a thread, by ascending event id.
+    pub fn sequenced_before(&self, a: &Event, b: &Event) -> bool {
+        a.thread == b.thread && a.id < b.id
+    }
+
+    /// Happens-before: the transitive closure of sequenced-before and
+    /// synchronizes-with (the restricted fragment: no consume, no fences).
+    pub fn happens_before(&self, a: &Event, b: &Event) -> bool {
+        let mut adj: HashMap<EventId, Vec<EventId>> = HashMap::new();
+        for x in &self.events {
+            for y in &self.events {
+                if self.sequenced_before(x, y) {
+                    adj.entry(x.id).or_default().push(y.id);
+                }
+            }
+        }
+        for (rel, acq) in &self.sw_edges {
+            adj.entry(*rel).or_default().push(*acq);
+        }
+        let mut seen: HashSet<EventId> = HashSet::new();
+        let mut stack = vec![a.id];
+        while let Some(cur) = stack.pop() {
+            if cur == b.id && cur != a.id {
+                return true;
+            }
+            if !seen.insert(cur) {
+                continue;
+            }
+            if let Some(nexts) = adj.get(&cur) {
+                stack.extend(nexts.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Find all data races: pairs of conflicting accesses from different
+    /// threads, not both atomic, unrelated by happens-before (5.1.2.4p25).
+    pub fn find_data_races(&self) -> Vec<DataRace> {
+        let mut races = Vec::new();
+        for (i, a) in self.events.iter().enumerate() {
+            for b in &self.events[i + 1..] {
+                if a.thread == b.thread {
+                    continue;
+                }
+                if !a.conflicts_with(b) {
+                    continue;
+                }
+                if a.order.is_atomic() && b.order.is_atomic() {
+                    continue;
+                }
+                if self.happens_before(a, b) || self.happens_before(b, a) {
+                    continue;
+                }
+                races.push(DataRace { first: a.clone(), second: b.clone() });
+            }
+        }
+        races
+    }
+
+    /// Whether two events of the *same* thread form an unsequenced race
+    /// (6.5p2): conflicting accesses with neither sequenced before the other.
+    /// Callers supply events known to be unsequenced (e.g. from `unseq`
+    /// siblings).
+    pub fn unsequenced_race(a: &Event, b: &Event) -> bool {
+        a.thread == b.thread && a.conflicts_with(b)
+    }
+}
+
+/// Enumerate interleavings of per-thread event sequences, preserving each
+/// thread's program order, up to `limit` schedules (used by the exhaustive
+/// driver for `par`).
+pub fn interleavings<T: Clone>(threads: &[Vec<T>], limit: usize) -> Vec<Vec<T>> {
+    fn go<T: Clone>(
+        threads: &[Vec<T>],
+        indices: &mut Vec<usize>,
+        current: &mut Vec<T>,
+        out: &mut Vec<Vec<T>>,
+        total: usize,
+        limit: usize,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        if current.len() == total {
+            out.push(current.clone());
+            return;
+        }
+        for t in 0..threads.len() {
+            if indices[t] < threads[t].len() {
+                current.push(threads[t][indices[t]].clone());
+                indices[t] += 1;
+                go(threads, indices, current, out, total, limit);
+                indices[t] -= 1;
+                current.pop();
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut indices = vec![0usize; threads.len()];
+    let total: usize = threads.iter().map(Vec::len).sum();
+    let mut current = Vec::with_capacity(total);
+    go(threads, &mut indices, &mut current, &mut out, total, limit);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_atomic_conflict_across_threads_is_a_race() {
+        let mut ex = Execution::new();
+        ex.record(0, AccessKind::Write, 0x100, 4, Order::NonAtomic);
+        ex.record(1, AccessKind::Read, 0x100, 4, Order::NonAtomic);
+        let races = ex.find_data_races();
+        assert_eq!(races.len(), 1);
+    }
+
+    #[test]
+    fn atomic_accesses_do_not_race() {
+        let mut ex = Execution::new();
+        ex.record(0, AccessKind::Write, 0x100, 4, Order::SeqCst);
+        ex.record(1, AccessKind::Read, 0x100, 4, Order::SeqCst);
+        assert!(ex.find_data_races().is_empty());
+    }
+
+    #[test]
+    fn release_acquire_synchronisation_orders_the_data_access() {
+        // Thread 0: write data (non-atomic); release-store flag.
+        // Thread 1: acquire-load flag (reads from the release); read data.
+        let mut ex = Execution::new();
+        let _d_w = ex.record(0, AccessKind::Write, 0x200, 4, Order::NonAtomic);
+        let rel = ex.record(0, AccessKind::Write, 0x204, 4, Order::Release);
+        let acq = ex.record(1, AccessKind::Read, 0x204, 4, Order::Acquire);
+        let _d_r = ex.record(1, AccessKind::Read, 0x200, 4, Order::NonAtomic);
+        ex.record_synchronizes_with(rel, acq);
+        assert!(ex.find_data_races().is_empty());
+    }
+
+    #[test]
+    fn relaxed_flag_does_not_synchronise() {
+        let mut ex = Execution::new();
+        ex.record(0, AccessKind::Write, 0x200, 4, Order::NonAtomic);
+        ex.record(0, AccessKind::Write, 0x204, 4, Order::Relaxed);
+        ex.record(1, AccessKind::Read, 0x204, 4, Order::Relaxed);
+        ex.record(1, AccessKind::Read, 0x200, 4, Order::NonAtomic);
+        // No synchronizes-with edge was recorded, so the data accesses race.
+        assert_eq!(ex.find_data_races().len(), 1);
+    }
+
+    #[test]
+    fn disjoint_footprints_do_not_conflict() {
+        let mut ex = Execution::new();
+        ex.record(0, AccessKind::Write, 0x100, 4, Order::NonAtomic);
+        ex.record(1, AccessKind::Write, 0x104, 4, Order::NonAtomic);
+        assert!(ex.find_data_races().is_empty());
+        let a = ex.events()[0].clone();
+        let b = ex.events()[1].clone();
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn overlapping_partial_footprints_conflict() {
+        let a = Event {
+            id: 0,
+            thread: 0,
+            kind: AccessKind::Write,
+            location: 0x100,
+            size: 4,
+            order: Order::NonAtomic,
+        };
+        let b = Event {
+            id: 1,
+            thread: 1,
+            kind: AccessKind::Read,
+            location: 0x102,
+            size: 4,
+            order: Order::NonAtomic,
+        };
+        assert!(a.conflicts_with(&b));
+        let c = Event {
+            id: 2,
+            thread: 1,
+            kind: AccessKind::Read,
+            location: 0x100,
+            size: 4,
+            order: Order::NonAtomic,
+        };
+        let d = Event {
+            id: 3,
+            thread: 0,
+            kind: AccessKind::Read,
+            location: 0x100,
+            size: 4,
+            order: Order::NonAtomic,
+        };
+        assert!(!c.conflicts_with(&d));
+    }
+
+    #[test]
+    fn happens_before_is_transitive_through_sw() {
+        let mut ex = Execution::new();
+        let a = ex.record(0, AccessKind::Write, 0x1, 1, Order::NonAtomic);
+        let rel = ex.record(0, AccessKind::Write, 0x2, 1, Order::Release);
+        let acq = ex.record(1, AccessKind::Read, 0x2, 1, Order::Acquire);
+        let b = ex.record(1, AccessKind::Read, 0x1, 1, Order::NonAtomic);
+        ex.record_synchronizes_with(rel, acq);
+        let ea = ex.events()[a as usize].clone();
+        let eb = ex.events()[b as usize].clone();
+        assert!(ex.happens_before(&ea, &eb));
+        assert!(!ex.happens_before(&eb, &ea));
+    }
+
+    #[test]
+    fn unsequenced_race_detection() {
+        let a = Event {
+            id: 0,
+            thread: 0,
+            kind: AccessKind::Write,
+            location: 0x10,
+            size: 4,
+            order: Order::NonAtomic,
+        };
+        let b = Event {
+            id: 1,
+            thread: 0,
+            kind: AccessKind::Write,
+            location: 0x10,
+            size: 4,
+            order: Order::NonAtomic,
+        };
+        assert!(Execution::unsequenced_race(&a, &b));
+    }
+
+    #[test]
+    fn interleaving_enumeration_counts() {
+        let t0 = vec!["a1", "a2"];
+        let t1 = vec!["b1"];
+        let all = interleavings(&[t0, t1], 100);
+        // C(3,1) = 3 interleavings.
+        assert_eq!(all.len(), 3);
+        for sched in &all {
+            let pos_a1 = sched.iter().position(|&x| x == "a1").unwrap();
+            let pos_a2 = sched.iter().position(|&x| x == "a2").unwrap();
+            assert!(pos_a1 < pos_a2, "program order must be preserved");
+        }
+        // The limit is honoured.
+        assert_eq!(interleavings(&[vec![1, 2, 3], vec![4, 5, 6]], 5).len(), 5);
+    }
+
+    #[test]
+    fn order_predicates() {
+        assert!(Order::SeqCst.acquires());
+        assert!(Order::SeqCst.releases());
+        assert!(Order::Acquire.acquires());
+        assert!(!Order::Acquire.releases());
+        assert!(!Order::Relaxed.acquires());
+        assert!(!Order::NonAtomic.is_atomic());
+    }
+}

@@ -1,0 +1,93 @@
+//! Whole Core programs: "a set of Core declarations together with the name of
+//! the startup (main) function; a set of struct and union type definitions; a
+//! set of names, core types, and allocation/initialisation expressions for C
+//! objects with static storage duration" (Fig. 2's closing description).
+
+use std::collections::HashMap;
+
+use cerberus_ast::ctype::Ctype;
+use cerberus_ast::ident::Ident;
+use cerberus_ast::layout::TagRegistry;
+
+use crate::syntax::Expr;
+
+/// A Core procedure: the elaboration of a C function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreProc {
+    /// The C function name.
+    pub name: Ident,
+    /// Parameter symbols and their C types; the body begins by creating one
+    /// object per parameter and storing the incoming argument value into it.
+    pub params: Vec<(Ident, Ctype)>,
+    /// The C return type.
+    pub return_ty: Ctype,
+    /// The elaborated body.
+    pub body: Expr,
+}
+
+/// A C object with static storage duration, with its initialisation
+/// expression (evaluated before `main`, in declaration order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreGlobal {
+    /// The object name.
+    pub name: Ident,
+    /// The object's C type.
+    pub ty: Ctype,
+    /// The elaborated initialisation expression; objects without an explicit
+    /// initialiser are zero-initialised (6.7.9p10), expressed here by an
+    /// expression storing the zero value.
+    pub init: Expr,
+}
+
+/// A complete elaborated program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreProgram {
+    /// Struct/union definitions carried over from the front end.
+    pub tags: TagRegistry,
+    /// Static-storage objects in declaration order.
+    pub globals: Vec<CoreGlobal>,
+    /// String-literal objects: a generated name and the bytes (including the
+    /// terminating NUL).
+    pub string_literals: Vec<(Ident, Vec<u8>)>,
+    /// Core procedures, keyed by C function name.
+    pub procs: HashMap<String, CoreProc>,
+    /// The startup function name, if the program defines `main`.
+    pub main: Option<Ident>,
+}
+
+impl CoreProgram {
+    /// Look up a procedure by name.
+    pub fn proc(&self, name: &str) -> Option<&CoreProc> {
+        self.procs.get(name)
+    }
+
+    /// Total number of procedures.
+    pub fn proc_count(&self) -> usize {
+        self.procs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::PExpr;
+    use cerberus_ast::ctype::IntegerType;
+
+    #[test]
+    fn program_lookup() {
+        let mut p = CoreProgram::default();
+        p.procs.insert(
+            "main".to_owned(),
+            CoreProc {
+                name: Ident::new("main"),
+                params: vec![],
+                return_ty: Ctype::integer(IntegerType::Int),
+                body: Expr::Pure(PExpr::Integer(0)),
+            },
+        );
+        p.main = Some(Ident::new("main"));
+        assert!(p.proc("main").is_some());
+        assert!(p.proc("absent").is_none());
+        assert_eq!(p.proc_count(), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Execution drivers: pseudorandom single-path exploration and exhaustive
+//! enumeration of all allowed behaviours (§5.1, §6).
+//!
+//! Every source of semantic looseness is routed through a [`ChoiceOracle`]:
+//! the evaluation order of `unseq` siblings and the branch taken by `nd`. The
+//! random driver samples one schedule; the exhaustive driver enumerates
+//! choice sequences by depth-first search with replay, exactly the "test
+//! oracle" usage of the paper (compute the set of all allowed behaviours of a
+//! small test case).
+
+use std::collections::{BTreeSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cerberus_ast::env::ImplEnv;
+use cerberus_ast::ub::UbKind;
+use cerberus_core::program::CoreProgram;
+use cerberus_memory::config::ModelConfig;
+use cerberus_memory::state::MemState;
+
+use crate::eval::{Interp, Stop};
+
+/// A source of scheduling/nondeterminism decisions.
+pub trait ChoiceOracle {
+    /// Choose one of `n` alternatives (`n >= 2`).
+    fn choose(&mut self, n: usize) -> usize;
+}
+
+/// A pseudorandom oracle (single-path exploration).
+#[derive(Debug)]
+pub struct RandomOracle {
+    rng: StdRng,
+}
+
+impl RandomOracle {
+    /// A seeded random oracle.
+    pub fn new(seed: u64) -> Self {
+        RandomOracle { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl ChoiceOracle for RandomOracle {
+    fn choose(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// A replaying oracle used by the exhaustive driver: follows a forced prefix
+/// of choices, takes the first alternative beyond it, and records every
+/// decision point it encounters.
+#[derive(Debug, Default)]
+pub struct ReplayOracle {
+    prefix: Vec<usize>,
+    position: usize,
+    /// `(chosen, arity)` for every decision point, in order.
+    pub recorded: Vec<(usize, usize)>,
+}
+
+impl ReplayOracle {
+    /// An oracle that replays `prefix` then defaults to the first choice.
+    pub fn new(prefix: Vec<usize>) -> Self {
+        ReplayOracle { prefix, position: 0, recorded: Vec::new() }
+    }
+}
+
+impl ChoiceOracle for ReplayOracle {
+    fn choose(&mut self, n: usize) -> usize {
+        let chosen = if self.position < self.prefix.len() {
+            self.prefix[self.position].min(n - 1)
+        } else {
+            0
+        };
+        self.position += 1;
+        self.recorded.push((chosen, n));
+        chosen
+    }
+}
+
+/// The final result of one execution.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExecResult {
+    /// `main` returned this value.
+    Return(i128),
+    /// The program called `exit`.
+    Exit(i128),
+    /// Undefined behaviour was detected (with its kind and explanation).
+    Undef(UbKind, String),
+    /// A dynamic error (unsupported construct, failed assertion, `abort`).
+    Error(String),
+    /// The step budget was exhausted (treated as a timeout in §6's
+    /// validation).
+    Timeout,
+}
+
+impl ExecResult {
+    /// Whether the execution reached undefined behaviour.
+    pub fn is_undef(&self) -> bool {
+        matches!(self, ExecResult::Undef(..))
+    }
+
+    /// The undefined behaviour kind, if any.
+    pub fn ub_kind(&self) -> Option<UbKind> {
+        match self {
+            ExecResult::Undef(ub, _) => Some(*ub),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecResult::Return(v) => write!(f, "return {v}"),
+            ExecResult::Exit(v) => write!(f, "exit({v})"),
+            ExecResult::Undef(ub, detail) => write!(f, "undefined behaviour: {ub} ({detail})"),
+            ExecResult::Error(msg) => write!(f, "error: {msg}"),
+            ExecResult::Timeout => write!(f, "timeout"),
+        }
+    }
+}
+
+/// The observable outcome of one execution: the result and everything the
+/// program printed.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ProgramOutcome {
+    /// How the execution ended.
+    pub result: ExecResult,
+    /// Captured standard output.
+    pub stdout: String,
+}
+
+impl ProgramOutcome {
+    /// Whether the execution reached undefined behaviour.
+    pub fn is_undef(&self) -> bool {
+        self.result.is_undef()
+    }
+}
+
+/// The exploration mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Pseudorandomly explore a single execution path.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Exhaustively enumerate allowed executions, up to a bound.
+    Exhaustive {
+        /// Maximum number of executions to enumerate.
+        max_executions: usize,
+    },
+}
+
+/// An execution driver for one elaborated program under one memory model.
+#[derive(Debug, Clone)]
+pub struct Driver {
+    program: CoreProgram,
+    config: ModelConfig,
+    env: ImplEnv,
+    step_limit: u64,
+}
+
+impl Driver {
+    /// Build a driver with the default step limit.
+    pub fn new(program: CoreProgram, config: ModelConfig, env: ImplEnv) -> Self {
+        Driver { program, config, env, step_limit: 2_000_000 }
+    }
+
+    /// Override the step budget (used to emulate the §6 timeouts).
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// The elaborated program.
+    pub fn program(&self) -> &CoreProgram {
+        &self.program
+    }
+
+    fn run_with(&self, oracle: &mut dyn ChoiceOracle) -> ProgramOutcome {
+        let mem = MemState::new(self.config.clone(), self.env.clone(), self.program.tags.clone());
+        let mut interp = Interp::new(&self.program, mem, oracle, self.step_limit);
+        let result = (|| -> Result<i128, Stop> {
+            interp.setup()?;
+            if self.program.main.is_none() {
+                return Err(Stop::Error("program has no main function".into()));
+            }
+            let ret = interp.call_named("main", Vec::new())?;
+            Ok(ret.as_int().unwrap_or(0))
+        })();
+        let stdout = String::from_utf8_lossy(&interp.stdout).into_owned();
+        let result = match result {
+            Ok(v) => ExecResult::Return(v),
+            Err(Stop::Exit(code)) => ExecResult::Exit(code),
+            Err(Stop::Undef { ub, detail }) => ExecResult::Undef(ub, detail),
+            Err(Stop::Error(msg)) => ExecResult::Error(msg),
+            Err(Stop::Limit) => ExecResult::Timeout,
+        };
+        ProgramOutcome { result, stdout }
+    }
+
+    /// Explore a single pseudorandom execution path.
+    pub fn run_random(&self, seed: u64) -> ProgramOutcome {
+        let mut oracle = RandomOracle::new(seed);
+        self.run_with(&mut oracle)
+    }
+
+    /// Exhaustively enumerate the allowed executions (up to
+    /// `max_executions`), returning the distinct observable outcomes.
+    pub fn run_exhaustive(&self, max_executions: usize) -> Vec<ProgramOutcome> {
+        let mut outcomes: BTreeSet<ProgramOutcome> = BTreeSet::new();
+        // Breadth-first over choice prefixes so the earliest decision points
+        // (which typically select among semantically different schedules) are
+        // explored before deep combinations of later ones.
+        let mut pending: VecDeque<Vec<usize>> = VecDeque::from([Vec::new()]);
+        let mut seen_prefixes: BTreeSet<Vec<usize>> = BTreeSet::new();
+        let mut executions = 0usize;
+        while let Some(prefix) = pending.pop_front() {
+            if executions >= max_executions {
+                break;
+            }
+            executions += 1;
+            let mut oracle = ReplayOracle::new(prefix.clone());
+            let outcome = self.run_with(&mut oracle);
+            let recorded = oracle.recorded;
+            outcomes.insert(outcome);
+            // Schedule unexplored alternatives at every decision point at or
+            // beyond the forced prefix.
+            for i in prefix.len()..recorded.len() {
+                let (chosen, arity) = recorded[i];
+                for alternative in (chosen + 1)..arity {
+                    let mut new_prefix: Vec<usize> =
+                        recorded[..i].iter().map(|(c, _)| *c).collect();
+                    new_prefix.push(alternative);
+                    if seen_prefixes.insert(new_prefix.clone()) {
+                        pending.push_back(new_prefix);
+                    }
+                }
+            }
+        }
+        outcomes.into_iter().collect()
+    }
+
+    /// Run according to the given mode, returning all distinct outcomes (a
+    /// single one in random mode).
+    pub fn run(&self, mode: ExecMode) -> Vec<ProgramOutcome> {
+        match mode {
+            ExecMode::Random { seed } => vec![self.run_random(seed)],
+            ExecMode::Exhaustive { max_executions } => self.run_exhaustive(max_executions),
+        }
+    }
+}
+
+/// A convenience wrapper: the loaded integer value `main` returned, for tests
+/// that only care about the exit status.
+pub fn main_return_value(outcome: &ProgramOutcome) -> Option<i128> {
+    match outcome.result {
+        ExecResult::Return(v) | ExecResult::Exit(v) => Some(v),
+        _ => None,
+    }
+}

@@ -1,0 +1,942 @@
+//! The Core interpreter: a structural operational semantics over Core
+//! expressions, parameterised by the memory object model and a choice oracle.
+
+use std::collections::HashMap;
+
+use cerberus_ast::ctype::{Ctype, IntegerType};
+use cerberus_ast::ident::Ident;
+use cerberus_ast::ub::UbKind;
+use cerberus_core::program::CoreProgram;
+use cerberus_core::syntax::{Binop, BuiltinFn, Expr, MemAction, PExpr, Pattern, PtrOp};
+use cerberus_memory::state::{AllocKind, MemError, MemState};
+use cerberus_memory::value::{IntegerValue, PointerValue};
+
+use crate::builtins;
+use crate::driver::ChoiceOracle;
+use crate::value::Value;
+
+/// A terminal, non-value outcome of an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stop {
+    /// Undefined behaviour was reached; the execution is terminated and the
+    /// UB reported (§5.4).
+    Undef {
+        /// Which undefined behaviour.
+        ub: UbKind,
+        /// A human-readable explanation.
+        detail: String,
+    },
+    /// A dynamic error outside the semantics (unsupported construct, failed
+    /// `assert`, `abort`).
+    Error(String),
+    /// The program called `exit(code)`.
+    Exit(i128),
+    /// The step budget was exhausted (used to bound exhaustive exploration
+    /// and to detect non-termination in differential testing, §6).
+    Limit,
+}
+
+impl From<MemError> for Stop {
+    fn from(e: MemError) -> Self {
+        Stop::Undef { ub: e.ub, detail: e.detail }
+    }
+}
+
+/// Control flow produced by evaluating an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Flow {
+    /// A value.
+    Value(Value),
+    /// A jump to a `save`/`exit` label (`run l`).
+    Jump(Ident),
+    /// A `return` from the current C function.
+    Return(Value),
+}
+
+type EResult = Result<Flow, Stop>;
+type Env = HashMap<String, Value>;
+
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    addr: u64,
+    len: u64,
+    write: bool,
+    /// Whether the access came from a negative-polarity action (e.g. the
+    /// store of a postfix increment), which weak sequencing does not order
+    /// before subsequent actions (§5.6).
+    negative: bool,
+}
+
+fn access_conflict(x: &Access, y: &Access) -> bool {
+    (x.write || y.write) && x.addr < y.addr + y.len && y.addr < x.addr + x.len
+}
+
+fn conflicts(a: &[Access], b: &[Access]) -> bool {
+    a.iter().any(|x| b.iter().any(|y| access_conflict(x, y)))
+}
+
+fn negative_conflicts(a: &[Access], b: &[Access]) -> bool {
+    a.iter().filter(|x| x.negative).any(|x| b.iter().any(|y| access_conflict(x, y)))
+}
+
+/// The interpreter state for one execution.
+pub struct Interp<'a> {
+    program: &'a CoreProgram,
+    /// The memory object model state.
+    pub mem: MemState,
+    globals: Env,
+    /// Bytes written by `printf` during this execution.
+    pub stdout: Vec<u8>,
+    oracle: &'a mut dyn ChoiceOracle,
+    steps: u64,
+    step_limit: u64,
+    call_depth: usize,
+    footprints: Vec<Vec<Access>>,
+}
+
+impl<'a> Interp<'a> {
+    /// Build an interpreter for one execution of `program` against `mem`.
+    pub fn new(
+        program: &'a CoreProgram,
+        mem: MemState,
+        oracle: &'a mut dyn ChoiceOracle,
+        step_limit: u64,
+    ) -> Self {
+        Interp {
+            program,
+            mem,
+            globals: HashMap::new(),
+            stdout: Vec::new(),
+            oracle,
+            steps: 0,
+            step_limit,
+            call_depth: 0,
+            footprints: Vec::new(),
+        }
+    }
+
+    /// Create the static-storage objects (globals, string literals), register
+    /// the program's functions, and run the global initialisers in
+    /// declaration order.
+    pub fn setup(&mut self) -> Result<(), Stop> {
+        for (name, bytes) in &self.program.string_literals {
+            let ptr = self.mem.create_string_literal(bytes);
+            self.globals.insert(name.as_str().to_owned(), Value::Pointer(ptr));
+        }
+        for proc_name in self.program.procs.keys() {
+            self.mem.register_function(&Ident::new(proc_name.clone()));
+        }
+        for global in &self.program.globals {
+            let ptr = self
+                .mem
+                .create(&global.ty, AllocKind::Static, Some(global.name.as_str()))
+                .map_err(Stop::from)?;
+            self.globals.insert(global.name.as_str().to_owned(), Value::Pointer(ptr));
+        }
+        for global in &self.program.globals {
+            let mut env = Env::new();
+            match self.eval_expr(&mut env, &global.init)? {
+                Flow::Value(_) => {}
+                Flow::Jump(l) => return Err(Stop::Error(format!("jump to {l} in a global initialiser"))),
+                Flow::Return(_) => {
+                    return Err(Stop::Error("return in a global initialiser".into()))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Call a named C function with already-loaded argument values and return
+    /// its result value.
+    pub fn call_named(&mut self, name: &str, args: Vec<Value>) -> Result<Value, Stop> {
+        if let Some(result) = builtins::call_builtin(self, name, &args) {
+            return result;
+        }
+        let proc = self
+            .program
+            .proc(name)
+            .ok_or_else(|| Stop::Error(format!("call to undefined function {name}")))?
+            .clone();
+        if self.call_depth > 256 {
+            return Err(Stop::Error("call depth limit exceeded".into()));
+        }
+        self.call_depth += 1;
+        let mut env = Env::new();
+        let mut param_ptrs = Vec::new();
+        for ((sym, ty), arg) in proc.params.iter().zip(args.into_iter()) {
+            let ptr = self.mem.create(ty, AllocKind::Automatic, Some(sym.as_str())).map_err(Stop::from)?;
+            self.mem.store(ty, &ptr, &arg.to_mem(ty)).map_err(Stop::from)?;
+            env.insert(sym.as_str().to_owned(), Value::Pointer(ptr.clone()));
+            param_ptrs.push(ptr);
+        }
+        let flow = self.eval_expr(&mut env, &proc.body);
+        for ptr in &param_ptrs {
+            let _ = self.mem.kill(ptr, false);
+        }
+        self.call_depth -= 1;
+        match flow? {
+            Flow::Return(v) | Flow::Value(v) => Ok(v),
+            Flow::Jump(l) => Err(Stop::Error(format!("jump to undefined label {l}"))),
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), Stop> {
+        self.steps += 1;
+        if self.steps > self.step_limit {
+            Err(Stop::Limit)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn record_access(&mut self, addr: u64, len: u64, write: bool, negative: bool) {
+        for collector in &mut self.footprints {
+            collector.push(Access { addr, len, write, negative });
+        }
+    }
+
+    fn lookup(&self, env: &Env, name: &Ident) -> Result<Value, Stop> {
+        env.get(name.as_str())
+            .or_else(|| self.globals.get(name.as_str()))
+            .cloned()
+            .ok_or_else(|| Stop::Error(format!("unbound Core symbol {name}")))
+    }
+
+    // ----- pattern matching ---------------------------------------------------
+
+    fn match_pattern(pat: &Pattern, value: &Value) -> Option<Vec<(String, Value)>> {
+        match (pat, value) {
+            (Pattern::Wildcard, _) => Some(Vec::new()),
+            (Pattern::Sym(name), v) => Some(vec![(name.as_str().to_owned(), v.clone())]),
+            (Pattern::Tuple(ps), Value::Tuple(vs)) if ps.len() == vs.len() => {
+                let mut out = Vec::new();
+                for (p, v) in ps.iter().zip(vs.iter()) {
+                    out.extend(Self::match_pattern(p, v)?);
+                }
+                Some(out)
+            }
+            (Pattern::Tuple(ps), v) if ps.len() == 1 => Self::match_pattern(&ps[0], v),
+            (Pattern::Specified(p), Value::Specified(inner)) => Self::match_pattern(p, inner),
+            (Pattern::Unspecified(p), Value::Unspecified(ty)) => {
+                Self::match_pattern(p, &Value::Ctype(ty.clone()))
+            }
+            _ => None,
+        }
+    }
+
+    fn bind(env: &mut Env, pat: &Pattern, value: Value) -> Result<(), Stop> {
+        match Self::match_pattern(pat, &value) {
+            Some(bindings) => {
+                for (name, v) in bindings {
+                    env.insert(name, v);
+                }
+                Ok(())
+            }
+            None => Err(Stop::Error(format!("pattern match failure binding {value}"))),
+        }
+    }
+
+    // ----- pure expressions ----------------------------------------------------
+
+    fn eval_binop(&self, op: Binop, a: Value, b: Value) -> Result<Value, Stop> {
+        use Binop::*;
+        // Pointer comparisons against integers (null tests generated by the
+        // elaboration of scalar conditions) compare addresses.
+        let as_num = |v: &Value| -> Option<i128> {
+            match v {
+                Value::Integer(iv) => Some(iv.value),
+                Value::Pointer(p) => Some(p.addr as i128),
+                Value::Bool(b) => Some(i128::from(*b)),
+                Value::Specified(inner) => match &**inner {
+                    Value::Integer(iv) => Some(iv.value),
+                    Value::Pointer(p) => Some(p.addr as i128),
+                    _ => None,
+                },
+                _ => None,
+            }
+        };
+        match op {
+            And | Or => {
+                let (Value::Bool(x), Value::Bool(y)) = (&a, &b) else {
+                    return Err(Stop::Error("boolean operator on non-boolean operands".into()));
+                };
+                Ok(Value::Bool(if op == And { *x && *y } else { *x || *y }))
+            }
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                let (Some(x), Some(y)) = (as_num(&a), as_num(&b)) else {
+                    return Err(Stop::Error(format!("comparison on non-scalar operands {a} and {b}")));
+                };
+                let r = match op {
+                    Eq => x == y,
+                    Ne => x != y,
+                    Lt => x < y,
+                    Le => x <= y,
+                    Gt => x > y,
+                    _ => x >= y,
+                };
+                Ok(Value::Bool(r))
+            }
+            _ => {
+                let (Some(ia), Some(ib)) = (a.as_integer_value(), b.as_integer_value()) else {
+                    return Err(Stop::Error(format!("arithmetic on non-integer operands {a} and {b}")));
+                };
+                let (x, y) = (ia.value, ib.value);
+                let value = match op {
+                    Add => x.wrapping_add(y),
+                    Sub => x.wrapping_sub(y),
+                    Mul => x.wrapping_mul(y),
+                    Div => {
+                        if y == 0 {
+                            return Err(Stop::Undef {
+                                ub: UbKind::DivisionByZero,
+                                detail: "division by zero".into(),
+                            });
+                        }
+                        x.wrapping_div(y)
+                    }
+                    RemT => {
+                        if y == 0 {
+                            return Err(Stop::Undef {
+                                ub: UbKind::DivisionByZero,
+                                detail: "remainder by zero".into(),
+                            });
+                        }
+                        x.wrapping_rem(y)
+                    }
+                    Exp => {
+                        let exp = y.clamp(0, 126) as u32;
+                        x.wrapping_pow(exp)
+                    }
+                    BitAnd => x & y,
+                    BitOr => x | y,
+                    BitXor => x ^ y,
+                    _ => unreachable!("handled above"),
+                };
+                // "Most arithmetic involving one provenanced value and one
+                // pure value preserves the provenance" (§5.9).
+                Ok(Value::Integer(IntegerValue::with_prov(value, ia.prov.combine(ib.prov))))
+            }
+        }
+    }
+
+    fn eval_builtin(&mut self, f: BuiltinFn, args: &[Value]) -> Result<Value, Stop> {
+        let ctype_arg = |i: usize| -> Result<Ctype, Stop> {
+            match args.get(i) {
+                Some(Value::Ctype(ty)) => Ok(ty.clone()),
+                other => Err(Stop::Error(format!("builtin expected a ctype argument, got {other:?}"))),
+            }
+        };
+        let int_arg = |i: usize| -> Result<IntegerValue, Stop> {
+            args.get(i)
+                .and_then(Value::as_integer_value)
+                .ok_or_else(|| Stop::Error("builtin expected an integer argument".into()))
+        };
+        let env = self.mem.env().clone();
+        match f {
+            BuiltinFn::IntegerPromotion => Ok(Value::Integer(int_arg(1)?)),
+            BuiltinFn::ConvInt => {
+                let ty = ctype_arg(0)?;
+                let iv = int_arg(1)?;
+                let it = ty.as_integer().ok_or_else(|| Stop::Error("conv_int to non-integer".into()))?;
+                Ok(Value::Integer(IntegerValue::with_prov(env.convert_int(iv.value, it), iv.prov)))
+            }
+            BuiltinFn::IsRepresentable => {
+                let ty = ctype_arg(0)?;
+                let iv = int_arg(1)?;
+                let it = ty.as_integer().ok_or_else(|| Stop::Error("is_representable on non-integer".into()))?;
+                Ok(Value::Bool(env.representable(iv.value, it)))
+            }
+            BuiltinFn::CtypeWidth => {
+                let ty = ctype_arg(0)?;
+                let it = ty.as_integer().ok_or_else(|| Stop::Error("ctype_width of non-integer".into()))?;
+                Ok(Value::Integer(IntegerValue::pure(i128::from(env.integer_width(it)))))
+            }
+            BuiltinFn::Ivmax => {
+                let it = ctype_arg(0)?.as_integer().ok_or_else(|| Stop::Error("Ivmax of non-integer".into()))?;
+                Ok(Value::Integer(IntegerValue::pure(env.int_max(it))))
+            }
+            BuiltinFn::Ivmin => {
+                let it = ctype_arg(0)?.as_integer().ok_or_else(|| Stop::Error("Ivmin of non-integer".into()))?;
+                Ok(Value::Integer(IntegerValue::pure(env.int_min(it))))
+            }
+            BuiltinFn::SizeOf => {
+                let ty = ctype_arg(0)?;
+                Ok(Value::Integer(IntegerValue::pure(i128::from(self.mem.size_of(&ty)?))))
+            }
+            BuiltinFn::AlignOf => {
+                let ty = ctype_arg(0)?;
+                Ok(Value::Integer(IntegerValue::pure(i128::from(self.mem.align_of(&ty)?))))
+            }
+            BuiltinFn::IsSigned => {
+                let ty = ctype_arg(0)?;
+                Ok(Value::Bool(ty.as_integer().map(|it| env.is_signed(it)).unwrap_or(false)))
+            }
+            BuiltinFn::IsUnsigned => {
+                let ty = ctype_arg(0)?;
+                Ok(Value::Bool(ty.as_integer().map(|it| !env.is_signed(it)).unwrap_or(false)))
+            }
+            BuiltinFn::IsInteger => Ok(Value::Bool(ctype_arg(0)?.is_integer())),
+            BuiltinFn::IsScalar => Ok(Value::Bool(ctype_arg(0)?.is_scalar())),
+        }
+    }
+
+    /// Evaluate a pure expression.
+    pub fn eval_pexpr(&mut self, env: &mut Env, pe: &PExpr) -> Result<Value, Stop> {
+        match pe {
+            PExpr::Sym(name) => self.lookup(env, name),
+            PExpr::Unit => Ok(Value::Unit),
+            PExpr::Boolean(b) => Ok(Value::Bool(*b)),
+            PExpr::Integer(v) => Ok(Value::Integer(IntegerValue::pure(*v))),
+            PExpr::CtypeConst(ty) => Ok(Value::Ctype(ty.clone())),
+            PExpr::NullPtr(_) => Ok(Value::Pointer(PointerValue::null())),
+            PExpr::FunctionPtr(name) => Ok(Value::Pointer(self.mem.register_function(name))),
+            PExpr::Undef(ub) => Err(Stop::Undef { ub: *ub, detail: "explicit undef reached".into() }),
+            PExpr::Error(msg) => Err(Stop::Error(msg.clone())),
+            PExpr::Specified(inner) => {
+                Ok(Value::Specified(Box::new(self.eval_pexpr(env, inner)?)))
+            }
+            PExpr::Unspecified(ty) => Ok(Value::Unspecified(ty.clone())),
+            PExpr::Tuple(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(self.eval_pexpr(env, item)?);
+                }
+                Ok(Value::Tuple(out))
+            }
+            PExpr::ArrayVal(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let v = self.eval_pexpr(env, item)?;
+                    out.push(v.to_mem(&Ctype::integer(IntegerType::LongLong)));
+                }
+                Ok(Value::Object(cerberus_memory::value::MemValue::Array(out)))
+            }
+            PExpr::StructVal(tag, members) => {
+                let mut out = Vec::with_capacity(members.len());
+                for (name, value) in members {
+                    let v = self.eval_pexpr(env, value)?;
+                    out.push((name.clone(), v.to_mem(&Ctype::integer(IntegerType::LongLong))));
+                }
+                Ok(Value::Object(cerberus_memory::value::MemValue::Struct(*tag, out)))
+            }
+            PExpr::UnionVal(tag, member, value) => {
+                let v = self.eval_pexpr(env, value)?;
+                Ok(Value::Object(cerberus_memory::value::MemValue::Union(
+                    *tag,
+                    member.clone(),
+                    Box::new(v.to_mem(&Ctype::integer(IntegerType::LongLong))),
+                )))
+            }
+            PExpr::Not(inner) => match self.eval_pexpr(env, inner)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(Stop::Error(format!("not applied to {other}"))),
+            },
+            PExpr::Binop(op, a, b) => {
+                let va = self.eval_pexpr(env, a)?;
+                let vb = self.eval_pexpr(env, b)?;
+                self.eval_binop(*op, va, vb)
+            }
+            PExpr::If(c, t, f) => {
+                let cond = self.eval_pexpr(env, c)?;
+                match cond.truthiness() {
+                    Some(true) => self.eval_pexpr(env, t),
+                    Some(false) => self.eval_pexpr(env, f),
+                    None => Err(Stop::Error("non-scalar condition in pure if".into())),
+                }
+            }
+            PExpr::Case(scrutinee, arms) => {
+                let v = self.eval_pexpr(env, scrutinee)?;
+                for (pat, body) in arms {
+                    if let Some(bindings) = Self::match_pattern(pat, &v) {
+                        for (name, value) in bindings {
+                            env.insert(name, value);
+                        }
+                        return self.eval_pexpr(env, body);
+                    }
+                }
+                Err(Stop::Error(format!("no case arm matches {v}")))
+            }
+            PExpr::Let(pat, value, body) => {
+                let v = self.eval_pexpr(env, value)?;
+                Self::bind(env, pat, v)?;
+                self.eval_pexpr(env, body)
+            }
+            PExpr::Builtin(f, args) => {
+                let mut vs = Vec::with_capacity(args.len());
+                for a in args {
+                    vs.push(self.eval_pexpr(env, a)?);
+                }
+                self.eval_builtin(*f, &vs)
+            }
+            PExpr::ArrayShift { ptr, elem_ty, index } => {
+                let p = self
+                    .eval_pexpr(env, ptr)?
+                    .as_pointer()
+                    .ok_or_else(|| Stop::Error("array_shift on a non-pointer".into()))?;
+                let i = self
+                    .eval_pexpr(env, index)?
+                    .as_int()
+                    .ok_or_else(|| Stop::Error("array_shift with a non-integer index".into()))?;
+                Ok(Value::Pointer(self.mem.array_shift(&p, elem_ty, i)?))
+            }
+            PExpr::MemberShift { ptr, tag, member } => {
+                let p = self
+                    .eval_pexpr(env, ptr)?
+                    .as_pointer()
+                    .ok_or_else(|| Stop::Error("member_shift on a non-pointer".into()))?;
+                Ok(Value::Pointer(self.mem.member_shift(&p, *tag, member)?))
+            }
+        }
+    }
+
+    // ----- memory operations -----------------------------------------------------
+
+    fn to_pointer_operand(&mut self, v: &Value) -> Result<PointerValue, Stop> {
+        if let Some(p) = v.as_pointer() {
+            return Ok(p);
+        }
+        if let Some(iv) = v.as_integer_value() {
+            if iv.value == 0 {
+                return Ok(PointerValue::null());
+            }
+            return Ok(self.mem.ptr_from_int(&iv));
+        }
+        Err(Stop::Error(format!("expected a pointer operand, got {v}")))
+    }
+
+    fn eval_memop(&mut self, env: &mut Env, op: PtrOp, args: &[PExpr]) -> EResult {
+        let mut values = Vec::with_capacity(args.len());
+        for a in args {
+            values.push(self.eval_pexpr(env, a)?);
+        }
+        let specified_int = |v: i128| Flow::Value(Value::specified_int(v));
+        match op {
+            PtrOp::Eq | PtrOp::Ne => {
+                let a = self.to_pointer_operand(&values[0])?;
+                let b = self.to_pointer_operand(&values[1])?;
+                let eq = self.mem.ptr_eq(&a, &b)?;
+                let result = if op == PtrOp::Eq { eq } else { !eq };
+                Ok(specified_int(i128::from(result)))
+            }
+            PtrOp::Lt | PtrOp::Gt | PtrOp::Le | PtrOp::Ge => {
+                let a = self.to_pointer_operand(&values[0])?;
+                let b = self.to_pointer_operand(&values[1])?;
+                let ord = self.mem.ptr_rel(&a, &b)?;
+                let result = match op {
+                    PtrOp::Lt => ord == std::cmp::Ordering::Less,
+                    PtrOp::Gt => ord == std::cmp::Ordering::Greater,
+                    PtrOp::Le => ord != std::cmp::Ordering::Greater,
+                    _ => ord != std::cmp::Ordering::Less,
+                };
+                Ok(specified_int(i128::from(result)))
+            }
+            PtrOp::Diff => {
+                let a = self.to_pointer_operand(&values[0])?;
+                let b = self.to_pointer_operand(&values[1])?;
+                let elem_ty = match &values[2] {
+                    Value::Ctype(ty) => ty.clone(),
+                    _ => Ctype::integer(IntegerType::Char),
+                };
+                let size = self.mem.size_of(&elem_ty)?;
+                let diff = self.mem.ptr_diff(&a, &b, size)?;
+                Ok(Flow::Value(Value::Specified(Box::new(Value::Integer(diff)))))
+            }
+            PtrOp::IntFromPtr => {
+                let p = self.to_pointer_operand(&values[0])?;
+                let target = match &values[1] {
+                    Value::Ctype(ty) => ty.clone(),
+                    _ => Ctype::integer(IntegerType::UintptrT),
+                };
+                let iv = self.mem.int_from_ptr(&p);
+                let it = target.as_integer().unwrap_or(IntegerType::UintptrT);
+                let converted = self.mem.env().convert_int(iv.value, it);
+                Ok(Flow::Value(Value::Specified(Box::new(Value::Integer(IntegerValue::with_prov(
+                    converted, iv.prov,
+                ))))))
+            }
+            PtrOp::PtrFromInt => {
+                let iv = values[0]
+                    .as_integer_value()
+                    .ok_or_else(|| Stop::Error("ptrFromInt of a non-integer".into()))?;
+                let p = self.mem.ptr_from_int(&iv);
+                Ok(Flow::Value(Value::Specified(Box::new(Value::Pointer(p)))))
+            }
+            PtrOp::ValidForDeref => {
+                let p = self.to_pointer_operand(&values[0])?;
+                let ty = match values.get(1) {
+                    Some(Value::Ctype(ty)) => ty.clone(),
+                    _ => Ctype::integer(IntegerType::Char),
+                };
+                Ok(specified_int(i128::from(self.mem.valid_for_deref(&p, &ty))))
+            }
+        }
+    }
+
+    fn eval_action(&mut self, env: &mut Env, action: &MemAction, negative: bool) -> EResult {
+        match action {
+            MemAction::Create { ty, .. } => {
+                let ty = match self.eval_pexpr(env, ty)? {
+                    Value::Ctype(ty) => ty,
+                    other => return Err(Stop::Error(format!("create of a non-type {other}"))),
+                };
+                let ptr = self.mem.create(&ty, AllocKind::Automatic, None)?;
+                Ok(Flow::Value(Value::Pointer(ptr)))
+            }
+            MemAction::Alloc { align, size } => {
+                let align = self.eval_pexpr(env, align)?.as_int().unwrap_or(16) as u64;
+                let size = self.eval_pexpr(env, size)?.as_int().unwrap_or(0) as u64;
+                Ok(Flow::Value(Value::Pointer(self.mem.alloc(size, align))))
+            }
+            MemAction::Kill(ptr) => {
+                let p = self.eval_pexpr(env, ptr)?;
+                if let Some(p) = p.as_pointer() {
+                    // End-of-block kills are lenient: an object whose lifetime
+                    // already ended (e.g. after a jump) is left alone.
+                    let _ = self.mem.kill(&p, false);
+                }
+                Ok(Flow::Value(Value::Unit))
+            }
+            MemAction::Store { ty, ptr, value, .. } => {
+                let ty = match self.eval_pexpr(env, ty)? {
+                    Value::Ctype(ty) => ty,
+                    other => return Err(Stop::Error(format!("store at a non-type {other}"))),
+                };
+                let p = self.eval_pexpr(env, ptr)?;
+                let p = self.to_pointer_operand(&p)?;
+                let v = self.eval_pexpr(env, value)?;
+                let len = self.mem.size_of(&ty)?;
+                self.mem.store(&ty, &p, &v.to_mem(&ty))?;
+                self.record_access(p.addr, len, true, negative);
+                Ok(Flow::Value(Value::Unit))
+            }
+            MemAction::Load { ty, ptr, .. } => {
+                let ty = match self.eval_pexpr(env, ty)? {
+                    Value::Ctype(ty) => ty,
+                    other => return Err(Stop::Error(format!("load at a non-type {other}"))),
+                };
+                let p = self.eval_pexpr(env, ptr)?;
+                let p = self.to_pointer_operand(&p)?;
+                let len = self.mem.size_of(&ty)?;
+                let mv = self.mem.load(&ty, &p)?;
+                self.record_access(p.addr, len, false, negative);
+                Ok(Flow::Value(Value::loaded_from_mem(mv)))
+            }
+        }
+    }
+
+    // ----- label search ------------------------------------------------------------
+
+    fn contains_save(e: &Expr, label: &Ident) -> bool {
+        match e {
+            Expr::Save(l, body) => l == label || Self::contains_save(body, label),
+            Expr::Exit(_, body) | Expr::Indet(body) | Expr::Bound(body) => {
+                Self::contains_save(body, label)
+            }
+            Expr::Let(_, _, body) => Self::contains_save(body, label),
+            Expr::If(_, t, f) => Self::contains_save(t, label) || Self::contains_save(f, label),
+            Expr::Case(_, arms) => arms.iter().any(|(_, b)| Self::contains_save(b, label)),
+            Expr::Unseq(items) | Expr::Nd(items) | Expr::Par(items) => {
+                items.iter().any(|i| Self::contains_save(i, label))
+            }
+            Expr::Wseq(_, a, b) | Expr::Sseq(_, a, b) => {
+                Self::contains_save(a, label) || Self::contains_save(b, label)
+            }
+            _ => false,
+        }
+    }
+
+    /// Evaluate `e` in "seeking" mode: skip everything until the `save` for
+    /// `label` is reached, evaluate its body, then continue normally with the
+    /// remainder of `e`. This realises forward `goto`s and `switch` dispatch.
+    fn eval_seeking(&mut self, env: &mut Env, e: &Expr, label: &Ident) -> EResult {
+        self.tick()?;
+        match e {
+            Expr::Save(l, body) => {
+                if l == label {
+                    self.eval_save(env, l, body)
+                } else if Self::contains_save(body, label) {
+                    // Seek inside, then keep this save active for later jumps.
+                    let flow = self.eval_seeking(env, body, label)?;
+                    match flow {
+                        Flow::Jump(j) if &j == l => self.eval_save(env, l, body),
+                        other => Ok(other),
+                    }
+                } else {
+                    Err(Stop::Error(format!("label {label} not found while seeking")))
+                }
+            }
+            Expr::Exit(l, body) => {
+                let flow = self.eval_seeking(env, body, label)?;
+                match flow {
+                    Flow::Jump(j) if &j == l => Ok(Flow::Value(Value::Unit)),
+                    other => Ok(other),
+                }
+            }
+            Expr::Sseq(pat, a, b) | Expr::Wseq(pat, a, b) => {
+                if Self::contains_save(a, label) {
+                    let flow = self.eval_seeking(env, a, label)?;
+                    match flow {
+                        Flow::Value(v) => {
+                            Self::bind(env, pat, v)?;
+                            self.eval_expr(env, b)
+                        }
+                        Flow::Jump(l) => {
+                            if Self::contains_save(b, &l) {
+                                self.eval_seeking(env, b, &l)
+                            } else {
+                                Ok(Flow::Jump(l))
+                            }
+                        }
+                        other => Ok(other),
+                    }
+                } else {
+                    self.eval_seeking(env, b, label)
+                }
+            }
+            Expr::Let(_, _, body) | Expr::Indet(body) | Expr::Bound(body) => {
+                self.eval_seeking(env, body, label)
+            }
+            Expr::If(_, t, f) => {
+                if Self::contains_save(t, label) {
+                    self.eval_seeking(env, t, label)
+                } else {
+                    self.eval_seeking(env, f, label)
+                }
+            }
+            Expr::Case(_, arms) => {
+                for (_, body) in arms {
+                    if Self::contains_save(body, label) {
+                        return self.eval_seeking(env, body, label);
+                    }
+                }
+                Err(Stop::Error(format!("label {label} not found in case arms")))
+            }
+            Expr::Unseq(items) | Expr::Nd(items) | Expr::Par(items) => {
+                for item in items {
+                    if Self::contains_save(item, label) {
+                        return self.eval_seeking(env, item, label);
+                    }
+                }
+                Err(Stop::Error(format!("label {label} not found while seeking")))
+            }
+            _ => Err(Stop::Error(format!("label {label} not found while seeking"))),
+        }
+    }
+
+    fn eval_save(&mut self, env: &mut Env, label: &Ident, body: &Expr) -> EResult {
+        loop {
+            self.tick()?;
+            match self.eval_expr(env, body)? {
+                Flow::Jump(l) if &l == label => continue,
+                other => return Ok(other),
+            }
+        }
+    }
+
+    // ----- effectful expressions ------------------------------------------------------
+
+    /// Evaluate an effectful Core expression.
+    pub fn eval_expr(&mut self, env: &mut Env, e: &Expr) -> EResult {
+        self.tick()?;
+        match e {
+            Expr::Pure(pe) => Ok(Flow::Value(self.eval_pexpr(env, pe)?)),
+            Expr::Memop(op, args) => self.eval_memop(env, *op, args),
+            Expr::Action(polarity, action) => {
+                self.eval_action(env, action, *polarity == cerberus_core::syntax::Polarity::Negative)
+            }
+            Expr::Case(scrutinee, arms) => {
+                let v = self.eval_pexpr(env, scrutinee)?;
+                for (pat, body) in arms {
+                    if let Some(bindings) = Self::match_pattern(pat, &v) {
+                        for (name, value) in bindings {
+                            env.insert(name, value);
+                        }
+                        return self.eval_expr(env, body);
+                    }
+                }
+                Err(Stop::Error(format!("no case arm matches {v}")))
+            }
+            Expr::Let(pat, value, body) => {
+                let v = self.eval_pexpr(env, value)?;
+                Self::bind(env, pat, v)?;
+                self.eval_expr(env, body)
+            }
+            Expr::If(c, t, f) => {
+                let cond = self.eval_pexpr(env, c)?;
+                match cond.truthiness() {
+                    Some(true) => self.eval_expr(env, t),
+                    Some(false) => self.eval_expr(env, f),
+                    None => Err(Stop::Error("non-scalar condition in if".into())),
+                }
+            }
+            Expr::Skip => Ok(Flow::Value(Value::Unit)),
+            Expr::Ccall(f, args) => {
+                let fv = self.eval_pexpr(env, f)?;
+                let name = match fv.as_pointer() {
+                    Some(p) => match p.function {
+                        Some(name) => name,
+                        None => match self.mem.function_at(p.addr).cloned() {
+                            Some(name) => name,
+                            None => {
+                                return Err(Stop::Undef {
+                                    ub: UbKind::IncompatibleFunctionCall,
+                                    detail: "call through a pointer that is not a function".into(),
+                                })
+                            }
+                        },
+                    },
+                    None => return Err(Stop::Error(format!("call of a non-function value {fv}"))),
+                };
+                let mut arg_values = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_values.push(self.eval_pexpr(env, a)?);
+                }
+                Ok(Flow::Value(self.call_named(name.as_str(), arg_values)?))
+            }
+            Expr::Unseq(items) => self.eval_unseq(env, items),
+            Expr::Wseq(pat, a, b) => {
+                // Weak sequencing orders only the *positive* actions of the
+                // first expression before the second, so a negative action of
+                // the first (e.g. a postfix increment's store) that conflicts
+                // with an access of the second is an unsequenced race (6.5p2).
+                self.footprints.push(Vec::new());
+                let first_flow = self.eval_expr(env, a);
+                let fp_first = self.footprints.pop().unwrap_or_default();
+                match first_flow? {
+                    Flow::Value(v) => {
+                        Self::bind(env, pat, v)?;
+                        self.footprints.push(Vec::new());
+                        let second_flow = self.eval_expr(env, b);
+                        let fp_second = self.footprints.pop().unwrap_or_default();
+                        let flow = second_flow?;
+                        if negative_conflicts(&fp_first, &fp_second) {
+                            return Err(Stop::Undef {
+                                ub: UbKind::UnsequencedRace,
+                                detail: "a side-effect store is unsequenced with a conflicting access"
+                                    .into(),
+                            });
+                        }
+                        match flow {
+                            Flow::Jump(l) if Self::contains_save(a, &l) => {
+                                self.eval_seeking(env, a, &l)
+                            }
+                            other => Ok(other),
+                        }
+                    }
+                    Flow::Jump(l) => {
+                        if Self::contains_save(b, &l) {
+                            self.eval_seeking(env, b, &l)
+                        } else {
+                            Ok(Flow::Jump(l))
+                        }
+                    }
+                    Flow::Return(v) => Ok(Flow::Return(v)),
+                }
+            }
+            Expr::Sseq(pat, a, b) => {
+                match self.eval_expr(env, a)? {
+                    Flow::Value(v) => {
+                        Self::bind(env, pat, v)?;
+                        match self.eval_expr(env, b)? {
+                            Flow::Jump(l) if Self::contains_save(a, &l) => {
+                                // A backward jump to a label in the already
+                                // evaluated part of the sequence: re-enter it
+                                // seeking the label.
+                                self.eval_seeking(env, a, &l)
+                            }
+                            other => Ok(other),
+                        }
+                    }
+                    Flow::Jump(l) => {
+                        if Self::contains_save(b, &l) {
+                            self.eval_seeking(env, b, &l)
+                        } else {
+                            Ok(Flow::Jump(l))
+                        }
+                    }
+                    Flow::Return(v) => Ok(Flow::Return(v)),
+                }
+            }
+            Expr::Indet(body) => {
+                // The body (a called function's execution) is indeterminately
+                // sequenced with respect to the surrounding expression, not
+                // unsequenced: its accesses do not form unsequenced races with
+                // the siblings, so they are hidden from the active collectors.
+                let saved = std::mem::take(&mut self.footprints);
+                let result = self.eval_expr(env, body);
+                self.footprints = saved;
+                result
+            }
+            Expr::Bound(body) => self.eval_expr(env, body),
+            Expr::Nd(items) => {
+                if items.is_empty() {
+                    return Ok(Flow::Value(Value::Unit));
+                }
+                let idx = if items.len() == 1 { 0 } else { self.oracle.choose(items.len()) };
+                self.eval_expr(env, &items[idx])
+            }
+            Expr::Save(label, body) => self.eval_save(env, label, body),
+            Expr::Exit(label, body) => match self.eval_expr(env, body)? {
+                Flow::Jump(l) if &l == label => Ok(Flow::Value(Value::Unit)),
+                other => Ok(other),
+            },
+            Expr::Run(label) => Ok(Flow::Jump(label.clone())),
+            Expr::Return(value) => {
+                let v = self.eval_pexpr(env, value)?;
+                Ok(Flow::Return(v))
+            }
+            Expr::Par(items) => {
+                // Restricted concurrency: the threads are run to completion in
+                // an oracle-chosen order (data-race detection for interleaved
+                // executions lives in cerberus-conc).
+                let mut order: Vec<usize> = (0..items.len()).collect();
+                let mut results = vec![Value::Unit; items.len()];
+                while !order.is_empty() {
+                    let k = if order.len() == 1 { 0 } else { self.oracle.choose(order.len()) };
+                    let idx = order.remove(k);
+                    match self.eval_expr(env, &items[idx])? {
+                        Flow::Value(v) => results[idx] = v,
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Flow::Value(Value::Tuple(results)))
+            }
+        }
+    }
+
+    fn eval_unseq(&mut self, env: &mut Env, items: &[Expr]) -> EResult {
+        let n = items.len();
+        if n == 0 {
+            return Ok(Flow::Value(Value::Tuple(Vec::new())));
+        }
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut results: Vec<Value> = vec![Value::Unit; n];
+        let mut footprints: Vec<Vec<Access>> = vec![Vec::new(); n];
+        while !remaining.is_empty() {
+            let k = if remaining.len() == 1 { 0 } else { self.oracle.choose(remaining.len()) };
+            let idx = remaining.remove(k);
+            self.footprints.push(Vec::new());
+            let flow = self.eval_expr(env, &items[idx]);
+            let fp = self.footprints.pop().unwrap_or_default();
+            footprints[idx] = fp;
+            match flow? {
+                Flow::Value(v) => results[idx] = v,
+                other => return Ok(other),
+            }
+        }
+        // Unsequenced race detection (6.5p2): conflicting accesses between
+        // unsequenced siblings are undefined behaviour on every schedule.
+        for i in 0..n {
+            for j in i + 1..n {
+                if conflicts(&footprints[i], &footprints[j]) {
+                    return Err(Stop::Undef {
+                        ub: UbKind::UnsequencedRace,
+                        detail: "conflicting unsequenced accesses to the same object".into(),
+                    });
+                }
+            }
+        }
+        Ok(Flow::Value(Value::Tuple(results)))
+    }
+}
+

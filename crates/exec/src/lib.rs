@@ -1,0 +1,25 @@
+//! The Core operational semantics and execution drivers (§5.4, §5.6, §6).
+//!
+//! The evaluator executes elaborated [`cerberus_core::CoreProgram`]s against a
+//! [`cerberus_memory::MemState`]. All the looseness of the C semantics is
+//! routed through a single [`driver::ChoiceOracle`]: the order in which
+//! `unseq` siblings are evaluated, and which `nd` branch is taken. "By
+//! selecting an appropriate sequencing monad implementation, we can select
+//! whether to perform an exhaustive search for all allowed executions or
+//! pseudorandomly explore single execution paths" (§5.1) — here the
+//! [`driver::Driver`] provides both modes: [`driver::Driver::run_random`] and
+//! [`driver::Driver::run_exhaustive`].
+//!
+//! Undefined behaviour reached during execution (an `undef(...)` introduced by
+//! the elaboration, or one detected by the memory object model) terminates the
+//! execution and is reported with its ISO clause (§5.4); unsequenced races are
+//! detected by comparing the footprints of `unseq` siblings (§5.6).
+
+pub mod builtins;
+pub mod driver;
+pub mod eval;
+pub mod value;
+
+pub use driver::{ChoiceOracle, Driver, ExecMode, ProgramOutcome, RandomOracle};
+pub use eval::{Interp, Stop};
+pub use value::Value;

@@ -1,0 +1,365 @@
+//! Memory model configurations: the semantic choices that distinguish the
+//! points in the design space the paper explores.
+//!
+//! Each [`ModelConfig`] fixes an answer to the §2 questions that the memory
+//! engine consults at runtime: whether accesses are checked against
+//! provenance (DR260), how uninitialised reads behave (Q43 / survey [2/15]),
+//! what member stores do to padding (Q59 / [1/15]), whether effective types
+//! are enforced (Q75 / [11/15]), whether relational comparison of pointers to
+//! different objects is allowed (Q25 / [7/15]), and so on. The presets cover
+//! the models discussed in the paper and the tool-emulation profiles of §3.
+
+/// Semantics of reading an uninitialised object (§2.4, survey [2/15]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UninitSemantics {
+    /// Option (1): undefined behaviour.
+    Undefined,
+    /// Options (2)/(3): an unspecified value that need not be stable.
+    UnstableUnspecified,
+    /// Option (4): an arbitrary but stable unspecified value.
+    StableUnspecified,
+}
+
+/// Semantics of padding bytes after a member store (§2.5, survey [1/15]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaddingSemantics {
+    /// Options (1)/(2): member writes make subsequent padding unspecified.
+    MemberStoreClobbers,
+    /// Option (3): member writes zero subsequent padding.
+    MemberStoreZeroes,
+    /// Option (4): member writes never touch padding.
+    Preserved,
+}
+
+/// Semantics of casting an integer to a pointer (Q5, Q9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntToPtrSemantics {
+    /// Track provenance through integers: the resulting pointer carries the
+    /// integer's provenance (the candidate de facto model).
+    TrackedProvenance,
+    /// Give the result a wildcard provenance (most permissive).
+    Wildcard,
+    /// Forbidden: integer-to-pointer round trips are not given a usable
+    /// provenance (abstract block models such as early CompCert).
+    Forbidden,
+}
+
+/// Semantics of relational comparison of pointers to different objects
+/// (Q25, survey [7/15]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelationalSemantics {
+    /// Compare the concrete addresses, ignoring provenance (the de facto
+    /// expectation: global lock orderings, collection orderings).
+    ByAddress,
+    /// Undefined behaviour, as ISO 6.5.8p5 has it.
+    Undefined,
+}
+
+/// The analysis tools of §3 whose detection envelopes the tool-emulation
+/// configurations approximate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ToolProfile {
+    /// The Clang address/memory/undefined-behaviour sanitisers (liberal on
+    /// provenance and padding, catching gross spatial errors).
+    Sanitizer,
+    /// TrustInSoft tis-interpreter (strict on unspecified values, assumes a
+    /// concrete zero null pointer, rejects representation games).
+    TisInterpreter,
+    /// KCC / RV-Match (strict on uninitialised reads, laxer on effective
+    /// types).
+    Kcc,
+}
+
+/// A complete memory-model configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Human-readable name used in reports and benchmarks.
+    pub name: &'static str,
+    /// Check every access against the footprint of the allocation identified
+    /// by the pointer's provenance (DR260); disabling this gives the fully
+    /// concrete semantics.
+    pub provenance_checking: bool,
+    /// Permit construction of transiently out-of-bounds pointers (Q31): when
+    /// `false`, pointer arithmetic that leaves [base, base+size] is immediate
+    /// undefined behaviour (the strict ISO reading of 6.5.6p8).
+    pub allow_oob_pointer_arith: bool,
+    /// Relational comparison of pointers into different objects.
+    pub relational: RelationalSemantics,
+    /// Whether pointer equality takes provenance into account (Q2): `true`
+    /// makes two pointers with equal addresses but different provenances
+    /// compare unequal (observable GCC behaviour within one translation
+    /// unit); `false` compares addresses only.
+    pub equality_uses_provenance: bool,
+    /// Semantics of uninitialised reads.
+    pub uninit: UninitSemantics,
+    /// Semantics of padding bytes around member stores.
+    pub padding: PaddingSemantics,
+    /// Enforce the effective-type (strict aliasing) rules of 6.5p6-7.
+    pub effective_types: bool,
+    /// Semantics of integer-to-pointer casts.
+    pub int_to_ptr: IntToPtrSemantics,
+    /// Use of a pointer value whose object's lifetime has ended is undefined
+    /// behaviour (rather than comparing stale addresses).
+    pub dangling_use_is_ub: bool,
+    /// CHERI capability semantics: pointers carry bounds metadata, equality
+    /// compares metadata, and non-`intptr_t` integers do not carry provenance.
+    pub cheri: bool,
+    /// Emulate the GCC-style provenance-based alias reasoning on the DR260
+    /// example: a store through a pointer whose provenance footprint does not
+    /// cover the target address is treated as not affecting the object that
+    /// actually lives there (the store is redirected to the one-past shadow of
+    /// its provenance allocation), so later loads of the overlapping object
+    /// still see its old value — reproducing GCC's `x=1 y=2 *p=11 *q=2`.
+    pub provenance_optimising_stores: bool,
+}
+
+impl ModelConfig {
+    /// The fully concrete semantics: pointers are plain addresses, accesses
+    /// are checked only against *some* live allocation, uninitialised reads
+    /// give stable unspecified values. This plays the role of the "what the
+    /// hardware would do" baseline in §2.1 ("in a concrete semantics we would
+    /// expect to see x=1 y=11 *p=11 *q=11").
+    pub fn concrete() -> Self {
+        ModelConfig {
+            name: "concrete",
+            provenance_checking: false,
+            allow_oob_pointer_arith: true,
+            relational: RelationalSemantics::ByAddress,
+            equality_uses_provenance: false,
+            uninit: UninitSemantics::StableUnspecified,
+            padding: PaddingSemantics::Preserved,
+            effective_types: false,
+            int_to_ptr: IntToPtrSemantics::Wildcard,
+            dangling_use_is_ub: false,
+            cheri: false,
+            provenance_optimising_stores: false,
+        }
+    }
+
+    /// The candidate de facto memory object model of §5.9: provenance-checked
+    /// accesses, transient out-of-bounds pointers permitted, relational
+    /// comparison by address, provenance tracked through integers, effective
+    /// types off (systems code compiled with `-fno-strict-aliasing`).
+    pub fn de_facto() -> Self {
+        ModelConfig {
+            name: "de-facto",
+            provenance_checking: true,
+            allow_oob_pointer_arith: true,
+            relational: RelationalSemantics::ByAddress,
+            equality_uses_provenance: false,
+            uninit: UninitSemantics::StableUnspecified,
+            padding: PaddingSemantics::Preserved,
+            effective_types: false,
+            int_to_ptr: IntToPtrSemantics::TrackedProvenance,
+            dangling_use_is_ub: true,
+            cheri: false,
+            provenance_optimising_stores: false,
+        }
+    }
+
+    /// A strict reading of the ISO standard: provenance-checked accesses,
+    /// out-of-bounds pointer arithmetic undefined immediately, relational
+    /// comparison across objects undefined, uninitialised reads undefined,
+    /// effective types enforced.
+    pub fn strict_iso() -> Self {
+        ModelConfig {
+            name: "strict-iso",
+            provenance_checking: true,
+            allow_oob_pointer_arith: false,
+            relational: RelationalSemantics::Undefined,
+            equality_uses_provenance: false,
+            uninit: UninitSemantics::Undefined,
+            padding: PaddingSemantics::MemberStoreClobbers,
+            effective_types: true,
+            int_to_ptr: IntToPtrSemantics::TrackedProvenance,
+            dangling_use_is_ub: true,
+            cheri: false,
+            provenance_optimising_stores: false,
+        }
+    }
+
+    /// A GCC-like optimising interpretation: like the de facto model but with
+    /// provenance-aware equality (Q2) and provenance-based alias reasoning on
+    /// stores (the §2.1 DR260 example).
+    pub fn gcc_like() -> Self {
+        ModelConfig {
+            name: "gcc-like",
+            equality_uses_provenance: true,
+            provenance_optimising_stores: true,
+            ..ModelConfig::de_facto()
+        }
+    }
+
+    /// A CompCert-style abstract block model: no usable integer/pointer round
+    /// trips, no relational comparison across blocks.
+    pub fn block() -> Self {
+        ModelConfig {
+            name: "block",
+            provenance_checking: true,
+            allow_oob_pointer_arith: false,
+            relational: RelationalSemantics::Undefined,
+            equality_uses_provenance: false,
+            uninit: UninitSemantics::Undefined,
+            padding: PaddingSemantics::MemberStoreClobbers,
+            effective_types: false,
+            int_to_ptr: IntToPtrSemantics::Forbidden,
+            dangling_use_is_ub: true,
+            cheri: false,
+            provenance_optimising_stores: false,
+        }
+    }
+
+    /// The CHERI C model of §4: dynamically enforced spatial safety with
+    /// capability metadata on pointers.
+    pub fn cheri() -> Self {
+        ModelConfig {
+            name: "cheri",
+            provenance_checking: true,
+            allow_oob_pointer_arith: true,
+            relational: RelationalSemantics::ByAddress,
+            equality_uses_provenance: true,
+            uninit: UninitSemantics::StableUnspecified,
+            padding: PaddingSemantics::Preserved,
+            effective_types: false,
+            int_to_ptr: IntToPtrSemantics::TrackedProvenance,
+            dangling_use_is_ub: true,
+            cheri: true,
+            provenance_optimising_stores: false,
+        }
+    }
+
+    /// The tool-emulation profile for one of the §3 analysis tools.
+    pub fn tool(profile: ToolProfile) -> Self {
+        match profile {
+            // The sanitisers adopt "a liberal semantics to accommodate the de
+            // facto standards": padding and unspecified-value tests pass, and
+            // only gross spatial violations are flagged.
+            ToolProfile::Sanitizer => ModelConfig {
+                name: "sanitizer",
+                provenance_checking: false,
+                allow_oob_pointer_arith: true,
+                relational: RelationalSemantics::ByAddress,
+                equality_uses_provenance: false,
+                uninit: UninitSemantics::StableUnspecified,
+                padding: PaddingSemantics::Preserved,
+                effective_types: false,
+                int_to_ptr: IntToPtrSemantics::Wildcard,
+                dangling_use_is_ub: true,
+                cheri: false,
+                provenance_optimising_stores: false,
+            },
+            // tis-interpreter "aims for a tight semantics", flagging most
+            // unspecified-value tests and representation games.
+            ToolProfile::TisInterpreter => ModelConfig {
+                name: "tis-interpreter",
+                provenance_checking: true,
+                allow_oob_pointer_arith: false,
+                relational: RelationalSemantics::Undefined,
+                equality_uses_provenance: false,
+                uninit: UninitSemantics::Undefined,
+                padding: PaddingSemantics::MemberStoreClobbers,
+                effective_types: false,
+                int_to_ptr: IntToPtrSemantics::TrackedProvenance,
+                dangling_use_is_ub: true,
+                cheri: false,
+                provenance_optimising_stores: false,
+            },
+            // KCC: "a very strict semantics for reading uninitialised values
+            // (but not for padding bytes), and permitted some tests that ISO
+            // effective types forbid".
+            ToolProfile::Kcc => ModelConfig {
+                name: "kcc",
+                provenance_checking: true,
+                allow_oob_pointer_arith: false,
+                relational: RelationalSemantics::Undefined,
+                equality_uses_provenance: false,
+                uninit: UninitSemantics::Undefined,
+                padding: PaddingSemantics::Preserved,
+                effective_types: false,
+                int_to_ptr: IntToPtrSemantics::TrackedProvenance,
+                dangling_use_is_ub: true,
+                cheri: false,
+                provenance_optimising_stores: false,
+            },
+        }
+    }
+
+    /// All the named model configurations, in a stable order (used by the
+    /// experiment harness).
+    pub fn all_named() -> Vec<ModelConfig> {
+        vec![
+            ModelConfig::concrete(),
+            ModelConfig::de_facto(),
+            ModelConfig::strict_iso(),
+            ModelConfig::gcc_like(),
+            ModelConfig::block(),
+            ModelConfig::cheri(),
+            ModelConfig::tool(ToolProfile::Sanitizer),
+            ModelConfig::tool(ToolProfile::TisInterpreter),
+            ModelConfig::tool(ToolProfile::Kcc),
+        ]
+    }
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig::de_facto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_distinct_names() {
+        let mut names: Vec<_> = ModelConfig::all_named().iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+        assert_eq!(before, 9);
+    }
+
+    #[test]
+    fn de_facto_permits_what_iso_forbids() {
+        let df = ModelConfig::de_facto();
+        let iso = ModelConfig::strict_iso();
+        assert!(df.allow_oob_pointer_arith);
+        assert!(!iso.allow_oob_pointer_arith);
+        assert_eq!(df.relational, RelationalSemantics::ByAddress);
+        assert_eq!(iso.relational, RelationalSemantics::Undefined);
+        assert!(!df.effective_types);
+        assert!(iso.effective_types);
+    }
+
+    #[test]
+    fn gcc_like_extends_de_facto() {
+        let g = ModelConfig::gcc_like();
+        assert!(g.provenance_checking);
+        assert!(g.equality_uses_provenance);
+        assert!(g.provenance_optimising_stores);
+    }
+
+    #[test]
+    fn sanitizer_is_liberal_tis_is_strict() {
+        let san = ModelConfig::tool(ToolProfile::Sanitizer);
+        let tis = ModelConfig::tool(ToolProfile::TisInterpreter);
+        assert_eq!(san.uninit, UninitSemantics::StableUnspecified);
+        assert_eq!(tis.uninit, UninitSemantics::Undefined);
+        assert!(!san.provenance_checking);
+        assert!(tis.provenance_checking);
+    }
+
+    #[test]
+    fn kcc_is_strict_on_uninit_but_not_padding() {
+        let kcc = ModelConfig::tool(ToolProfile::Kcc);
+        assert_eq!(kcc.uninit, UninitSemantics::Undefined);
+        assert_eq!(kcc.padding, PaddingSemantics::Preserved);
+    }
+
+    #[test]
+    fn default_is_the_candidate_model() {
+        assert_eq!(ModelConfig::default().name, "de-facto");
+    }
+}

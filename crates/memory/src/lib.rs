@@ -1,0 +1,51 @@
+//! Memory object models for Cerberus-rs.
+//!
+//! The paper's central observation is that the semantics of pointers and
+//! memory is where the ISO and de facto standards diverge most (§2), and its
+//! candidate *de facto memory object model* (§5.9) gives pointer and integer
+//! values a **provenance** — empty, a single allocation ID, or a wildcard —
+//! used at access time to decide whether an access is defined.
+//!
+//! This crate provides:
+//!
+//! * the value representations ([`value`]): integer and pointer values
+//!   carrying provenance, and structured memory values;
+//! * a configurable memory engine ([`state::MemState`]) implementing object
+//!   creation/kill, typed loads and stores over representation bytes, padding
+//!   semantics, effective types, and the pointer operations (`ptrop`s);
+//! * a family of model configurations ([`config::ModelConfig`]): the concrete
+//!   (provenance-erasing) model, the candidate de facto provenance model, a
+//!   strict-ISO model, a GCC-like provenance-optimising model, a CompCert-style
+//!   block model, a CHERI capability model, and tool-emulation profiles for
+//!   the §3 comparison (sanitisers, tis-interpreter, KCC);
+//! * CHERI capability semantics ([`cheri`]) reproducing the §4 findings.
+//!
+//! # Example
+//!
+//! ```
+//! use cerberus_ast::ctype::{Ctype, IntegerType};
+//! use cerberus_ast::env::ImplEnv;
+//! use cerberus_ast::layout::TagRegistry;
+//! use cerberus_memory::config::ModelConfig;
+//! use cerberus_memory::state::{AllocKind, MemState};
+//! use cerberus_memory::value::MemValue;
+//!
+//! let mut mem = MemState::new(ModelConfig::de_facto(), ImplEnv::lp64(), TagRegistry::new());
+//! let int = Ctype::integer(IntegerType::Int);
+//! let p = mem.create(&int, AllocKind::Automatic, Some("x")).unwrap();
+//! mem.store(&int, &p, &MemValue::int(IntegerType::Int, 42)).unwrap();
+//! let loaded = mem.load(&int, &p).unwrap();
+//! assert_eq!(loaded.as_int(), Some(42));
+//! ```
+
+pub mod cheri;
+pub mod config;
+pub mod state;
+pub mod value;
+
+pub use config::{
+    IntToPtrSemantics, ModelConfig, PaddingSemantics, RelationalSemantics, ToolProfile,
+    UninitSemantics,
+};
+pub use state::{AllocKind, Allocation, MemError, MemState};
+pub use value::{AllocId, IntegerValue, MemValue, PointerValue, Provenance};

@@ -1,0 +1,466 @@
+//! `Cabs`: the concrete-syntax-oriented C AST produced by the parser.
+//!
+//! Cabs "closely follows the ISO grammar" (§5.1): declarations keep their
+//! specifier/declarator structure, expressions keep the operator tree the
+//! programmer wrote, and no implicit conversions or typing information appear
+//! yet — those are introduced by the Cabs-to-Ail desugaring and the type
+//! checker in the `cerberus-ail` crate.
+
+use cerberus_ast::ctype::Qualifiers;
+use cerberus_ast::loc::Span;
+
+use crate::token::IntSuffix;
+
+/// A whole translation unit: a sequence of external declarations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TranslationUnit {
+    /// External declarations in source order.
+    pub declarations: Vec<ExternalDeclaration>,
+}
+
+/// An external declaration (6.9).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExternalDeclaration {
+    /// A function definition with a body.
+    FunctionDefinition(FunctionDefinition),
+    /// An object / typedef / tag declaration.
+    Declaration(Declaration),
+}
+
+/// A function definition (6.9.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDefinition {
+    /// Declaration specifiers (return type, storage class).
+    pub specifiers: DeclSpecifiers,
+    /// The declarator carrying the function name and parameter list.
+    pub declarator: Declarator,
+    /// The compound-statement body.
+    pub body: Statement,
+    /// Source span of the whole definition.
+    pub span: Span,
+}
+
+/// A declaration (6.7): specifiers plus a list of init-declarators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declaration {
+    /// Declaration specifiers.
+    pub specifiers: DeclSpecifiers,
+    /// The declared names with optional initialisers. May be empty for pure
+    /// tag declarations such as `struct s { int x; };`.
+    pub declarators: Vec<InitDeclarator>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A single declarator with an optional initialiser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitDeclarator {
+    /// The declarator.
+    pub declarator: Declarator,
+    /// The initialiser, if any.
+    pub initializer: Option<Initializer>,
+}
+
+/// An initialiser (6.7.9): a single expression or a brace-enclosed list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Initializer {
+    /// `= expr`.
+    Expr(Expr),
+    /// `= { ... }` (designators are outside the supported fragment).
+    List(Vec<Initializer>),
+}
+
+/// Storage-class specifiers (6.7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageClass {
+    /// `typedef` (syntactically a storage class).
+    Typedef,
+    /// `extern`.
+    Extern,
+    /// `static`.
+    Static,
+    /// `auto`.
+    Auto,
+    /// `register` (accepted and ignored, as the paper excludes its semantics).
+    Register,
+}
+
+/// Collected declaration specifiers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeclSpecifiers {
+    /// At most one storage class specifier (6.7.1p2).
+    pub storage: Option<StorageClass>,
+    /// Type qualifiers.
+    pub qualifiers: Qualifiers,
+    /// Type specifiers in source order (e.g. `unsigned`, `long`, `long`).
+    pub type_specifiers: Vec<TypeSpecifier>,
+    /// Whether `inline` appeared (accepted and ignored).
+    pub inline: bool,
+    /// Source span of the specifier sequence.
+    pub span: Span,
+}
+
+/// Type specifiers (6.7.2), including struct/union/enum specifiers and
+/// typedef names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeSpecifier {
+    /// `void`.
+    Void,
+    /// `char`.
+    Char,
+    /// `short`.
+    Short,
+    /// `int`.
+    Int,
+    /// `long`.
+    Long,
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+    /// `signed`.
+    Signed,
+    /// `unsigned`.
+    Unsigned,
+    /// `_Bool`.
+    Bool,
+    /// A struct or union specifier.
+    StructOrUnion(StructOrUnionSpecifier),
+    /// An enum specifier.
+    Enum(EnumSpecifier),
+    /// A typedef name.
+    TypedefName(String),
+}
+
+/// A struct or union specifier (6.7.2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructOrUnionSpecifier {
+    /// `true` for `union`, `false` for `struct`.
+    pub is_union: bool,
+    /// The tag, if named.
+    pub name: Option<String>,
+    /// The member declarations, if this specifier defines the type.
+    pub members: Option<Vec<StructDeclaration>>,
+}
+
+/// One member declaration inside a struct/union specifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDeclaration {
+    /// Specifier/qualifier list.
+    pub specifiers: DeclSpecifiers,
+    /// The member declarators (bitfields are unsupported).
+    pub declarators: Vec<Declarator>,
+}
+
+/// An enum specifier (6.7.2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumSpecifier {
+    /// The tag, if named.
+    pub name: Option<String>,
+    /// The enumerators with optional explicit values, if this specifier
+    /// defines the type.
+    pub enumerators: Option<Vec<(String, Option<Expr>)>>,
+}
+
+/// A declarator (6.7.6), represented inside-out: the innermost constructor is
+/// the declared identifier (or [`Declarator::Abstract`] for abstract
+/// declarators), and each wrapper records one type derivation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Declarator {
+    /// An abstract declarator with no identifier (used in type names and
+    /// unnamed parameters).
+    Abstract,
+    /// The declared identifier.
+    Ident(String, Span),
+    /// `* declarator` with qualifiers on the pointer.
+    Pointer(Qualifiers, Box<Declarator>),
+    /// `declarator [ size ]`.
+    Array(Box<Declarator>, Option<Box<Expr>>),
+    /// `declarator ( parameters )` with a variadic flag.
+    Function(Box<Declarator>, Vec<ParamDeclaration>, bool),
+}
+
+impl Declarator {
+    /// The declared identifier, if any.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Declarator::Abstract => None,
+            Declarator::Ident(name, _) => Some(name),
+            Declarator::Pointer(_, inner)
+            | Declarator::Array(inner, _)
+            | Declarator::Function(inner, _, _) => inner.name(),
+        }
+    }
+
+    /// Whether the outermost derivation (closest binding to the identifier,
+    /// i.e. the first applied when reading the type) is a function.
+    pub fn is_function_declarator(&self) -> bool {
+        match self {
+            Declarator::Function(inner, _, _) => {
+                matches!(**inner, Declarator::Ident(..) | Declarator::Abstract)
+            }
+            Declarator::Pointer(_, inner) => inner.is_function_declarator(),
+            _ => false,
+        }
+    }
+}
+
+/// A parameter declaration (6.7.6p1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDeclaration {
+    /// Parameter specifiers.
+    pub specifiers: DeclSpecifiers,
+    /// Parameter declarator (possibly abstract).
+    pub declarator: Declarator,
+}
+
+/// A type name (6.7.7), used in casts, `sizeof`, and `_Alignof`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeName {
+    /// Specifier/qualifier list.
+    pub specifiers: DeclSpecifiers,
+    /// Abstract declarator.
+    pub declarator: Declarator,
+}
+
+/// Unary operators (6.5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `&e`.
+    AddressOf,
+    /// `*e`.
+    Deref,
+    /// `+e`.
+    Plus,
+    /// `-e`.
+    Minus,
+    /// `~e`.
+    BitNot,
+    /// `!e`.
+    LogicalNot,
+}
+
+/// Binary operators (6.5.5 – 6.5.14), also used as the op of compound
+/// assignments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Mod,
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `<`.
+    Lt,
+    /// `>`.
+    Gt,
+    /// `<=`.
+    Le,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `&`.
+    BitAnd,
+    /// `^`.
+    BitXor,
+    /// `|`.
+    BitOr,
+    /// `&&`.
+    LogicalAnd,
+    /// `||`.
+    LogicalOr,
+}
+
+/// Expressions (6.5), kept in source shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// An identifier use.
+    Ident(String, Span),
+    /// An integer constant with its suffix.
+    IntConst(i128, IntSuffix, Span),
+    /// A character constant.
+    CharConst(i64, Span),
+    /// A floating constant (parsed but not evaluable).
+    FloatConst(f64, Span),
+    /// A string literal.
+    StringLit(Vec<u8>, Span),
+    /// `e.member`.
+    Member(Box<Expr>, String, Span),
+    /// `e->member`.
+    MemberPtr(Box<Expr>, String, Span),
+    /// `e[i]`.
+    Index(Box<Expr>, Box<Expr>, Span),
+    /// `f(args)`.
+    Call(Box<Expr>, Vec<Expr>, Span),
+    /// `e++`.
+    PostIncr(Box<Expr>, Span),
+    /// `e--`.
+    PostDecr(Box<Expr>, Span),
+    /// `++e`.
+    PreIncr(Box<Expr>, Span),
+    /// `--e`.
+    PreDecr(Box<Expr>, Span),
+    /// A unary operator application.
+    Unary(UnaryOp, Box<Expr>, Span),
+    /// `sizeof e`.
+    SizeofExpr(Box<Expr>, Span),
+    /// `sizeof(type)`.
+    SizeofType(TypeName, Span),
+    /// `_Alignof(type)`.
+    AlignofType(TypeName, Span),
+    /// `(type) e`.
+    Cast(TypeName, Box<Expr>, Span),
+    /// A binary operator application.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>, Span),
+    /// `c ? t : f`.
+    Conditional(Box<Expr>, Box<Expr>, Box<Expr>, Span),
+    /// `lhs = rhs` (op `None`) or `lhs op= rhs` (op `Some`).
+    Assign(Option<BinaryOp>, Box<Expr>, Box<Expr>, Span),
+    /// `a, b`.
+    Comma(Box<Expr>, Box<Expr>, Span),
+}
+
+impl Expr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        use Expr::*;
+        match self {
+            Ident(_, s) | IntConst(_, _, s) | CharConst(_, s) | FloatConst(_, s)
+            | StringLit(_, s) | Member(_, _, s) | MemberPtr(_, _, s) | Index(_, _, s)
+            | Call(_, _, s) | PostIncr(_, s) | PostDecr(_, s) | PreIncr(_, s) | PreDecr(_, s)
+            | Unary(_, _, s) | SizeofExpr(_, s) | SizeofType(_, s) | AlignofType(_, s)
+            | Cast(_, _, s) | Binary(_, _, _, s) | Conditional(_, _, _, s) | Assign(_, _, _, s)
+            | Comma(_, _, s) => *s,
+        }
+    }
+}
+
+/// The first clause of a `for` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForInit {
+    /// An expression clause.
+    Expr(Expr),
+    /// A declaration clause (C99-style `for (int i = 0; ...)`).
+    Declaration(Declaration),
+}
+
+/// An item of a compound statement (6.8.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockItem {
+    /// A declaration.
+    Declaration(Declaration),
+    /// A statement.
+    Statement(Statement),
+}
+
+/// Statements (6.8).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// An expression statement; `None` is the null statement `;`.
+    Expr(Option<Expr>, Span),
+    /// `{ ... }`.
+    Compound(Vec<BlockItem>, Span),
+    /// `if (c) t` / `if (c) t else e`.
+    If(Expr, Box<Statement>, Option<Box<Statement>>, Span),
+    /// `while (c) body`.
+    While(Expr, Box<Statement>, Span),
+    /// `do body while (c);`.
+    DoWhile(Box<Statement>, Expr, Span),
+    /// `for (init; cond; step) body`.
+    For(Option<ForInit>, Option<Expr>, Option<Expr>, Box<Statement>, Span),
+    /// `switch (e) body`.
+    Switch(Expr, Box<Statement>, Span),
+    /// `case e: stmt`.
+    Case(Expr, Box<Statement>, Span),
+    /// `default: stmt`.
+    Default(Box<Statement>, Span),
+    /// `break;`.
+    Break(Span),
+    /// `continue;`.
+    Continue(Span),
+    /// `return;` / `return e;`.
+    Return(Option<Expr>, Span),
+    /// `goto label;`.
+    Goto(String, Span),
+    /// `label: stmt`.
+    Labeled(String, Box<Statement>, Span),
+}
+
+impl Statement {
+    /// The source span of the statement.
+    pub fn span(&self) -> Span {
+        use Statement::*;
+        match self {
+            Expr(_, s) | Compound(_, s) | If(_, _, _, s) | While(_, _, s) | DoWhile(_, _, s)
+            | For(_, _, _, _, s) | Switch(_, _, s) | Case(_, _, s) | Default(_, s) | Break(s)
+            | Continue(s) | Return(_, s) | Goto(_, s) | Labeled(_, _, s) => *s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declarator_name_digs_through_derivations() {
+        let d = Declarator::Pointer(
+            Qualifiers::none(),
+            Box::new(Declarator::Array(
+                Box::new(Declarator::Ident("xs".into(), Span::synthetic())),
+                None,
+            )),
+        );
+        assert_eq!(d.name(), Some("xs"));
+        assert_eq!(Declarator::Abstract.name(), None);
+    }
+
+    #[test]
+    fn function_declarator_detection() {
+        let f = Declarator::Function(
+            Box::new(Declarator::Ident("main".into(), Span::synthetic())),
+            vec![],
+            false,
+        );
+        assert!(f.is_function_declarator());
+        // `int *f(void)` — a function returning a pointer — parses as a
+        // pointer wrapped around a function declarator and is still a
+        // function declaration.
+        let returns_pointer = Declarator::Pointer(Qualifiers::none(), Box::new(f));
+        assert!(returns_pointer.is_function_declarator());
+        // `int (*f)(void)` — an object of function-pointer type — is not.
+        let fn_pointer_object = Declarator::Function(
+            Box::new(Declarator::Pointer(
+                Qualifiers::none(),
+                Box::new(Declarator::Ident("f".into(), Span::synthetic())),
+            )),
+            vec![],
+            false,
+        );
+        assert!(!fn_pointer_object.is_function_declarator());
+        assert!(!Declarator::Ident("x".into(), Span::synthetic()).is_function_declarator());
+    }
+
+    #[test]
+    fn expr_spans_are_preserved() {
+        let sp = Span::synthetic();
+        let e = Expr::Binary(
+            BinaryOp::Add,
+            Box::new(Expr::IntConst(1, IntSuffix::default(), sp)),
+            Box::new(Expr::IntConst(2, IntSuffix::default(), sp)),
+            sp,
+        );
+        assert_eq!(e.span(), sp);
+    }
+}

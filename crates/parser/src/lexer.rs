@@ -1,0 +1,421 @@
+//! The lexer: preprocessed source text to a token stream (ISO C11 §6.4).
+
+use cerberus_ast::loc::{Loc, Span};
+
+use crate::token::{IntSuffix, Keyword, Punct, Token, TokenKind};
+
+/// A lexical error with its location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub loc: Loc,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lexical error at {}: {}", self.loc, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    loc: Loc,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { chars: src.chars().collect(), pos: 0, loc: Loc::start(), src }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        self.chars.get(self.pos + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        self.loc.advance(c);
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError { message: message.into(), loc: self.loc }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn lex_ident_or_keyword(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        let word: String = self.chars[start..self.pos].iter().collect();
+        match Keyword::from_str(&word) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(word),
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, LexError> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some('0') && matches!(self.peek2(), Some('x') | Some('X')) {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+        } else {
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+            if self.peek() == Some('.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                self.bump();
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+            if matches!(self.peek(), Some('e') | Some('E'))
+                && matches!(self.peek2(), Some(c) if c.is_ascii_digit() || c == '+' || c == '-')
+            {
+                is_float = true;
+                self.bump();
+                self.bump();
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        let digits: String = self.chars[start..self.pos].iter().collect();
+
+        if is_float {
+            let v: f64 = digits
+                .parse()
+                .map_err(|_| self.error(format!("malformed floating constant {digits}")))?;
+            return Ok(TokenKind::FloatConst(v));
+        }
+
+        // Suffix.
+        let mut suffix = IntSuffix::default();
+        loop {
+            match self.peek() {
+                Some('u') | Some('U') if !suffix.unsigned => {
+                    suffix.unsigned = true;
+                    self.bump();
+                }
+                Some('l') | Some('L') if suffix.longs < 2 => {
+                    suffix.longs += 1;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+
+        let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
+        {
+            i128::from_str_radix(hex, 16)
+        } else if digits.len() > 1 && digits.starts_with('0') {
+            i128::from_str_radix(&digits[1..], 8)
+        } else {
+            digits.parse()
+        }
+        .map_err(|_| self.error(format!("malformed integer constant {digits}")))?;
+
+        Ok(TokenKind::IntConst(value, suffix))
+    }
+
+    fn lex_escape(&mut self) -> Result<u8, LexError> {
+        let c = self.bump().ok_or_else(|| self.error("unterminated escape sequence"))?;
+        Ok(match c {
+            'n' => b'\n',
+            't' => b'\t',
+            'r' => b'\r',
+            '0' => 0,
+            '\\' => b'\\',
+            '\'' => b'\'',
+            '"' => b'"',
+            'a' => 0x07,
+            'b' => 0x08,
+            'f' => 0x0c,
+            'v' => 0x0b,
+            'x' => {
+                let mut v: u32 = 0;
+                let mut any = false;
+                while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                    any = true;
+                    v = v * 16 + self.bump().unwrap().to_digit(16).unwrap();
+                }
+                if !any {
+                    return Err(self.error("\\x escape with no hex digits"));
+                }
+                (v & 0xff) as u8
+            }
+            other if other.is_ascii_digit() => {
+                // Octal escape, up to three digits.
+                let mut v = other.to_digit(8).unwrap();
+                for _ in 0..2 {
+                    if matches!(self.peek(), Some(c) if c.is_digit(8)) {
+                        v = v * 8 + self.bump().unwrap().to_digit(8).unwrap();
+                    }
+                }
+                (v & 0xff) as u8
+            }
+            other => return Err(self.error(format!("unknown escape sequence \\{other}"))),
+        })
+    }
+
+    fn lex_char_const(&mut self) -> Result<TokenKind, LexError> {
+        self.bump(); // opening quote
+        let c = self.peek().ok_or_else(|| self.error("unterminated character constant"))?;
+        let value = if c == '\\' {
+            self.bump();
+            i64::from(self.lex_escape()?)
+        } else {
+            self.bump();
+            c as i64
+        };
+        if self.peek() != Some('\'') {
+            return Err(self.error("multi-character constants are not supported"));
+        }
+        self.bump();
+        Ok(TokenKind::CharConst(value))
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, LexError> {
+        self.bump(); // opening quote
+        let mut bytes = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string literal")),
+                Some('"') => {
+                    self.bump();
+                    break;
+                }
+                Some('\\') => {
+                    self.bump();
+                    bytes.push(self.lex_escape()?);
+                }
+                Some(c) => {
+                    self.bump();
+                    let mut buf = [0u8; 4];
+                    bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                }
+            }
+        }
+        Ok(TokenKind::StringLit(bytes))
+    }
+
+    fn lex_punct(&mut self) -> Result<TokenKind, LexError> {
+        use Punct::*;
+        let c = self.peek().unwrap();
+        let c2 = self.peek2();
+        let c3 = self.peek3();
+        let (p, len) = match (c, c2, c3) {
+            ('.', Some('.'), Some('.')) => (Ellipsis, 3),
+            ('<', Some('<'), Some('=')) => (LtLtEq, 3),
+            ('>', Some('>'), Some('=')) => (GtGtEq, 3),
+            ('-', Some('>'), _) => (Arrow, 2),
+            ('+', Some('+'), _) => (PlusPlus, 2),
+            ('-', Some('-'), _) => (MinusMinus, 2),
+            ('<', Some('<'), _) => (LtLt, 2),
+            ('>', Some('>'), _) => (GtGt, 2),
+            ('<', Some('='), _) => (Le, 2),
+            ('>', Some('='), _) => (Ge, 2),
+            ('=', Some('='), _) => (EqEq, 2),
+            ('!', Some('='), _) => (BangEq, 2),
+            ('&', Some('&'), _) => (AmpAmp, 2),
+            ('|', Some('|'), _) => (PipePipe, 2),
+            ('*', Some('='), _) => (StarEq, 2),
+            ('/', Some('='), _) => (SlashEq, 2),
+            ('%', Some('='), _) => (PercentEq, 2),
+            ('+', Some('='), _) => (PlusEq, 2),
+            ('-', Some('='), _) => (MinusEq, 2),
+            ('&', Some('='), _) => (AmpEq, 2),
+            ('^', Some('='), _) => (CaretEq, 2),
+            ('|', Some('='), _) => (PipeEq, 2),
+            ('[', _, _) => (LBracket, 1),
+            (']', _, _) => (RBracket, 1),
+            ('(', _, _) => (LParen, 1),
+            (')', _, _) => (RParen, 1),
+            ('{', _, _) => (LBrace, 1),
+            ('}', _, _) => (RBrace, 1),
+            ('.', _, _) => (Dot, 1),
+            ('&', _, _) => (Amp, 1),
+            ('*', _, _) => (Star, 1),
+            ('+', _, _) => (Plus, 1),
+            ('-', _, _) => (Minus, 1),
+            ('~', _, _) => (Tilde, 1),
+            ('!', _, _) => (Bang, 1),
+            ('/', _, _) => (Slash, 1),
+            ('%', _, _) => (Percent, 1),
+            ('<', _, _) => (Lt, 1),
+            ('>', _, _) => (Gt, 1),
+            ('^', _, _) => (Caret, 1),
+            ('|', _, _) => (Pipe, 1),
+            ('?', _, _) => (Question, 1),
+            (':', _, _) => (Colon, 1),
+            (';', _, _) => (Semicolon, 1),
+            ('=', _, _) => (Eq, 1),
+            (',', _, _) => (Comma, 1),
+            other => return Err(self.error(format!("unexpected character {:?}", other.0))),
+        };
+        for _ in 0..len {
+            self.bump();
+        }
+        Ok(TokenKind::Punct(p))
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_whitespace();
+        let start = self.loc;
+        let kind = match self.peek() {
+            None => TokenKind::Eof,
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => self.lex_ident_or_keyword(),
+            Some(c) if c.is_ascii_digit() => self.lex_number()?,
+            Some('\'') => self.lex_char_const()?,
+            Some('"') => self.lex_string()?,
+            Some(_) => self.lex_punct()?,
+        };
+        Ok(Token { kind, span: Span::new(start, self.loc) })
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut tokens = Vec::with_capacity(self.src.len() / 4);
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.is_eof();
+            tokens.push(tok);
+            if done {
+                return Ok(tokens);
+            }
+        }
+    }
+}
+
+/// Lex preprocessed source text into a token stream ending with an EOF token.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for malformed constants, unterminated literals, or
+/// characters outside the C basic source character set.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    // Adjacent string literals concatenate (translation phase 6).
+    let mut tokens = Lexer::new(src).run()?;
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        let merge = matches!(
+            (&tokens[i].kind, &tokens[i + 1].kind),
+            (TokenKind::StringLit(_), TokenKind::StringLit(_))
+        );
+        if merge {
+            let second = tokens.remove(i + 1);
+            let second_span = second.span;
+            if let (TokenKind::StringLit(a), TokenKind::StringLit(b)) =
+                (&mut tokens[i].kind, second.kind)
+            {
+                a.extend_from_slice(&b);
+            }
+            tokens[i].span = tokens[i].span.merge(second_span);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        let ks = kinds("int main");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Int));
+        assert_eq!(ks[1], TokenKind::Ident("main".into()));
+        assert_eq!(ks[2], TokenKind::Eof);
+    }
+
+    #[test]
+    fn integer_constants_with_bases_and_suffixes() {
+        let ks = kinds("42 0x2a 052 3u 7ul 9ll");
+        assert!(matches!(ks[0], TokenKind::IntConst(42, _)));
+        assert!(matches!(ks[1], TokenKind::IntConst(42, _)));
+        assert!(matches!(ks[2], TokenKind::IntConst(42, _)));
+        assert!(matches!(ks[3], TokenKind::IntConst(3, IntSuffix { unsigned: true, longs: 0 })));
+        assert!(matches!(ks[4], TokenKind::IntConst(7, IntSuffix { unsigned: true, longs: 1 })));
+        assert!(matches!(ks[5], TokenKind::IntConst(9, IntSuffix { unsigned: false, longs: 2 })));
+    }
+
+    #[test]
+    fn char_constants_and_escapes() {
+        let ks = kinds(r"'a' '\n' '\x41' '\0'");
+        assert_eq!(ks[0], TokenKind::CharConst(97));
+        assert_eq!(ks[1], TokenKind::CharConst(10));
+        assert_eq!(ks[2], TokenKind::CharConst(65));
+        assert_eq!(ks[3], TokenKind::CharConst(0));
+    }
+
+    #[test]
+    fn string_literals_decode_escapes_and_concatenate() {
+        let ks = kinds(r#""ab\n" "cd""#);
+        assert_eq!(ks[0], TokenKind::StringLit(b"ab\ncd".to_vec()));
+    }
+
+    #[test]
+    fn punctuators_longest_match() {
+        let ks = kinds("a <<= b >> c -> d ... e");
+        assert!(ks.contains(&TokenKind::Punct(Punct::LtLtEq)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::GtGt)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Arrow)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Ellipsis)));
+    }
+
+    #[test]
+    fn float_constants_lex() {
+        let ks = kinds("1.5 2e3");
+        assert!(matches!(ks[0], TokenKind::FloatConst(v) if (v - 1.5).abs() < 1e-9));
+        assert!(matches!(ks[1], TokenKind::FloatConst(v) if (v - 2000.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("int\nx;").unwrap();
+        assert_eq!(toks[1].span.start.line, 2);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(lex("int $x;").is_err());
+        assert!(lex("char c = 'ab';").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn member_access_vs_ellipsis() {
+        let ks = kinds("s.x");
+        assert_eq!(ks[1], TokenKind::Punct(Punct::Dot));
+    }
+}

@@ -1,0 +1,30 @@
+//! Clean-slate C front end: lexer and parser producing the `Cabs` AST.
+//!
+//! The paper's Cerberus front end "comprises a clean-slate C parser (closely
+//! following the grammar of the standard), desugaring phase, and type checker"
+//! so that no semantic choices are inherited from a compiler front end (§5.1).
+//! This crate provides the first stage: translation phases 1–7 for the
+//! supported fragment (comment removal, line splicing, a minimal preprocessor
+//! for object-like `#define`s and known `#include`s) and a recursive-descent
+//! parser for the ISO C11 grammar restricted to the supported fragment,
+//! producing the concrete-syntax-oriented [`cabs`] AST.
+//!
+//! # Example
+//!
+//! ```
+//! use cerberus_parser::parse_translation_unit;
+//!
+//! let tu = parse_translation_unit("int main(void) { return 0; }").unwrap();
+//! assert_eq!(tu.declarations.len(), 1);
+//! ```
+
+pub mod cabs;
+pub mod lexer;
+pub mod parser;
+pub mod preprocess;
+pub mod token;
+
+pub use cabs::TranslationUnit;
+pub use lexer::{lex, LexError};
+pub use parser::{parse_translation_unit, ParseError};
+pub use token::{Keyword, Punct, Token, TokenKind};

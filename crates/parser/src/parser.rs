@@ -1,0 +1,1144 @@
+//! Recursive-descent parser for the supported ISO C11 fragment.
+//!
+//! The grammar followed is that of ISO C11 §6.5–§6.9 restricted to the
+//! supported fragment; the parser keeps a scope stack of `typedef` names (the
+//! classical lexer-feedback device) so that declaration/expression ambiguity
+//! is resolved exactly as the standard's grammar requires.
+
+use std::collections::HashSet;
+
+use cerberus_ast::ctype::Qualifiers;
+use cerberus_ast::loc::Span;
+
+use crate::cabs::*;
+use crate::lexer::lex;
+use crate::preprocess::preprocess;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// A syntax error: message and source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "syntax error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    typedef_scopes: Vec<HashSet<String>>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, typedef_scopes: vec![HashSet::new()] }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_at(&self, n: usize) -> &Token {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn span(&self) -> Span {
+        self.peek().span
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError { message: message.into(), span: self.span() })
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> PResult<Span> {
+        if self.peek().is_punct(p) {
+            Ok(self.bump().span)
+        } else {
+            self.error(format!("expected `{}`, found `{}`", p.as_str(), self.peek().kind))
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> PResult<Span> {
+        if self.peek().is_keyword(k) {
+            Ok(self.bump().span)
+        } else {
+            self.error(format!("expected `{}`, found `{}`", k.as_str(), self.peek().kind))
+        }
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek().is_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<(String, Span)> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                let span = self.bump().span;
+                Ok((name, span))
+            }
+            other => self.error(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    // ----- typedef scope tracking ---------------------------------------
+
+    fn push_scope(&mut self) {
+        self.typedef_scopes.push(HashSet::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.typedef_scopes.pop();
+    }
+
+    fn add_typedef(&mut self, name: &str) {
+        if let Some(scope) = self.typedef_scopes.last_mut() {
+            scope.insert(name.to_owned());
+        }
+    }
+
+    fn is_typedef_name(&self, name: &str) -> bool {
+        self.typedef_scopes.iter().rev().any(|s| s.contains(name))
+    }
+
+    // ----- specifier recognition -----------------------------------------
+
+    fn token_starts_declaration(&self, n: usize) -> bool {
+        match &self.peek_at(n).kind {
+            TokenKind::Keyword(k) => matches!(
+                k,
+                Keyword::Void
+                    | Keyword::Char
+                    | Keyword::Short
+                    | Keyword::Int
+                    | Keyword::Long
+                    | Keyword::Float
+                    | Keyword::Double
+                    | Keyword::Signed
+                    | Keyword::Unsigned
+                    | Keyword::Bool
+                    | Keyword::Struct
+                    | Keyword::Union
+                    | Keyword::Enum
+                    | Keyword::Const
+                    | Keyword::Typedef
+                    | Keyword::Extern
+                    | Keyword::Static
+                    | Keyword::Auto
+                    | Keyword::Register
+                    | Keyword::Inline
+            ),
+            TokenKind::Ident(name) => self.is_typedef_name(name),
+            _ => false,
+        }
+    }
+
+    fn starts_declaration(&self) -> bool {
+        self.token_starts_declaration(0)
+    }
+
+    fn starts_type_name(&self) -> bool {
+        // Type names exclude storage classes but for cast disambiguation the
+        // specifier set is the same minus storage classes; storage classes in
+        // a cast would be a syntax error anyway.
+        self.starts_declaration()
+    }
+
+    fn parse_decl_specifiers(&mut self) -> PResult<DeclSpecifiers> {
+        let start = self.span();
+        let mut specs = DeclSpecifiers { span: start, ..DeclSpecifiers::default() };
+        loop {
+            match &self.peek().kind {
+                TokenKind::Keyword(k) => match k {
+                    Keyword::Typedef | Keyword::Extern | Keyword::Static | Keyword::Auto
+                    | Keyword::Register => {
+                        let sc = match k {
+                            Keyword::Typedef => StorageClass::Typedef,
+                            Keyword::Extern => StorageClass::Extern,
+                            Keyword::Static => StorageClass::Static,
+                            Keyword::Auto => StorageClass::Auto,
+                            _ => StorageClass::Register,
+                        };
+                        if specs.storage.is_some() {
+                            return self.error("multiple storage class specifiers");
+                        }
+                        specs.storage = Some(sc);
+                        self.bump();
+                    }
+                    Keyword::Const => {
+                        specs.qualifiers = specs.qualifiers.merge(Qualifiers::const_());
+                        self.bump();
+                    }
+                    Keyword::Inline => {
+                        specs.inline = true;
+                        self.bump();
+                    }
+                    Keyword::Void => {
+                        specs.type_specifiers.push(TypeSpecifier::Void);
+                        self.bump();
+                    }
+                    Keyword::Char => {
+                        specs.type_specifiers.push(TypeSpecifier::Char);
+                        self.bump();
+                    }
+                    Keyword::Short => {
+                        specs.type_specifiers.push(TypeSpecifier::Short);
+                        self.bump();
+                    }
+                    Keyword::Int => {
+                        specs.type_specifiers.push(TypeSpecifier::Int);
+                        self.bump();
+                    }
+                    Keyword::Long => {
+                        specs.type_specifiers.push(TypeSpecifier::Long);
+                        self.bump();
+                    }
+                    Keyword::Float => {
+                        specs.type_specifiers.push(TypeSpecifier::Float);
+                        self.bump();
+                    }
+                    Keyword::Double => {
+                        specs.type_specifiers.push(TypeSpecifier::Double);
+                        self.bump();
+                    }
+                    Keyword::Signed => {
+                        specs.type_specifiers.push(TypeSpecifier::Signed);
+                        self.bump();
+                    }
+                    Keyword::Unsigned => {
+                        specs.type_specifiers.push(TypeSpecifier::Unsigned);
+                        self.bump();
+                    }
+                    Keyword::Bool => {
+                        specs.type_specifiers.push(TypeSpecifier::Bool);
+                        self.bump();
+                    }
+                    Keyword::Struct | Keyword::Union => {
+                        let sou = self.parse_struct_or_union_specifier()?;
+                        specs.type_specifiers.push(TypeSpecifier::StructOrUnion(sou));
+                    }
+                    Keyword::Enum => {
+                        let e = self.parse_enum_specifier()?;
+                        specs.type_specifiers.push(TypeSpecifier::Enum(e));
+                    }
+                    _ => break,
+                },
+                TokenKind::Ident(name)
+                    if specs.type_specifiers.is_empty() && self.is_typedef_name(name) =>
+                {
+                    specs.type_specifiers.push(TypeSpecifier::TypedefName(name.clone()));
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        specs.span = start.merge(self.span());
+        if specs.type_specifiers.is_empty() && specs.storage.is_none() && !specs.qualifiers.constant
+        {
+            return self.error("expected declaration specifiers");
+        }
+        Ok(specs)
+    }
+
+    fn parse_struct_or_union_specifier(&mut self) -> PResult<StructOrUnionSpecifier> {
+        let is_union = self.peek().is_keyword(Keyword::Union);
+        self.bump();
+        let name = match &self.peek().kind {
+            TokenKind::Ident(n) => {
+                let n = n.clone();
+                self.bump();
+                Some(n)
+            }
+            _ => None,
+        };
+        let members = if self.eat_punct(Punct::LBrace) {
+            let mut members = Vec::new();
+            while !self.peek().is_punct(Punct::RBrace) {
+                members.push(self.parse_struct_declaration()?);
+            }
+            self.expect_punct(Punct::RBrace)?;
+            Some(members)
+        } else {
+            None
+        };
+        if name.is_none() && members.is_none() {
+            return self.error("struct/union specifier needs a tag or a member list");
+        }
+        Ok(StructOrUnionSpecifier { is_union, name, members })
+    }
+
+    fn parse_struct_declaration(&mut self) -> PResult<StructDeclaration> {
+        let specifiers = self.parse_decl_specifiers()?;
+        let mut declarators = Vec::new();
+        if !self.peek().is_punct(Punct::Semicolon) {
+            loop {
+                declarators.push(self.parse_declarator()?);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(Punct::Semicolon)?;
+        Ok(StructDeclaration { specifiers, declarators })
+    }
+
+    fn parse_enum_specifier(&mut self) -> PResult<EnumSpecifier> {
+        self.expect_keyword(Keyword::Enum)?;
+        let name = match &self.peek().kind {
+            TokenKind::Ident(n) => {
+                let n = n.clone();
+                self.bump();
+                Some(n)
+            }
+            _ => None,
+        };
+        let enumerators = if self.eat_punct(Punct::LBrace) {
+            let mut items = Vec::new();
+            while !self.peek().is_punct(Punct::RBrace) {
+                let (ename, _) = self.expect_ident()?;
+                let value = if self.eat_punct(Punct::Eq) {
+                    Some(self.parse_conditional_expr()?)
+                } else {
+                    None
+                };
+                items.push((ename, value));
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RBrace)?;
+            Some(items)
+        } else {
+            None
+        };
+        if name.is_none() && enumerators.is_none() {
+            return self.error("enum specifier needs a tag or an enumerator list");
+        }
+        Ok(EnumSpecifier { name, enumerators })
+    }
+
+    // ----- declarators ----------------------------------------------------
+
+    fn parse_declarator(&mut self) -> PResult<Declarator> {
+        if self.eat_punct(Punct::Star) {
+            let mut quals = Qualifiers::none();
+            while self.peek().is_keyword(Keyword::Const) {
+                quals = quals.merge(Qualifiers::const_());
+                self.bump();
+            }
+            let inner = self.parse_declarator()?;
+            return Ok(Declarator::Pointer(quals, Box::new(inner)));
+        }
+        self.parse_direct_declarator()
+    }
+
+    fn parse_direct_declarator(&mut self) -> PResult<Declarator> {
+        let mut decl = match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                let span = self.bump().span;
+                Declarator::Ident(name, span)
+            }
+            TokenKind::Punct(Punct::LParen) if self.paren_opens_nested_declarator() => {
+                self.bump();
+                let inner = self.parse_declarator()?;
+                self.expect_punct(Punct::RParen)?;
+                inner
+            }
+            _ => Declarator::Abstract,
+        };
+        loop {
+            if self.eat_punct(Punct::LBracket) {
+                let size = if self.peek().is_punct(Punct::RBracket) {
+                    None
+                } else {
+                    Some(Box::new(self.parse_assignment_expr()?))
+                };
+                self.expect_punct(Punct::RBracket)?;
+                decl = Declarator::Array(Box::new(decl), size);
+            } else if self.peek().is_punct(Punct::LParen) && self.paren_opens_parameter_list() {
+                self.bump();
+                let (params, variadic) = self.parse_parameter_list()?;
+                self.expect_punct(Punct::RParen)?;
+                decl = Declarator::Function(Box::new(decl), params, variadic);
+            } else {
+                break;
+            }
+        }
+        Ok(decl)
+    }
+
+    /// Inside a direct declarator, a `(` begins a nested declarator when the
+    /// next token is `*`, an identifier that is not a typedef name, or another
+    /// `(`; otherwise it begins a parameter list (of an abstract function
+    /// declarator).
+    fn paren_opens_nested_declarator(&self) -> bool {
+        match &self.peek_at(1).kind {
+            TokenKind::Punct(Punct::Star) | TokenKind::Punct(Punct::LParen) => true,
+            TokenKind::Ident(name) => !self.is_typedef_name(name),
+            _ => false,
+        }
+    }
+
+    /// A `(` following a direct declarator begins a parameter list when it is
+    /// empty, starts with `void`/specifiers, or is `...` (it cannot be a
+    /// nested declarator at suffix position).
+    fn paren_opens_parameter_list(&self) -> bool {
+        matches!(&self.peek().kind, TokenKind::Punct(Punct::LParen))
+    }
+
+    fn parse_parameter_list(&mut self) -> PResult<(Vec<ParamDeclaration>, bool)> {
+        let mut params = Vec::new();
+        let mut variadic = false;
+        if self.peek().is_punct(Punct::RParen) {
+            return Ok((params, variadic));
+        }
+        // `(void)` means "no parameters".
+        if self.peek().is_keyword(Keyword::Void) && self.peek_at(1).is_punct(Punct::RParen) {
+            self.bump();
+            return Ok((params, variadic));
+        }
+        loop {
+            if self.peek().is_punct(Punct::Ellipsis) {
+                self.bump();
+                variadic = true;
+                break;
+            }
+            let specifiers = self.parse_decl_specifiers()?;
+            let declarator = if self.peek().is_punct(Punct::Comma) || self.peek().is_punct(Punct::RParen)
+            {
+                Declarator::Abstract
+            } else {
+                self.parse_declarator()?
+            };
+            params.push(ParamDeclaration { specifiers, declarator });
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        Ok((params, variadic))
+    }
+
+    fn parse_type_name(&mut self) -> PResult<TypeName> {
+        let specifiers = self.parse_decl_specifiers()?;
+        let declarator = if self.peek().is_punct(Punct::RParen) {
+            Declarator::Abstract
+        } else {
+            self.parse_declarator()?
+        };
+        Ok(TypeName { specifiers, declarator })
+    }
+
+    // ----- declarations ----------------------------------------------------
+
+    fn parse_initializer(&mut self) -> PResult<Initializer> {
+        if self.eat_punct(Punct::LBrace) {
+            let mut items = Vec::new();
+            while !self.peek().is_punct(Punct::RBrace) {
+                items.push(self.parse_initializer()?);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RBrace)?;
+            Ok(Initializer::List(items))
+        } else {
+            Ok(Initializer::Expr(self.parse_assignment_expr()?))
+        }
+    }
+
+    fn parse_declaration(&mut self) -> PResult<Declaration> {
+        let start = self.span();
+        let specifiers = self.parse_decl_specifiers()?;
+        let mut declarators = Vec::new();
+        if !self.peek().is_punct(Punct::Semicolon) {
+            loop {
+                let declarator = self.parse_declarator()?;
+                if declarator.name().is_none() {
+                    return self.error("expected an identifier in this declarator");
+                }
+                if specifiers.storage == Some(StorageClass::Typedef) {
+                    if let Some(name) = declarator.name() {
+                        self.add_typedef(name);
+                    }
+                }
+                let initializer = if self.eat_punct(Punct::Eq) {
+                    Some(self.parse_initializer()?)
+                } else {
+                    None
+                };
+                declarators.push(InitDeclarator { declarator, initializer });
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        let end = self.expect_punct(Punct::Semicolon)?;
+        Ok(Declaration { specifiers, declarators, span: start.merge(end) })
+    }
+
+    fn parse_external_declaration(&mut self) -> PResult<ExternalDeclaration> {
+        let start = self.span();
+        let specifiers = self.parse_decl_specifiers()?;
+        if self.peek().is_punct(Punct::Semicolon) {
+            let end = self.bump().span;
+            return Ok(ExternalDeclaration::Declaration(Declaration {
+                specifiers,
+                declarators: Vec::new(),
+                span: start.merge(end),
+            }));
+        }
+        let first = self.parse_declarator()?;
+        if first.name().is_none() {
+            return self.error("expected an identifier in this declarator");
+        }
+        if specifiers.storage == Some(StorageClass::Typedef) {
+            if let Some(name) = first.name() {
+                self.add_typedef(name);
+            }
+        }
+        if first.is_function_declarator() && self.peek().is_punct(Punct::LBrace) {
+            let body = self.parse_compound_statement()?;
+            let span = start.merge(body.span());
+            return Ok(ExternalDeclaration::FunctionDefinition(FunctionDefinition {
+                specifiers,
+                declarator: first,
+                body,
+                span,
+            }));
+        }
+        // Otherwise, an ordinary declaration; the first declarator may have an
+        // initialiser and further declarators may follow.
+        let mut declarators = Vec::new();
+        let initializer =
+            if self.eat_punct(Punct::Eq) { Some(self.parse_initializer()?) } else { None };
+        declarators.push(InitDeclarator { declarator: first, initializer });
+        while self.eat_punct(Punct::Comma) {
+            let declarator = self.parse_declarator()?;
+            if specifiers.storage == Some(StorageClass::Typedef) {
+                if let Some(name) = declarator.name() {
+                    self.add_typedef(name);
+                }
+            }
+            let initializer =
+                if self.eat_punct(Punct::Eq) { Some(self.parse_initializer()?) } else { None };
+            declarators.push(InitDeclarator { declarator, initializer });
+        }
+        let end = self.expect_punct(Punct::Semicolon)?;
+        Ok(ExternalDeclaration::Declaration(Declaration {
+            specifiers,
+            declarators,
+            span: start.merge(end),
+        }))
+    }
+
+    // ----- statements -------------------------------------------------------
+
+    fn parse_compound_statement(&mut self) -> PResult<Statement> {
+        let start = self.expect_punct(Punct::LBrace)?;
+        self.push_scope();
+        let mut items = Vec::new();
+        while !self.peek().is_punct(Punct::RBrace) {
+            if self.peek().is_eof() {
+                self.pop_scope();
+                return self.error("unterminated compound statement");
+            }
+            if self.starts_declaration() {
+                items.push(BlockItem::Declaration(self.parse_declaration()?));
+            } else {
+                items.push(BlockItem::Statement(self.parse_statement()?));
+            }
+        }
+        let end = self.expect_punct(Punct::RBrace)?;
+        self.pop_scope();
+        Ok(Statement::Compound(items, start.merge(end)))
+    }
+
+    fn parse_statement(&mut self) -> PResult<Statement> {
+        let start = self.span();
+        match &self.peek().kind {
+            TokenKind::Punct(Punct::LBrace) => self.parse_compound_statement(),
+            TokenKind::Punct(Punct::Semicolon) => {
+                let end = self.bump().span;
+                Ok(Statement::Expr(None, start.merge(end)))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let then = Box::new(self.parse_statement()?);
+                let els = if self.peek().is_keyword(Keyword::Else) {
+                    self.bump();
+                    Some(Box::new(self.parse_statement()?))
+                } else {
+                    None
+                };
+                let span = start.merge(self.span());
+                Ok(Statement::If(cond, then, els, span))
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = Box::new(self.parse_statement()?);
+                Ok(Statement::While(cond, body, start.merge(self.span())))
+            }
+            TokenKind::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = Box::new(self.parse_statement()?);
+                self.expect_keyword(Keyword::While)?;
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let end = self.expect_punct(Punct::Semicolon)?;
+                Ok(Statement::DoWhile(body, cond, start.merge(end)))
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let init = if self.peek().is_punct(Punct::Semicolon) {
+                    self.bump();
+                    None
+                } else if self.starts_declaration() {
+                    Some(ForInit::Declaration(self.parse_declaration()?))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_punct(Punct::Semicolon)?;
+                    Some(ForInit::Expr(e))
+                };
+                let cond = if self.peek().is_punct(Punct::Semicolon) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect_punct(Punct::Semicolon)?;
+                let step = if self.peek().is_punct(Punct::RParen) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect_punct(Punct::RParen)?;
+                let body = Box::new(self.parse_statement()?);
+                Ok(Statement::For(init, cond, step, body, start.merge(self.span())))
+            }
+            TokenKind::Keyword(Keyword::Switch) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let scrutinee = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = Box::new(self.parse_statement()?);
+                Ok(Statement::Switch(scrutinee, body, start.merge(self.span())))
+            }
+            TokenKind::Keyword(Keyword::Case) => {
+                self.bump();
+                let value = self.parse_conditional_expr()?;
+                self.expect_punct(Punct::Colon)?;
+                let stmt = Box::new(self.parse_statement()?);
+                Ok(Statement::Case(value, stmt, start.merge(self.span())))
+            }
+            TokenKind::Keyword(Keyword::Default) => {
+                self.bump();
+                self.expect_punct(Punct::Colon)?;
+                let stmt = Box::new(self.parse_statement()?);
+                Ok(Statement::Default(stmt, start.merge(self.span())))
+            }
+            TokenKind::Keyword(Keyword::Break) => {
+                self.bump();
+                let end = self.expect_punct(Punct::Semicolon)?;
+                Ok(Statement::Break(start.merge(end)))
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.bump();
+                let end = self.expect_punct(Punct::Semicolon)?;
+                Ok(Statement::Continue(start.merge(end)))
+            }
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                let value = if self.peek().is_punct(Punct::Semicolon) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                let end = self.expect_punct(Punct::Semicolon)?;
+                Ok(Statement::Return(value, start.merge(end)))
+            }
+            TokenKind::Keyword(Keyword::Goto) => {
+                self.bump();
+                let (label, _) = self.expect_ident()?;
+                let end = self.expect_punct(Punct::Semicolon)?;
+                Ok(Statement::Goto(label, start.merge(end)))
+            }
+            TokenKind::Ident(name) if self.peek_at(1).is_punct(Punct::Colon) => {
+                let label = name.clone();
+                self.bump();
+                self.bump();
+                let stmt = Box::new(self.parse_statement()?);
+                Ok(Statement::Labeled(label, stmt, start.merge(self.span())))
+            }
+            _ => {
+                let e = self.parse_expr()?;
+                let end = self.expect_punct(Punct::Semicolon)?;
+                Ok(Statement::Expr(Some(e), start.merge(end)))
+            }
+        }
+    }
+
+    // ----- expressions ------------------------------------------------------
+
+    fn parse_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.parse_assignment_expr()?;
+        while self.peek().is_punct(Punct::Comma) {
+            let span = self.bump().span;
+            let rhs = self.parse_assignment_expr()?;
+            let full = e.span().merge(rhs.span()).merge(span);
+            e = Expr::Comma(Box::new(e), Box::new(rhs), full);
+        }
+        Ok(e)
+    }
+
+    fn parse_assignment_expr(&mut self) -> PResult<Expr> {
+        let lhs = self.parse_conditional_expr()?;
+        let op = match &self.peek().kind {
+            TokenKind::Punct(Punct::Eq) => Some(None),
+            TokenKind::Punct(Punct::StarEq) => Some(Some(BinaryOp::Mul)),
+            TokenKind::Punct(Punct::SlashEq) => Some(Some(BinaryOp::Div)),
+            TokenKind::Punct(Punct::PercentEq) => Some(Some(BinaryOp::Mod)),
+            TokenKind::Punct(Punct::PlusEq) => Some(Some(BinaryOp::Add)),
+            TokenKind::Punct(Punct::MinusEq) => Some(Some(BinaryOp::Sub)),
+            TokenKind::Punct(Punct::LtLtEq) => Some(Some(BinaryOp::Shl)),
+            TokenKind::Punct(Punct::GtGtEq) => Some(Some(BinaryOp::Shr)),
+            TokenKind::Punct(Punct::AmpEq) => Some(Some(BinaryOp::BitAnd)),
+            TokenKind::Punct(Punct::CaretEq) => Some(Some(BinaryOp::BitXor)),
+            TokenKind::Punct(Punct::PipeEq) => Some(Some(BinaryOp::BitOr)),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let rhs = self.parse_assignment_expr()?;
+                let span = lhs.span().merge(rhs.span());
+                Ok(Expr::Assign(op, Box::new(lhs), Box::new(rhs), span))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn parse_conditional_expr(&mut self) -> PResult<Expr> {
+        let cond = self.parse_binary_expr(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then = self.parse_expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let els = self.parse_conditional_expr()?;
+            let span = cond.span().merge(els.span());
+            Ok(Expr::Conditional(Box::new(cond), Box::new(then), Box::new(els), span))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binary_op_at(&self, min_prec: u8) -> Option<(BinaryOp, u8)> {
+        use BinaryOp::*;
+        let (op, prec) = match &self.peek().kind {
+            TokenKind::Punct(Punct::PipePipe) => (LogicalOr, 1),
+            TokenKind::Punct(Punct::AmpAmp) => (LogicalAnd, 2),
+            TokenKind::Punct(Punct::Pipe) => (BitOr, 3),
+            TokenKind::Punct(Punct::Caret) => (BitXor, 4),
+            TokenKind::Punct(Punct::Amp) => (BitAnd, 5),
+            TokenKind::Punct(Punct::EqEq) => (Eq, 6),
+            TokenKind::Punct(Punct::BangEq) => (Ne, 6),
+            TokenKind::Punct(Punct::Lt) => (Lt, 7),
+            TokenKind::Punct(Punct::Gt) => (Gt, 7),
+            TokenKind::Punct(Punct::Le) => (Le, 7),
+            TokenKind::Punct(Punct::Ge) => (Ge, 7),
+            TokenKind::Punct(Punct::LtLt) => (Shl, 8),
+            TokenKind::Punct(Punct::GtGt) => (Shr, 8),
+            TokenKind::Punct(Punct::Plus) => (Add, 9),
+            TokenKind::Punct(Punct::Minus) => (Sub, 9),
+            TokenKind::Punct(Punct::Star) => (Mul, 10),
+            TokenKind::Punct(Punct::Slash) => (Div, 10),
+            TokenKind::Punct(Punct::Percent) => (Mod, 10),
+            _ => return None,
+        };
+        if prec >= min_prec {
+            Some((op, prec))
+        } else {
+            None
+        }
+    }
+
+    fn parse_binary_expr(&mut self, min_prec: u8) -> PResult<Expr> {
+        let mut lhs = self.parse_cast_expr()?;
+        while let Some((op, prec)) = self.binary_op_at(min_prec) {
+            self.bump();
+            let rhs = self.parse_binary_expr(prec + 1)?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cast_expr(&mut self) -> PResult<Expr> {
+        if self.peek().is_punct(Punct::LParen) {
+            // `(type) cast-expression` vs parenthesised expression.
+            let save = self.pos;
+            self.bump();
+            if self.starts_type_name() {
+                let ty = self.parse_type_name()?;
+                self.expect_punct(Punct::RParen)?;
+                let operand = self.parse_cast_expr()?;
+                let span = operand.span();
+                return Ok(Expr::Cast(ty, Box::new(operand), span));
+            }
+            self.pos = save;
+        }
+        self.parse_unary_expr()
+    }
+
+    fn parse_unary_expr(&mut self) -> PResult<Expr> {
+        let start = self.span();
+        match &self.peek().kind {
+            TokenKind::Punct(Punct::PlusPlus) => {
+                self.bump();
+                let e = self.parse_unary_expr()?;
+                let span = start.merge(e.span());
+                Ok(Expr::PreIncr(Box::new(e), span))
+            }
+            TokenKind::Punct(Punct::MinusMinus) => {
+                self.bump();
+                let e = self.parse_unary_expr()?;
+                let span = start.merge(e.span());
+                Ok(Expr::PreDecr(Box::new(e), span))
+            }
+            TokenKind::Punct(Punct::Amp) => self.parse_prefix_unary(UnaryOp::AddressOf, start),
+            TokenKind::Punct(Punct::Star) => self.parse_prefix_unary(UnaryOp::Deref, start),
+            TokenKind::Punct(Punct::Plus) => self.parse_prefix_unary(UnaryOp::Plus, start),
+            TokenKind::Punct(Punct::Minus) => self.parse_prefix_unary(UnaryOp::Minus, start),
+            TokenKind::Punct(Punct::Tilde) => self.parse_prefix_unary(UnaryOp::BitNot, start),
+            TokenKind::Punct(Punct::Bang) => self.parse_prefix_unary(UnaryOp::LogicalNot, start),
+            TokenKind::Keyword(Keyword::Sizeof) => {
+                self.bump();
+                if self.peek().is_punct(Punct::LParen) && {
+                    let save = self.pos;
+                    self.bump();
+                    let is_ty = self.starts_type_name();
+                    self.pos = save;
+                    is_ty
+                } {
+                    self.bump();
+                    let ty = self.parse_type_name()?;
+                    let end = self.expect_punct(Punct::RParen)?;
+                    Ok(Expr::SizeofType(ty, start.merge(end)))
+                } else {
+                    let e = self.parse_unary_expr()?;
+                    let span = start.merge(e.span());
+                    Ok(Expr::SizeofExpr(Box::new(e), span))
+                }
+            }
+            TokenKind::Keyword(Keyword::Alignof) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let ty = self.parse_type_name()?;
+                let end = self.expect_punct(Punct::RParen)?;
+                Ok(Expr::AlignofType(ty, start.merge(end)))
+            }
+            _ => self.parse_postfix_expr(),
+        }
+    }
+
+    fn parse_prefix_unary(&mut self, op: UnaryOp, start: Span) -> PResult<Expr> {
+        self.bump();
+        let e = self.parse_cast_expr()?;
+        let span = start.merge(e.span());
+        Ok(Expr::Unary(op, Box::new(e), span))
+    }
+
+    fn parse_postfix_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.parse_primary_expr()?;
+        loop {
+            let start = e.span();
+            match &self.peek().kind {
+                TokenKind::Punct(Punct::LBracket) => {
+                    self.bump();
+                    let index = self.parse_expr()?;
+                    let end = self.expect_punct(Punct::RBracket)?;
+                    e = Expr::Index(Box::new(e), Box::new(index), start.merge(end));
+                }
+                TokenKind::Punct(Punct::LParen) => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.peek().is_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.parse_assignment_expr()?);
+                            if !self.eat_punct(Punct::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect_punct(Punct::RParen)?;
+                    e = Expr::Call(Box::new(e), args, start.merge(end));
+                }
+                TokenKind::Punct(Punct::Dot) => {
+                    self.bump();
+                    let (name, end) = self.expect_ident()?;
+                    e = Expr::Member(Box::new(e), name, start.merge(end));
+                }
+                TokenKind::Punct(Punct::Arrow) => {
+                    self.bump();
+                    let (name, end) = self.expect_ident()?;
+                    e = Expr::MemberPtr(Box::new(e), name, start.merge(end));
+                }
+                TokenKind::Punct(Punct::PlusPlus) => {
+                    let end = self.bump().span;
+                    e = Expr::PostIncr(Box::new(e), start.merge(end));
+                }
+                TokenKind::Punct(Punct::MinusMinus) => {
+                    let end = self.bump().span;
+                    e = Expr::PostDecr(Box::new(e), start.merge(end));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary_expr(&mut self) -> PResult<Expr> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Ident(name, tok.span))
+            }
+            TokenKind::IntConst(v, suffix) => {
+                self.bump();
+                Ok(Expr::IntConst(v, suffix, tok.span))
+            }
+            TokenKind::CharConst(v) => {
+                self.bump();
+                Ok(Expr::CharConst(v, tok.span))
+            }
+            TokenKind::FloatConst(v) => {
+                self.bump();
+                Ok(Expr::FloatConst(v, tok.span))
+            }
+            TokenKind::StringLit(bytes) => {
+                self.bump();
+                Ok(Expr::StringLit(bytes, tok.span))
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            other => self.error(format!("expected expression, found `{other}`")),
+        }
+    }
+
+    fn parse_translation_unit(&mut self) -> PResult<TranslationUnit> {
+        let mut tu = TranslationUnit::default();
+        while !self.peek().is_eof() {
+            tu.declarations.push(self.parse_external_declaration()?);
+        }
+        Ok(tu)
+    }
+}
+
+/// Preprocess, lex and parse a complete translation unit.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first preprocessing, lexical or
+/// syntax error encountered.
+pub fn parse_translation_unit(src: &str) -> PResult<TranslationUnit> {
+    let preprocessed = preprocess(src)
+        .map_err(|e| ParseError { message: e.to_string(), span: Span::synthetic() })?;
+    let tokens =
+        lex(&preprocessed).map_err(|e| ParseError { message: e.message, span: Span::point(e.loc) })?;
+    Parser::new(tokens).parse_translation_unit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> TranslationUnit {
+        parse_translation_unit(src).unwrap()
+    }
+
+    #[test]
+    fn minimal_main() {
+        let tu = parse("int main(void) { return 0; }");
+        assert_eq!(tu.declarations.len(), 1);
+        assert!(matches!(tu.declarations[0], ExternalDeclaration::FunctionDefinition(_)));
+    }
+
+    #[test]
+    fn globals_and_prototypes() {
+        let tu = parse("int x = 1; extern int y; void f(int a, char *b);");
+        assert_eq!(tu.declarations.len(), 3);
+        assert!(tu.declarations.iter().all(|d| matches!(d, ExternalDeclaration::Declaration(_))));
+    }
+
+    #[test]
+    fn declarator_shapes() {
+        let tu = parse("int *a[3]; int (*f)(void); char **argv;");
+        assert_eq!(tu.declarations.len(), 3);
+    }
+
+    #[test]
+    fn struct_union_enum_definitions() {
+        let tu = parse(
+            "struct point { int x; int y; };\n\
+             union u { int i; char c[4]; };\n\
+             enum colour { RED, GREEN = 5, BLUE };\n\
+             struct point origin;",
+        );
+        assert_eq!(tu.declarations.len(), 4);
+    }
+
+    #[test]
+    fn typedef_names_feed_back_into_the_grammar() {
+        let tu = parse("typedef unsigned long size_t2; size_t2 n = 3; int f(size_t2 m);");
+        assert_eq!(tu.declarations.len(), 3);
+    }
+
+    #[test]
+    fn expression_precedence_shapes() {
+        let tu = parse("int x = 1 + 2 * 3;");
+        let ExternalDeclaration::Declaration(d) = &tu.declarations[0] else { panic!() };
+        let Some(Initializer::Expr(Expr::Binary(BinaryOp::Add, _, rhs, _))) =
+            &d.declarators[0].initializer
+        else {
+            panic!("expected + at the top");
+        };
+        assert!(matches!(**rhs, Expr::Binary(BinaryOp::Mul, _, _, _)));
+    }
+
+    #[test]
+    fn casts_and_sizeof() {
+        parse("int main(void) { int x = (int)3u; unsigned long n = sizeof(int); unsigned long m = sizeof x; return 0; }");
+    }
+
+    #[test]
+    fn cast_vs_parenthesised_expression() {
+        let tu = parse("int y; int x = (y) + 1;");
+        let ExternalDeclaration::Declaration(d) = &tu.declarations[1] else { panic!() };
+        assert!(matches!(
+            d.declarators[0].initializer,
+            Some(Initializer::Expr(Expr::Binary(BinaryOp::Add, _, _, _)))
+        ));
+    }
+
+    #[test]
+    fn statements_parse() {
+        parse(
+            "int main(void) {\n\
+               int i; int acc = 0;\n\
+               for (i = 0; i < 10; i++) { acc += i; }\n\
+               while (acc > 5) acc--;\n\
+               do { acc++; } while (acc < 3);\n\
+               switch (acc) { case 1: acc = 2; break; default: acc = 0; }\n\
+               if (acc) return acc; else return 1;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn goto_and_labels() {
+        parse("int main(void) { int x = 0; goto l; x = 1; l: return x; }");
+    }
+
+    #[test]
+    fn pointer_expressions() {
+        parse(
+            "int main(void) { int x = 1; int *p = &x; *p = 2; int **pp = &p; return **pp; }",
+        );
+    }
+
+    #[test]
+    fn member_access_and_calls() {
+        parse(
+            "struct s { int a; struct s *next; };\n\
+             int get(struct s *p) { return p->next->a + (*p).a; }",
+        );
+    }
+
+    #[test]
+    fn string_literals_and_printf() {
+        parse("#include <stdio.h>\nint main(void) { printf(\"x=%d\\n\", 42); return 0; }");
+    }
+
+    #[test]
+    fn aggregate_initialisers() {
+        parse("int a[3] = {1, 2, 3}; struct p { int x; int y; }; struct p q = { 4, 5 };");
+    }
+
+    #[test]
+    fn conditional_and_comma() {
+        parse("int main(void) { int a = 1, b = 2; int c = a ? b : (a, 3); return c; }");
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(parse_translation_unit("int main(void) { return 0 }").is_err());
+        assert!(parse_translation_unit("int = 3;").is_err());
+        assert!(parse_translation_unit("int main(void) { int x = ; }").is_err());
+    }
+
+    #[test]
+    fn provenance_basic_global_yx_parses() {
+        // The paper's §2.1 example (adapted from DR260).
+        parse(
+            "#include <stdio.h>\n\
+             #include <string.h>\n\
+             int y=2, x=1;\n\
+             int main() {\n\
+               int *p = &x + 1;\n\
+               int *q = &y;\n\
+               printf(\"Addresses: p=%p q=%p\\n\",(void*)p,(void*)q);\n\
+               if (memcmp(&p, &q, sizeof(p)) == 0) {\n\
+                 *p = 11;\n\
+                 printf(\"x=%d y=%d *p=%d *q=%d\\n\",x,y,*p,*q);\n\
+               }\n\
+               return 0;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn old_style_parameterless_main_parses() {
+        let tu = parse("int main() { return 0; }");
+        assert!(matches!(tu.declarations[0], ExternalDeclaration::FunctionDefinition(_)));
+    }
+
+    #[test]
+    fn unsigned_long_long_specifiers() {
+        parse("unsigned long long big = 18446744073709551615ull;");
+    }
+}

@@ -1,0 +1,335 @@
+//! A minimal preprocessor covering the directives the test suite and the
+//! generator use.
+//!
+//! The paper assumes "conventional C preprocessing" happens before the
+//! Cerberus front end. We implement only what the supported fragment needs:
+//!
+//! * comment removal (translation phase 3),
+//! * backslash-newline splicing (phase 2),
+//! * `#include <...>` / `#include "..."` of the *known builtin headers*
+//!   (`stdio.h`, `stdlib.h`, `string.h`, `stddef.h`, `stdint.h`, `assert.h`,
+//!   `limits.h`), which expand to nothing because their declarations are
+//!   provided as builtins by the execution environment,
+//! * object-like `#define NAME replacement` macros with textual substitution,
+//! * `#ifdef` / `#ifndef` / `#else` / `#endif` over defined names.
+//!
+//! Anything else (function-like macros, `#if` expressions) is rejected so that
+//! silent misinterpretation cannot occur.
+
+use std::collections::HashMap;
+
+/// Errors produced by the preprocessor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreprocessError {
+    /// Explanation of what was not supported or malformed.
+    pub message: String,
+    /// 1-based line of the offending directive.
+    pub line: u32,
+}
+
+impl std::fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "preprocessor error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PreprocessError {}
+
+/// Headers whose contents are provided as builtins by the evaluator, so their
+/// inclusion expands to nothing.
+pub const KNOWN_HEADERS: &[&str] = &[
+    "stdio.h",
+    "stdlib.h",
+    "string.h",
+    "stddef.h",
+    "stdint.h",
+    "stdbool.h",
+    "assert.h",
+    "limits.h",
+    "inttypes.h",
+];
+
+/// Strip `//` and `/* */` comments, replacing them with a single space
+/// (translation phase 3). String and character literals are respected.
+pub fn strip_comments(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '"' | '\'' => {
+                let quote = c;
+                out.push(c);
+                i += 1;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    out.push(d);
+                    i += 1;
+                    if d == '\\' && i < bytes.len() {
+                        out.push(bytes[i] as char);
+                        i += 1;
+                    } else if d == quote {
+                        break;
+                    }
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.push(' ');
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    // Preserve newlines so line numbers stay meaningful.
+                    if bytes[i] == b'\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+                out.push(' ');
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Splice backslash-newline sequences (translation phase 2).
+pub fn splice_lines(src: &str) -> String {
+    src.replace("\\\r\n", "").replace("\\\n", "")
+}
+
+fn substitute_macros(line: &str, macros: &HashMap<String, String>) -> String {
+    if macros.is_empty() {
+        return line.to_owned();
+    }
+    let mut out = String::with_capacity(line.len());
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '"' || c == '\'' {
+            // Copy literals verbatim.
+            let quote = c;
+            out.push(c);
+            i += 1;
+            while i < chars.len() {
+                out.push(chars[i]);
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    out.push(chars[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                let done = chars[i] == quote;
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            match macros.get(&word) {
+                Some(replacement) => out.push_str(replacement),
+                None => out.push_str(&word),
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Run the minimal preprocessor over a translation unit, returning plain C
+/// text ready for the lexer.
+///
+/// # Errors
+///
+/// Returns [`PreprocessError`] for unsupported directives (function-like
+/// macros, `#if` expressions, unknown headers) and unbalanced conditionals.
+pub fn preprocess(src: &str) -> Result<String, PreprocessError> {
+    let src = strip_comments(&splice_lines(src));
+    let mut macros: HashMap<String, String> = HashMap::new();
+    // Stack of bools: is the current conditional region active?
+    let mut active_stack: Vec<bool> = Vec::new();
+    let mut out = String::with_capacity(src.len());
+
+    for (idx, raw_line) in src.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let trimmed = raw_line.trim_start();
+        let active = active_stack.iter().all(|&a| a);
+        if let Some(directive) = trimmed.strip_prefix('#') {
+            let directive = directive.trim_start();
+            let (name, rest) = match directive.find(char::is_whitespace) {
+                Some(pos) => (&directive[..pos], directive[pos..].trim()),
+                None => (directive, ""),
+            };
+            match name {
+                "include" => {
+                    if !active {
+                        out.push('\n');
+                        continue;
+                    }
+                    let header = rest
+                        .trim()
+                        .trim_start_matches(['<', '"'])
+                        .trim_end_matches(['>', '"'])
+                        .to_owned();
+                    if !KNOWN_HEADERS.contains(&header.as_str()) {
+                        return Err(PreprocessError {
+                            message: format!("unknown header <{header}>"),
+                            line: line_no,
+                        });
+                    }
+                }
+                "define" => {
+                    if active {
+                        let mut parts = rest.splitn(2, char::is_whitespace);
+                        let name = parts.next().unwrap_or("").to_owned();
+                        if name.is_empty() {
+                            return Err(PreprocessError {
+                                message: "empty #define".into(),
+                                line: line_no,
+                            });
+                        }
+                        if name.contains('(') {
+                            return Err(PreprocessError {
+                                message: format!("function-like macro {name} is not supported"),
+                                line: line_no,
+                            });
+                        }
+                        let body = parts.next().unwrap_or("").trim().to_owned();
+                        macros.insert(name, body);
+                    }
+                }
+                "undef" => {
+                    if active {
+                        macros.remove(rest.trim());
+                    }
+                }
+                "ifdef" => active_stack.push(macros.contains_key(rest.trim())),
+                "ifndef" => active_stack.push(!macros.contains_key(rest.trim())),
+                "else" => match active_stack.last_mut() {
+                    Some(top) => *top = !*top,
+                    None => {
+                        return Err(PreprocessError {
+                            message: "#else without matching #ifdef".into(),
+                            line: line_no,
+                        })
+                    }
+                },
+                "endif" => {
+                    if active_stack.pop().is_none() {
+                        return Err(PreprocessError {
+                            message: "#endif without matching #ifdef".into(),
+                            line: line_no,
+                        });
+                    }
+                }
+                other => {
+                    return Err(PreprocessError {
+                        message: format!("unsupported preprocessor directive #{other}"),
+                        line: line_no,
+                    })
+                }
+            }
+            out.push('\n');
+        } else if active {
+            out.push_str(&substitute_macros(raw_line, &macros));
+            out.push('\n');
+        } else {
+            out.push('\n');
+        }
+    }
+
+    if !active_stack.is_empty() {
+        return Err(PreprocessError { message: "unterminated #ifdef".into(), line: 0 });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped() {
+        let s = strip_comments("int x; // trailing\nint /* inline */ y;");
+        assert!(s.contains("int x;"));
+        assert!(!s.contains("trailing"));
+        assert!(!s.contains("inline"));
+        assert!(s.contains("int   y;"));
+    }
+
+    #[test]
+    fn comments_inside_strings_are_kept() {
+        let s = strip_comments("char *p = \"/* not a comment */\";");
+        assert!(s.contains("/* not a comment */"));
+    }
+
+    #[test]
+    fn known_includes_vanish() {
+        let out = preprocess("#include <stdio.h>\nint main(void){return 0;}\n").unwrap();
+        assert!(!out.contains("include"));
+        assert!(out.contains("int main"));
+    }
+
+    #[test]
+    fn unknown_includes_are_rejected() {
+        assert!(preprocess("#include <windows.h>\n").is_err());
+    }
+
+    #[test]
+    fn object_macros_substitute() {
+        let out = preprocess("#define N 4\nint a[N];\n").unwrap();
+        assert!(out.contains("int a[4];"));
+    }
+
+    #[test]
+    fn macros_do_not_fire_inside_strings() {
+        let out = preprocess("#define N 4\nchar *s = \"N\";\n").unwrap();
+        assert!(out.contains("\"N\""));
+    }
+
+    #[test]
+    fn ifdef_selects_branches() {
+        let src = "#define FOO 1\n#ifdef FOO\nint a;\n#else\nint b;\n#endif\n";
+        let out = preprocess(src).unwrap();
+        assert!(out.contains("int a;"));
+        assert!(!out.contains("int b;"));
+    }
+
+    #[test]
+    fn ifndef_and_undef() {
+        let src = "#define FOO 1\n#undef FOO\n#ifndef FOO\nint a;\n#endif\n";
+        let out = preprocess(src).unwrap();
+        assert!(out.contains("int a;"));
+    }
+
+    #[test]
+    fn function_like_macros_rejected() {
+        assert!(preprocess("#define MAX(a,b) ((a)>(b)?(a):(b))\n").is_err());
+    }
+
+    #[test]
+    fn line_splicing() {
+        assert_eq!(splice_lines("a\\\nb"), "ab");
+    }
+
+    #[test]
+    fn unbalanced_conditionals_rejected() {
+        assert!(preprocess("#ifdef FOO\nint a;\n").is_err());
+        assert!(preprocess("#endif\n").is_err());
+    }
+}

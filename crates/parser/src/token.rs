@@ -1,0 +1,338 @@
+//! Lexical tokens of the supported C fragment (ISO C11 §6.4).
+
+use std::fmt;
+
+use cerberus_ast::loc::Span;
+
+/// C keywords recognised by the lexer (the supported subset of 6.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Auto,
+    Break,
+    Case,
+    Char,
+    Const,
+    Continue,
+    Default,
+    Do,
+    Double,
+    Else,
+    Enum,
+    Extern,
+    Float,
+    For,
+    Goto,
+    If,
+    Inline,
+    Int,
+    Long,
+    Register,
+    Return,
+    Short,
+    Signed,
+    Sizeof,
+    Static,
+    Struct,
+    Switch,
+    Typedef,
+    Union,
+    Unsigned,
+    Void,
+    While,
+    Bool,
+    Alignof,
+}
+
+impl Keyword {
+    /// Look a keyword up by its source spelling.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "auto" => Auto,
+            "break" => Break,
+            "case" => Case,
+            "char" => Char,
+            "const" => Const,
+            "continue" => Continue,
+            "default" => Default,
+            "do" => Do,
+            "double" => Double,
+            "else" => Else,
+            "enum" => Enum,
+            "extern" => Extern,
+            "float" => Float,
+            "for" => For,
+            "goto" => Goto,
+            "if" => If,
+            "inline" => Inline,
+            "int" => Int,
+            "long" => Long,
+            "register" => Register,
+            "return" => Return,
+            "short" => Short,
+            "signed" => Signed,
+            "sizeof" => Sizeof,
+            "static" => Static,
+            "struct" => Struct,
+            "switch" => Switch,
+            "typedef" => Typedef,
+            "union" => Union,
+            "unsigned" => Unsigned,
+            "void" => Void,
+            "while" => While,
+            "_Bool" => Bool,
+            "_Alignof" => Alignof,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Auto => "auto",
+            Break => "break",
+            Case => "case",
+            Char => "char",
+            Const => "const",
+            Continue => "continue",
+            Default => "default",
+            Do => "do",
+            Double => "double",
+            Else => "else",
+            Enum => "enum",
+            Extern => "extern",
+            Float => "float",
+            For => "for",
+            Goto => "goto",
+            If => "if",
+            Inline => "inline",
+            Int => "int",
+            Long => "long",
+            Register => "register",
+            Return => "return",
+            Short => "short",
+            Signed => "signed",
+            Sizeof => "sizeof",
+            Static => "static",
+            Struct => "struct",
+            Switch => "switch",
+            Typedef => "typedef",
+            Union => "union",
+            Unsigned => "unsigned",
+            Void => "void",
+            While => "while",
+            Bool => "_Bool",
+            Alignof => "_Alignof",
+        }
+    }
+}
+
+/// Punctuators (6.4.6) of the supported fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Dot,
+    Arrow,
+    PlusPlus,
+    MinusMinus,
+    Amp,
+    Star,
+    Plus,
+    Minus,
+    Tilde,
+    Bang,
+    Slash,
+    Percent,
+    LtLt,
+    GtGt,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    BangEq,
+    Caret,
+    Pipe,
+    AmpAmp,
+    PipePipe,
+    Question,
+    Colon,
+    Semicolon,
+    Ellipsis,
+    Eq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    PlusEq,
+    MinusEq,
+    LtLtEq,
+    GtGtEq,
+    AmpEq,
+    CaretEq,
+    PipeEq,
+    Comma,
+}
+
+impl Punct {
+    /// The source spelling.
+    pub fn as_str(self) -> &'static str {
+        use Punct::*;
+        match self {
+            LBracket => "[",
+            RBracket => "]",
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            Dot => ".",
+            Arrow => "->",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Amp => "&",
+            Star => "*",
+            Plus => "+",
+            Minus => "-",
+            Tilde => "~",
+            Bang => "!",
+            Slash => "/",
+            Percent => "%",
+            LtLt => "<<",
+            GtGt => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            BangEq => "!=",
+            Caret => "^",
+            Pipe => "|",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Question => "?",
+            Colon => ":",
+            Semicolon => ";",
+            Ellipsis => "...",
+            Eq => "=",
+            StarEq => "*=",
+            SlashEq => "/=",
+            PercentEq => "%=",
+            PlusEq => "+=",
+            MinusEq => "-=",
+            LtLtEq => "<<=",
+            GtGtEq => ">>=",
+            AmpEq => "&=",
+            CaretEq => "^=",
+            PipeEq => "|=",
+            Comma => ",",
+        }
+    }
+}
+
+/// Suffix of an integer constant (6.4.4.1), determining the candidate types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct IntSuffix {
+    /// `u` / `U` present.
+    pub unsigned: bool,
+    /// Number of `l`/`L`s present (0, 1 or 2).
+    pub longs: u8,
+}
+
+/// The payload of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or typedef name (the parser disambiguates).
+    Ident(String),
+    /// A keyword.
+    Keyword(Keyword),
+    /// A punctuator.
+    Punct(Punct),
+    /// An integer constant with its suffix.
+    IntConst(i128, IntSuffix),
+    /// A floating constant (kept as text; no floating arithmetic supported).
+    FloatConst(f64),
+    /// A character constant, already mapped to its integer value.
+    CharConst(i64),
+    /// A string literal, with escapes already decoded (bytes, not UTF-8).
+    StringLit(Vec<u8>),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Whether this token is the given punctuator.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        matches!(self.kind, TokenKind::Punct(q) if q == p)
+    }
+
+    /// Whether this token is the given keyword.
+    pub fn is_keyword(&self, k: Keyword) -> bool {
+        matches!(self.kind, TokenKind::Keyword(q) if q == k)
+    }
+
+    /// Whether this token is the end-of-file marker.
+    pub fn is_eof(&self) -> bool {
+        matches!(self.kind, TokenKind::Eof)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Keyword(k) => write!(f, "{}", k.as_str()),
+            TokenKind::Punct(p) => write!(f, "{}", p.as_str()),
+            TokenKind::IntConst(v, _) => write!(f, "{v}"),
+            TokenKind::FloatConst(v) => write!(f, "{v}"),
+            TokenKind::CharConst(v) => write!(f, "'\\x{v:02x}'"),
+            TokenKind::StringLit(bytes) => write!(f, "{:?}", String::from_utf8_lossy(bytes)),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        for kw in ["int", "while", "_Bool", "sizeof", "typedef"] {
+            let k = Keyword::from_str(kw).unwrap();
+            assert_eq!(k.as_str(), kw);
+        }
+        assert_eq!(Keyword::from_str("integer"), None);
+    }
+
+    #[test]
+    fn punct_spellings() {
+        assert_eq!(Punct::LtLtEq.as_str(), "<<=");
+        assert_eq!(Punct::Arrow.as_str(), "->");
+        assert_eq!(Punct::Ellipsis.as_str(), "...");
+    }
+
+    #[test]
+    fn token_predicates() {
+        let t = Token { kind: TokenKind::Punct(Punct::Semicolon), span: Span::synthetic() };
+        assert!(t.is_punct(Punct::Semicolon));
+        assert!(!t.is_punct(Punct::Comma));
+        assert!(!t.is_keyword(Keyword::Int));
+        assert!(!t.is_eof());
+    }
+}

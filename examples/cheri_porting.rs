@@ -1,0 +1,37 @@
+//! CHERI C porting assistant: reproduce the §4 findings — how the CHERI
+//! capability semantics differs from the mainstream de facto semantics — and
+//! run the de facto litmus suite under the CHERI memory model.
+//!
+//! Run with: `cargo run --example cheri_porting`
+
+use cerberus_litmus::{catalogue, run_under};
+use cerberus_memory::cheri::{
+    eq_by_address, eq_exact, uintptr_bitand_address_semantics, uintptr_bitand_offset_semantics,
+    Capability,
+};
+use cerberus_memory::config::ModelConfig;
+use cerberus_memory::value::Provenance;
+
+fn main() {
+    println!("== finding 1: pointer equality needs to compare metadata ==");
+    let one_past_x = Capability { base: 0x1_0000, length: 4, offset: 4, tag: true, prov: Provenance::Alloc(1) };
+    let y = Capability { base: 0x1_0004, length: 4, offset: 0, tag: true, prov: Provenance::Alloc(2) };
+    println!("  by address: {}   exact-equals: {}", eq_by_address(&one_past_x, &y), eq_exact(&one_past_x, &y));
+
+    println!("\n== finding 2: (i & 3u) on a uintptr_t capability ==");
+    let i = Capability { base: 0x1_0000, length: 64, offset: 8, tag: true, prov: Provenance::Alloc(1) };
+    println!(
+        "  expected (address) semantics: {}   CHERI offset semantics: {}",
+        uintptr_bitand_address_semantics(&i, 3),
+        uintptr_bitand_offset_semantics(&i, 3)
+    );
+    println!("  => the defensive alignment check `(i & 3u) == 0u` fails even though the address is aligned");
+
+    println!("\n== the de facto litmus suite under the CHERI memory model ==");
+    let model = ModelConfig::cheri();
+    for test in catalogue() {
+        let outcome = run_under(&test, &model);
+        let first = &outcome.outcomes[0];
+        println!("  {:<38} {}", test.name, first.result);
+    }
+}

@@ -1,0 +1,65 @@
+//! Provenance explorer: run the paper's §2.1 DR260 example (and two related
+//! idioms) under several memory object models and show how the verdict
+//! changes — concrete, candidate de facto, GCC-like, strict ISO, and the
+//! CompCert-style block model.
+//!
+//! Run with: `cargo run --example provenance_explorer`
+
+use cerberus::pipeline::run_with_model;
+use cerberus_memory::config::ModelConfig;
+
+const DR260: &str = r#"
+#include <stdio.h>
+#include <string.h>
+int x = 1, y = 2;
+int main() {
+  int *p = &x + 1;
+  int *q = &y;
+  if (memcmp(&p, &q, sizeof(p)) == 0) {
+    *p = 11;
+    printf("x=%d y=%d *p=%d *q=%d\n", x, y, *p, *q);
+  }
+  return 0;
+}
+"#;
+
+const ROUND_TRIP: &str = r#"
+int main(void) {
+  int x = 7;
+  unsigned long a = (unsigned long)&x;
+  int *p = (int*)a;
+  return *p;
+}
+"#;
+
+const RELATIONAL: &str = r#"
+int a, b;
+int main(void) { return &a < &b || &a > &b; }
+"#;
+
+fn show(title: &str, source: &str) {
+    println!("== {title} ==");
+    for model in [
+        ModelConfig::concrete(),
+        ModelConfig::de_facto(),
+        ModelConfig::gcc_like(),
+        ModelConfig::strict_iso(),
+        ModelConfig::block(),
+    ] {
+        let outcome = run_with_model(source, model.clone()).expect("well-formed program");
+        let first = &outcome.outcomes[0];
+        let stdout = if first.stdout.is_empty() {
+            String::new()
+        } else {
+            format!("   [prints {:?}]", first.stdout)
+        };
+        println!("  {:<12} {}{}", model.name, first.result, stdout);
+    }
+    println!();
+}
+
+fn main() {
+    show("DR260 provenance example (provenance_basic_global_xy.c)", DR260);
+    show("pointer/integer round trip (Q5)", ROUND_TRIP);
+    show("relational comparison of pointers to different objects (Q25)", RELATIONAL);
+}

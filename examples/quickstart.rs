@@ -1,0 +1,30 @@
+//! Quickstart: run a C program through the Cerberus-rs pipeline under the
+//! candidate de facto memory object model and print what happened.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cerberus::pipeline::{Config, Pipeline};
+
+const PROGRAM: &str = r#"
+#include <stdio.h>
+
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+
+int main(void) {
+    for (int i = 0; i < 10; i++) {
+        printf("fib(%d)=%d\n", i, fib(i));
+    }
+    return fib(10);
+}
+"#;
+
+fn main() {
+    let pipeline = Pipeline::new(Config::default());
+    let outcome = pipeline.run_source(PROGRAM).expect("the program is well-formed");
+    let first = &outcome.outcomes[0];
+    print!("{}", first.stdout);
+    println!("--\nexecution finished with: {}", first.result);
+}

@@ -1,0 +1,44 @@
+//! Using Cerberus-rs as a test oracle: exhaustively enumerate the allowed
+//! behaviours of small test programs, including detection of undefined
+//! behaviour on *any* allowed execution path (§5.4 of the paper).
+//!
+//! Run with: `cargo run --example ub_oracle`
+
+use cerberus::pipeline::{Config, Pipeline};
+
+/// Unspecified evaluation order: the two calls may happen in either order.
+const ORDER: &str = r#"
+int trace = 0;
+int f(void) { trace = trace * 10 + 1; return 0; }
+int g(void) { trace = trace * 10 + 2; return 0; }
+int observe(int a, int b) { return trace; }
+int main(void) { return observe(f(), g()); }
+"#;
+
+/// An unsequenced race: undefined behaviour regardless of the schedule.
+const RACE: &str = "int main(void) { int i = 0; i = i++ + 1; return i; }";
+
+/// Arithmetic undefined behaviour that only some inputs reach.
+const SHIFT: &str = r#"
+int shift(int amount) { return 1 << amount; }
+int main(void) { return shift(31) != 0; }
+"#;
+
+fn explore(title: &str, source: &str) {
+    println!("== {title} ==");
+    let pipeline = Pipeline::new(Config::default().exhaustive(128));
+    let outcome = pipeline.run_source(source).expect("well-formed program");
+    for (i, o) in outcome.outcomes.iter().enumerate() {
+        println!("  behaviour {}: {}", i + 1, o.result);
+    }
+    if outcome.any_undef() {
+        println!("  => the program has undefined behaviour on some allowed execution");
+    }
+    println!();
+}
+
+fn main() {
+    explore("unspecified argument evaluation order", ORDER);
+    explore("unsequenced race (i = i++ + 1)", RACE);
+    explore("left shift close to the width limit", SHIFT);
+}

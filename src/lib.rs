@@ -1,0 +1,25 @@
+//! Workspace-level facade for the Cerberus-rs reproduction of "Into the
+//! Depths of C: Elaborating the De Facto Standards" (PLDI 2016).
+//!
+//! This crate exists to host the repository-level examples and integration
+//! tests; the functionality lives in the member crates, re-exported here for
+//! convenience:
+//!
+//! * [`cerberus`] — the pipeline (parse → Ail → Core → execute),
+//! * [`cerberus_memory`] — the memory object models,
+//! * [`cerberus_litmus`] — the de facto semantic test suite,
+//! * [`cerberus_gen`] — the csmith-lite differential-testing harness,
+//! * [`cerberus_survey`] — the survey datasets and analysis.
+
+pub use cerberus;
+pub use cerberus_ail;
+pub use cerberus_ast;
+pub use cerberus_conc;
+pub use cerberus_core;
+pub use cerberus_elab;
+pub use cerberus_exec;
+pub use cerberus_gen;
+pub use cerberus_litmus;
+pub use cerberus_memory;
+pub use cerberus_parser;
+pub use cerberus_survey;

@@ -1,0 +1,186 @@
+//! Integration tests: realistic C programs run end-to-end through the whole
+//! pipeline (parser → Ail → Core → evaluator → memory model).
+
+use cerberus::pipeline::{run, run_with_model, Config, Pipeline};
+use cerberus_exec::driver::ExecResult;
+use cerberus_memory::config::ModelConfig;
+
+fn exit_of(src: &str) -> i128 {
+    let out = run(src).expect("program is well-formed");
+    match &out.outcomes[0].result {
+        ExecResult::Return(v) | ExecResult::Exit(v) => *v,
+        other => panic!("expected normal termination, got {other} ({:?})", out.outcomes[0]),
+    }
+}
+
+fn stdout_of(src: &str) -> String {
+    run(src).expect("program is well-formed").outcomes[0].stdout.clone()
+}
+
+#[test]
+fn insertion_sort_over_an_array() {
+    let src = r#"
+        int main(void) {
+            int a[8] = {7, 3, 5, 1, 8, 2, 6, 4};
+            for (int i = 1; i < 8; i++) {
+                int key = a[i];
+                int j = i - 1;
+                while (j >= 0 && a[j] > key) { a[j + 1] = a[j]; j--; }
+                a[j + 1] = key;
+            }
+            int sorted = 1;
+            for (int i = 1; i < 8; i++) if (a[i - 1] > a[i]) sorted = 0;
+            return sorted * 100 + a[0] * 10 + a[7];
+        }
+    "#;
+    assert_eq!(exit_of(src), 118);
+}
+
+#[test]
+fn linked_list_with_malloc() {
+    let src = r#"
+        #include <stdlib.h>
+        struct node { int value; struct node *next; };
+        int main(void) {
+            struct node *head = 0;
+            for (int i = 1; i <= 5; i++) {
+                struct node *n = malloc(sizeof(struct node));
+                n->value = i;
+                n->next = head;
+                head = n;
+            }
+            int sum = 0;
+            struct node *cur = head;
+            while (cur) { sum += cur->value; cur = cur->next; }
+            while (head) { struct node *next = head->next; free(head); head = next; }
+            return sum;
+        }
+    "#;
+    assert_eq!(exit_of(src), 15);
+}
+
+#[test]
+fn string_manipulation_with_the_builtin_library() {
+    let src = r#"
+        #include <string.h>
+        #include <stdio.h>
+        int main(void) {
+            char buf[16];
+            strcpy(buf, "hello");
+            buf[0] = 'H';
+            printf("%s %d\n", buf, (int)strlen(buf));
+            return strcmp(buf, "Hello") == 0;
+        }
+    "#;
+    let out = run(src).unwrap();
+    assert_eq!(out.outcomes[0].stdout, "Hello 5\n");
+    assert!(matches!(out.outcomes[0].result, ExecResult::Return(1)));
+}
+
+#[test]
+fn matrix_multiplication_with_nested_loops() {
+    // 3×3 matrices kept in flattened arrays; a[i][k] = 3i+k, b[k][j] = k%3…
+    // giving column j of b equal to [j, j, j], so c[i][j] = j·(9i+3) and the
+    // total is (3+12+21)·(0+1+2) = 108.
+    let flat = r#"
+        int main(void) {
+            int a[9], b[9], c[9];
+            for (int i = 0; i < 9; i++) { a[i] = i; b[i] = i % 3; c[i] = 0; }
+            for (int i = 0; i < 3; i++)
+                for (int j = 0; j < 3; j++)
+                    for (int k = 0; k < 3; k++)
+                        c[i * 3 + j] += a[i * 3 + k] * b[k * 3 + j];
+            int sum = 0;
+            for (int i = 0; i < 9; i++) sum += c[i];
+            return sum;
+        }
+    "#;
+    assert_eq!(exit_of(flat), 108);
+}
+
+#[test]
+fn function_pointer_dispatch_table() {
+    let src = r#"
+        int add(int a, int b) { return a + b; }
+        int sub(int a, int b) { return a - b; }
+        int mul(int a, int b) { return a * b; }
+        int apply(int (*op)(int, int), int a, int b) { return op(a, b); }
+        int main(void) {
+            int (*table[3])(int, int);
+            table[0] = add; table[1] = sub; table[2] = mul;
+            int acc = 0;
+            for (int i = 0; i < 3; i++) acc += apply(table[i], 10, 3);
+            return acc;
+        }
+    "#;
+    assert_eq!(exit_of(src), 13 + 7 + 30);
+}
+
+#[test]
+fn recursive_struct_algorithms() {
+    let src = r#"
+        struct pair { int lo; int hi; };
+        struct pair minmax(int *a, int n) {
+            struct pair p;
+            p.lo = a[0]; p.hi = a[0];
+            for (int i = 1; i < n; i++) {
+                if (a[i] < p.lo) p.lo = a[i];
+                if (a[i] > p.hi) p.hi = a[i];
+            }
+            return p;
+        }
+        int main(void) {
+            int xs[6] = {4, -2, 9, 0, 7, 3};
+            struct pair p = minmax(xs, 6);
+            return p.hi * 10 + (p.lo + 2);
+        }
+    "#;
+    assert_eq!(exit_of(src), 90);
+}
+
+#[test]
+fn printf_formats_and_loops() {
+    let src = r#"
+        #include <stdio.h>
+        int main(void) {
+            unsigned long total = 0ul;
+            for (int i = 1; i <= 5; i++) { total += (unsigned long)i * i; }
+            printf("sum of squares = %lu, hex %x, char %c\n", total, 255, 'A');
+            return 0;
+        }
+    "#;
+    assert_eq!(stdout_of(src), "sum of squares = 55, hex ff, char A\n");
+}
+
+#[test]
+fn the_same_program_can_be_checked_under_every_model() {
+    let src = "int main(void) { int x = 3; int *p = &x; return *p + 39; }";
+    for model in ModelConfig::all_named() {
+        let out = run_with_model(src, model.clone()).unwrap();
+        assert!(
+            matches!(out.outcomes[0].result, ExecResult::Return(42)),
+            "model {}: {:?}",
+            model.name,
+            out.outcomes[0]
+        );
+    }
+}
+
+#[test]
+fn exhaustive_and_random_drivers_agree_on_deterministic_programs() {
+    let src = "int sq(int x) { return x * x; } int main(void) { int acc = 0; for (int i = 0; i < 5; i++) acc += sq(i); return acc; }";
+    let random = Pipeline::new(Config::default()).run_source(src).unwrap();
+    let exhaustive = Pipeline::new(Config::default().exhaustive(32)).run_source(src).unwrap();
+    assert_eq!(exhaustive.outcomes.len(), 1, "a deterministic program has a single behaviour");
+    assert_eq!(random.outcomes[0].result, exhaustive.outcomes[0].result);
+}
+
+#[test]
+fn ilp32_environment_changes_long_width() {
+    let src = "int main(void) { return (int)sizeof(long); }";
+    let mut config = Config::default();
+    config.impl_env = cerberus_ast::env::ImplEnv::ilp32();
+    let out = Pipeline::new(config).run_source(src).unwrap();
+    assert!(matches!(out.outcomes[0].result, ExecResult::Return(4)));
+    assert_eq!(exit_of(src), 8, "LP64 default");
+}

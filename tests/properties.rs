@@ -1,0 +1,118 @@
+//! Property-based tests over the whole stack: front-end robustness, the
+//! implementation-defined arithmetic rules, provenance preservation, and
+//! generator/pipeline agreement.
+
+use proptest::prelude::*;
+
+use cerberus::pipeline::run_with_model;
+use cerberus_ast::ctype::IntegerType;
+use cerberus_ast::env::ImplEnv;
+use cerberus_exec::driver::ExecResult;
+use cerberus_gen::{diff_one, generate, DiffOutcome, GenConfig};
+use cerberus_memory::config::ModelConfig;
+use cerberus_memory::state::{AllocKind, MemState};
+use cerberus_memory::value::MemValue;
+use cerberus_parser::lexer::lex;
+use cerberus_parser::preprocess::preprocess;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The lexer never panics on arbitrary printable input (it may reject it).
+    #[test]
+    fn lexer_is_total_on_printable_ascii(s in "[ -~\n\t]{0,200}") {
+        let _ = lex(&s);
+    }
+
+    /// The preprocessor never panics and strips comments without losing
+    /// newline structure entirely.
+    #[test]
+    fn preprocessor_is_total(s in "[ -~\n]{0,200}") {
+        let _ = preprocess(&s);
+    }
+
+    /// Integer conversion to an unsigned type is always in range and is a
+    /// ring homomorphism modulo 2^width (6.3.1.3p2).
+    #[test]
+    fn unsigned_conversion_is_modular(v in any::<i64>(), w in any::<i64>()) {
+        let env = ImplEnv::lp64();
+        for &ty in &[IntegerType::UChar, IntegerType::UShort, IntegerType::UInt, IntegerType::ULong] {
+            let cv = env.convert_int(i128::from(v), ty);
+            prop_assert!(cv >= 0 && cv <= env.int_max(ty));
+            let sum_then_convert = env.convert_int(i128::from(v).wrapping_add(i128::from(w)), ty);
+            let convert_then_sum =
+                env.convert_int(env.convert_int(i128::from(v), ty) + env.convert_int(i128::from(w), ty), ty);
+            prop_assert_eq!(sum_then_convert, convert_then_sum);
+        }
+    }
+
+    /// Signed conversion agrees with two's-complement truncation.
+    #[test]
+    fn signed_conversion_matches_twos_complement(v in any::<i64>()) {
+        let env = ImplEnv::lp64();
+        prop_assert_eq!(env.convert_int(i128::from(v), IntegerType::Int), i128::from(v as i32));
+        prop_assert_eq!(env.convert_int(i128::from(v), IntegerType::Short), i128::from(v as i16));
+        prop_assert_eq!(env.convert_int(i128::from(v), IntegerType::SChar), i128::from(v as i8));
+    }
+
+    /// Storing an integer and loading it back through the memory engine is
+    /// the identity on representable values, for every named model.
+    #[test]
+    fn memory_store_load_round_trips(v in any::<i32>()) {
+        for config in [ModelConfig::concrete(), ModelConfig::de_facto(), ModelConfig::strict_iso()] {
+            let mut mem = MemState::new(config, ImplEnv::lp64(), Default::default());
+            let ty = cerberus_ast::ctype::Ctype::integer(IntegerType::Int);
+            let p = mem.create(&ty, AllocKind::Automatic, None).unwrap();
+            mem.store(&ty, &p, &MemValue::int(IntegerType::Int, i128::from(v))).unwrap();
+            prop_assert_eq!(mem.load(&ty, &p).unwrap().as_int(), Some(i128::from(v)));
+        }
+    }
+
+    /// Bytewise copies of stored pointers preserve their provenance (Q13).
+    #[test]
+    fn bytewise_pointer_copies_preserve_provenance(offset in 0u64..4) {
+        let mut mem = MemState::new(ModelConfig::de_facto(), ImplEnv::lp64(), Default::default());
+        let int = cerberus_ast::ctype::Ctype::integer(IntegerType::Int);
+        let arr = cerberus_ast::ctype::Ctype::array(int.clone(), 4);
+        let target = mem.create(&arr, AllocKind::Automatic, None).unwrap();
+        let elem = mem.array_shift(&target, &int, i128::from(offset)).unwrap();
+        mem.store(&int, &elem, &MemValue::int(IntegerType::Int, 7)).unwrap();
+        let pty = cerberus_ast::ctype::Ctype::pointer(int.clone());
+        let a = mem.create(&pty, AllocKind::Automatic, None).unwrap();
+        let b = mem.create(&pty, AllocKind::Automatic, None).unwrap();
+        mem.store(&pty, &a, &MemValue::Pointer(int.clone(), elem.clone())).unwrap();
+        mem.copy_bytes(&b, &a, 8).unwrap();
+        let copied = mem.load(&pty, &b).unwrap();
+        prop_assert_eq!(copied.as_pointer().unwrap().prov, elem.prov);
+    }
+
+    /// Simple arithmetic programs computed by the pipeline agree with Rust's
+    /// own wrapping arithmetic at `unsigned int`.
+    #[test]
+    fn pipeline_matches_native_unsigned_arithmetic(a in any::<u32>(), b in any::<u32>()) {
+        let src = format!(
+            "int main(void) {{ unsigned x = {a}u; unsigned y = {b}u; unsigned z = x * 3u + y; return (int)(z % 97u); }}"
+        );
+        let expected = i128::from((a.wrapping_mul(3).wrapping_add(b)) % 97);
+        let out = run_with_model(&src, ModelConfig::de_facto()).unwrap();
+        prop_assert!(matches!(out.outcomes[0].result, ExecResult::Return(v) if v == expected),
+            "{:?} vs {}", out.outcomes[0], expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generated well-defined programs never trigger undefined behaviour and
+    /// always agree with the reference evaluator (the §6 validation as a
+    /// property).
+    #[test]
+    fn generated_programs_agree_with_the_reference(seed in 0u64..2000) {
+        let program = generate(seed, GenConfig::small());
+        let outcome = diff_one(&program, 2_000_000);
+        prop_assert!(
+            matches!(outcome, DiffOutcome::Agree | DiffOutcome::Timeout),
+            "seed {seed}: {outcome:?}"
+        );
+    }
+}
