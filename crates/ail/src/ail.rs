@@ -83,7 +83,10 @@ impl BinOp {
     /// Whether the operator is a relational or equality comparison, whose
     /// result type is `int`.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// Whether the operator is `&&` or `||`.

@@ -92,21 +92,59 @@ fn builtin_prototypes() -> Vec<(&'static str, Ctype)> {
     };
     vec![
         ("printf", func(int.clone(), vec![char_ptr.clone()], true)),
-        ("malloc", func(void_ptr.clone(), vec![size_t.clone()], false)),
-        ("calloc", func(void_ptr.clone(), vec![size_t.clone(), size_t.clone()], false)),
+        (
+            "malloc",
+            func(void_ptr.clone(), vec![size_t.clone()], false),
+        ),
+        (
+            "calloc",
+            func(
+                void_ptr.clone(),
+                vec![size_t.clone(), size_t.clone()],
+                false,
+            ),
+        ),
         ("free", func(Ctype::Void, vec![void_ptr.clone()], false)),
         (
             "memcpy",
-            func(void_ptr.clone(), vec![void_ptr.clone(), void_ptr.clone(), size_t.clone()], false),
+            func(
+                void_ptr.clone(),
+                vec![void_ptr.clone(), void_ptr.clone(), size_t.clone()],
+                false,
+            ),
         ),
         (
             "memcmp",
-            func(int.clone(), vec![void_ptr.clone(), void_ptr.clone(), size_t.clone()], false),
+            func(
+                int.clone(),
+                vec![void_ptr.clone(), void_ptr.clone(), size_t.clone()],
+                false,
+            ),
         ),
-        ("memset", func(void_ptr.clone(), vec![void_ptr.clone(), int.clone(), size_t.clone()], false)),
-        ("strlen", func(size_t.clone(), vec![char_ptr.clone()], false)),
-        ("strcmp", func(int.clone(), vec![char_ptr.clone(), char_ptr.clone()], false)),
-        ("strcpy", func(char_ptr.clone(), vec![char_ptr.clone(), char_ptr.clone()], false)),
+        (
+            "memset",
+            func(
+                void_ptr.clone(),
+                vec![void_ptr.clone(), int.clone(), size_t.clone()],
+                false,
+            ),
+        ),
+        (
+            "strlen",
+            func(size_t.clone(), vec![char_ptr.clone()], false),
+        ),
+        (
+            "strcmp",
+            func(int.clone(), vec![char_ptr.clone(), char_ptr.clone()], false),
+        ),
+        (
+            "strcpy",
+            func(
+                char_ptr.clone(),
+                vec![char_ptr.clone(), char_ptr.clone()],
+                false,
+            ),
+        ),
         ("abort", func(Ctype::Void, vec![], false)),
         ("exit", func(Ctype::Void, vec![int.clone()], false)),
         ("assert", func(Ctype::Void, vec![int.clone()], false)),
@@ -131,7 +169,10 @@ impl<'a> Desugarer<'a> {
         };
         for (name, ty) in builtin_prototypes() {
             d.functions.insert(name.to_owned(), ty.clone());
-            d.decls.push(FunctionDecl { name: Ident::new(name), ty });
+            d.decls.push(FunctionDecl {
+                name: Ident::new(name),
+                ty,
+            });
         }
         d
     }
@@ -168,7 +209,11 @@ impl<'a> Desugarer<'a> {
     }
 
     fn lookup_enum_const(&self, name: &str) -> Option<i128> {
-        self.enum_consts.iter().rev().find_map(|s| s.get(name)).copied()
+        self.enum_consts
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .copied()
     }
 
     fn lookup_object(&self, name: &str) -> Option<&Binding> {
@@ -203,11 +248,7 @@ impl<'a> Desugarer<'a> {
                 TS::TypedefName(name) => match self.lookup_typedef(name) {
                     Some(ty) => composite = Some(ty.clone()),
                     None => {
-                        return self.violation(
-                            format!("unknown type name {name}"),
-                            "6.7.8p3",
-                            span,
-                        )
+                        return self.violation(format!("unknown type name {name}"), "6.7.8p3", span)
                     }
                 },
                 other => basic.push(other),
@@ -246,19 +287,39 @@ impl<'a> Desugarer<'a> {
                 IntegerType::Char
             })
         } else if has(&TS::Short) {
-            Ctype::integer(if unsigned { IntegerType::UShort } else { IntegerType::Short })
+            Ctype::integer(if unsigned {
+                IntegerType::UShort
+            } else {
+                IntegerType::Short
+            })
         } else if longs >= 2 {
-            Ctype::integer(if unsigned { IntegerType::ULongLong } else { IntegerType::LongLong })
+            Ctype::integer(if unsigned {
+                IntegerType::ULongLong
+            } else {
+                IntegerType::LongLong
+            })
         } else if longs == 1 {
-            Ctype::integer(if unsigned { IntegerType::ULong } else { IntegerType::Long })
+            Ctype::integer(if unsigned {
+                IntegerType::ULong
+            } else {
+                IntegerType::Long
+            })
         } else if has(&TS::Int) || signed || unsigned {
-            Ctype::integer(if unsigned { IntegerType::UInt } else { IntegerType::Int })
+            Ctype::integer(if unsigned {
+                IntegerType::UInt
+            } else {
+                IntegerType::Int
+            })
         } else if basic.is_empty() {
             // No type specifier at all: implicit int is a constraint violation
             // in C11.
             return self.violation("declaration lacks a type specifier", "6.7.2p2", span);
         } else {
-            return self.violation("unsupported combination of type specifiers", "6.7.2p2", span);
+            return self.violation(
+                "unsupported combination of type specifiers",
+                "6.7.2p2",
+                span,
+            );
         };
         Ok(ty)
     }
@@ -268,7 +329,11 @@ impl<'a> Desugarer<'a> {
         sou: &cabs::StructOrUnionSpecifier,
         span: Span,
     ) -> DResult<Ctype> {
-        let kind = if sou.is_union { TagKind::Union } else { TagKind::Struct };
+        let kind = if sou.is_union {
+            TagKind::Union
+        } else {
+            TagKind::Struct
+        };
         let name = match &sou.name {
             Some(n) => Ident::new(n.clone()),
             None => {
@@ -294,7 +359,10 @@ impl<'a> Desugarer<'a> {
                                 span,
                             )
                         })?;
-                        members.push(Member { name: Ident::new(mname), ty: mty });
+                        members.push(Member {
+                            name: Ident::new(mname),
+                            ty: mty,
+                        });
                     }
                 }
                 if members.is_empty() {
@@ -349,7 +417,11 @@ impl<'a> Desugarer<'a> {
         d: &cabs::Declarator,
         base: Ctype,
         span: Span,
-    ) -> DResult<(Option<String>, Ctype, Option<(Vec<(Option<String>, Ctype)>, bool)>)> {
+    ) -> DResult<(
+        Option<String>,
+        Ctype,
+        Option<(Vec<(Option<String>, Ctype)>, bool)>,
+    )> {
         match d {
             cabs::Declarator::Abstract => Ok((None, base, None)),
             cabs::Declarator::Ident(name, _) => Ok((Some(name.clone()), base, None)),
@@ -385,7 +457,10 @@ impl<'a> Desugarer<'a> {
                 }
                 let param_types: Vec<Ctype> = param_info.iter().map(|(_, t)| t.clone()).collect();
                 let fn_ty = Ctype::Function(Box::new(base), param_types, *variadic);
-                let direct = matches!(**inner, cabs::Declarator::Ident(..) | cabs::Declarator::Abstract);
+                let direct = matches!(
+                    **inner,
+                    cabs::Declarator::Ident(..) | cabs::Declarator::Abstract
+                );
                 let (name, ty, inner_params) = self.apply_declarator(inner, fn_ty, span)?;
                 if direct {
                     Ok((name, ty, Some((param_info, *variadic))))
@@ -482,7 +557,11 @@ impl<'a> Desugarer<'a> {
         if e.is_lvalue {
             Ok(())
         } else {
-            Err(ConstraintViolation::new(format!("{what} requires an lvalue"), clause, e.span))
+            Err(ConstraintViolation::new(
+                format!("{what} requires an lvalue"),
+                clause,
+                e.span,
+            ))
         }
     }
 
@@ -512,11 +591,20 @@ impl<'a> Desugarer<'a> {
     fn desugar_expr(&mut self, e: &cabs::Expr) -> DResult<AilExpr> {
         use cabs::Expr as CE;
         let span = e.span();
-        let mk = |kind, ty, is_lvalue| AilExpr { kind, ty, is_lvalue, span };
+        let mk = |kind, ty, is_lvalue| AilExpr {
+            kind,
+            ty,
+            is_lvalue,
+            span,
+        };
         match e {
             CE::Ident(name, _) => {
                 if let Some(v) = self.lookup_enum_const(name) {
-                    return Ok(mk(AilExprKind::Constant(v), Ctype::integer(IntegerType::Int), false));
+                    return Ok(mk(
+                        AilExprKind::Constant(v),
+                        Ctype::integer(IntegerType::Int),
+                        false,
+                    ));
                 }
                 if let Some(b) = self.lookup_object(name) {
                     return Ok(mk(
@@ -532,16 +620,22 @@ impl<'a> Desugarer<'a> {
                         false,
                     ));
                 }
-                self.violation(format!("use of undeclared identifier {name}"), "6.5.1p2", span)
+                self.violation(
+                    format!("use of undeclared identifier {name}"),
+                    "6.5.1p2",
+                    span,
+                )
             }
             CE::IntConst(v, suffix, _) => {
                 let IntSuffix { unsigned, longs } = *suffix;
                 let it = choose_int_const_type(*v, unsigned, longs, self.env);
                 Ok(mk(AilExprKind::Constant(*v), Ctype::integer(it), false))
             }
-            CE::CharConst(v, _) => {
-                Ok(mk(AilExprKind::Constant(i128::from(*v)), Ctype::integer(IntegerType::Int), false))
-            }
+            CE::CharConst(v, _) => Ok(mk(
+                AilExprKind::Constant(i128::from(*v)),
+                Ctype::integer(IntegerType::Int),
+                false,
+            )),
             CE::FloatConst(v, _) => Ok(mk(AilExprKind::FloatConstant(*v), Ctype::Floating, false)),
             CE::StringLit(bytes, _) => {
                 let len = bytes.len() as u64 + 1;
@@ -555,7 +649,11 @@ impl<'a> Desugarer<'a> {
                 let base = self.desugar_expr(inner)?;
                 let mty = self.member_type(&base.ty, name, span)?;
                 let lv = base.is_lvalue;
-                Ok(mk(AilExprKind::Member(Box::new(base), Ident::new(name.clone())), mty, lv))
+                Ok(mk(
+                    AilExprKind::Member(Box::new(base), Ident::new(name.clone())),
+                    mty,
+                    lv,
+                ))
             }
             CE::MemberPtr(inner, name, _) => {
                 // p->m  ≡  (*p).m   (6.5.2.3p4)
@@ -564,10 +662,17 @@ impl<'a> Desugarer<'a> {
                 let pointee = pty.pointee().cloned().ok_or_else(|| {
                     ConstraintViolation::new("-> applied to a non-pointer", "6.5.2.3p2", span)
                 })?;
-                let deref =
-                    mk(AilExprKind::Unary(UnOp::Deref, Box::new(base)), pointee.clone(), true);
+                let deref = mk(
+                    AilExprKind::Unary(UnOp::Deref, Box::new(base)),
+                    pointee.clone(),
+                    true,
+                );
                 let mty = self.member_type(&pointee, name, span)?;
-                Ok(mk(AilExprKind::Member(Box::new(deref), Ident::new(name.clone())), mty, true))
+                Ok(mk(
+                    AilExprKind::Member(Box::new(deref), Ident::new(name.clone())),
+                    mty,
+                    true,
+                ))
             }
             CE::Index(arr, idx, _) => {
                 // e1[e2]  ≡  *((e1) + (e2))   (6.5.2.1p2)
@@ -575,8 +680,7 @@ impl<'a> Desugarer<'a> {
                 let i = self.desugar_expr(idx)?;
                 let aty = self.rvalue_type(&a);
                 let ity = self.rvalue_type(&i);
-                let sum_ty =
-                    binary_result_type(BinOp::Add, &aty, &ity, self.env, span)?;
+                let sum_ty = binary_result_type(BinOp::Add, &aty, &ity, self.env, span)?;
                 let pointee = sum_ty.pointee().cloned().ok_or_else(|| {
                     ConstraintViolation::new(
                         "subscripted expression is not a pointer or array",
@@ -589,7 +693,11 @@ impl<'a> Desugarer<'a> {
                     sum_ty,
                     false,
                 );
-                Ok(mk(AilExprKind::Unary(UnOp::Deref, Box::new(sum)), pointee, true))
+                Ok(mk(
+                    AilExprKind::Unary(UnOp::Deref, Box::new(sum)),
+                    pointee,
+                    true,
+                ))
             }
             CE::Call(callee, args, _) => {
                 let f = self.desugar_expr(callee)?;
@@ -622,23 +730,25 @@ impl<'a> Desugarer<'a> {
                 for a in args {
                     ail_args.push(self.desugar_expr(a)?);
                 }
-                if !params.is_empty() || !variadic {
-                    if ail_args.len() < params.len() || (!variadic && ail_args.len() > params.len())
-                    {
-                        return self.violation(
-                            format!(
-                                "call supplies {} arguments but the function takes {}",
-                                ail_args.len(),
-                                params.len()
-                            ),
-                            "6.5.2.2p2",
-                            span,
-                        );
-                    }
+                if (!params.is_empty() || !variadic)
+                    && (ail_args.len() < params.len()
+                        || (!variadic && ail_args.len() > params.len()))
+                {
+                    return self.violation(
+                        format!(
+                            "call supplies {} arguments but the function takes {}",
+                            ail_args.len(),
+                            params.len()
+                        ),
+                        "6.5.2.2p2",
+                        span,
+                    );
                 }
                 Ok(mk(AilExprKind::Call(Box::new(f), ail_args), ret, false))
             }
-            CE::PostIncr(inner, _) | CE::PostDecr(inner, _) | CE::PreIncr(inner, _)
+            CE::PostIncr(inner, _)
+            | CE::PostDecr(inner, _)
+            | CE::PreIncr(inner, _)
             | CE::PreDecr(inner, _) => {
                 let op = match e {
                     CE::PostIncr(..) => UnOp::PostIncr,
@@ -662,9 +772,7 @@ impl<'a> Desugarer<'a> {
                 let operand = self.desugar_expr(inner)?;
                 match op {
                     cabs::UnaryOp::AddressOf => {
-                        if !operand.is_lvalue
-                            && !matches!(operand.ty, Ctype::Function(..))
-                        {
+                        if !operand.is_lvalue && !matches!(operand.ty, Ctype::Function(..)) {
                             return self.violation(
                                 "& requires an lvalue or function designator",
                                 "6.5.3.2p1",
@@ -672,7 +780,11 @@ impl<'a> Desugarer<'a> {
                             );
                         }
                         let ty = Ctype::pointer(operand.ty.clone());
-                        Ok(mk(AilExprKind::Unary(UnOp::AddressOf, Box::new(operand)), ty, false))
+                        Ok(mk(
+                            AilExprKind::Unary(UnOp::AddressOf, Box::new(operand)),
+                            ty,
+                            false,
+                        ))
                     }
                     cabs::UnaryOp::Deref => {
                         let pty = self.rvalue_type(&operand);
@@ -705,7 +817,11 @@ impl<'a> Desugarer<'a> {
                             cabs::UnaryOp::Minus => UnOp::Minus,
                             _ => UnOp::BitNot,
                         };
-                        Ok(mk(AilExprKind::Unary(un_op, Box::new(operand)), promoted, false))
+                        Ok(mk(
+                            AilExprKind::Unary(un_op, Box::new(operand)),
+                            promoted,
+                            false,
+                        ))
                     }
                     cabs::UnaryOp::LogicalNot => {
                         let ty = self.rvalue_type(&operand);
@@ -779,7 +895,11 @@ impl<'a> Desugarer<'a> {
                         span,
                     );
                 }
-                Ok(mk(AilExprKind::Cast(ty.clone(), Box::new(operand)), ty, false))
+                Ok(mk(
+                    AilExprKind::Cast(ty.clone(), Box::new(operand)),
+                    ty,
+                    false,
+                ))
             }
             CE::Binary(op, l, r, _) => {
                 let bop = convert_binop(*op);
@@ -788,7 +908,11 @@ impl<'a> Desugarer<'a> {
                 let lty = self.rvalue_type(&lhs);
                 let rty = self.rvalue_type(&rhs);
                 let ty = binary_result_type(bop, &lty, &rty, self.env, span)?;
-                Ok(mk(AilExprKind::Binary(bop, Box::new(lhs), Box::new(rhs)), ty, false))
+                Ok(mk(
+                    AilExprKind::Binary(bop, Box::new(lhs), Box::new(rhs)),
+                    ty,
+                    false,
+                ))
             }
             CE::Conditional(c, t, f, _) => {
                 let cond = self.desugar_expr(c)?;
@@ -825,7 +949,11 @@ impl<'a> Desugarer<'a> {
                                 span,
                             );
                         }
-                        Ok(mk(AilExprKind::Assign(Box::new(lhs), Box::new(rhs)), lty, false))
+                        Ok(mk(
+                            AilExprKind::Assign(Box::new(lhs), Box::new(rhs)),
+                            lty,
+                            false,
+                        ))
                     }
                     Some(cop) => {
                         let bop = convert_binop(*cop);
@@ -846,7 +974,11 @@ impl<'a> Desugarer<'a> {
                 let lhs = self.desugar_expr(a)?;
                 let rhs = self.desugar_expr(b)?;
                 let ty = self.rvalue_type(&rhs);
-                Ok(mk(AilExprKind::Comma(Box::new(lhs), Box::new(rhs)), ty, false))
+                Ok(mk(
+                    AilExprKind::Comma(Box::new(lhs), Box::new(rhs)),
+                    ty,
+                    false,
+                ))
             }
         }
     }
@@ -941,7 +1073,14 @@ impl<'a> Desugarer<'a> {
                         init,
                         span: decl.span,
                     });
-                    self.bind_object(&name, Binding { unique, ty, kind: IdentKind::Global });
+                    self.bind_object(
+                        &name,
+                        Binding {
+                            unique,
+                            ty,
+                            kind: IdentKind::Global,
+                        },
+                    );
                     continue;
                 }
                 Some(StorageClass::Extern) => {
@@ -950,10 +1089,20 @@ impl<'a> Desugarer<'a> {
                     // file or a builtin).
                     if matches!(ty, Ctype::Function(..)) {
                         self.functions.insert(name.clone(), ty.clone());
-                        self.decls.push(FunctionDecl { name: Ident::new(name), ty });
+                        self.decls.push(FunctionDecl {
+                            name: Ident::new(name),
+                            ty,
+                        });
                     } else {
                         let unique = Ident::new(name.clone());
-                        self.bind_object(&name, Binding { unique, ty, kind: IdentKind::Global });
+                        self.bind_object(
+                            &name,
+                            Binding {
+                                unique,
+                                ty,
+                                kind: IdentKind::Global,
+                            },
+                        );
                     }
                     continue;
                 }
@@ -961,7 +1110,10 @@ impl<'a> Desugarer<'a> {
             }
             if matches!(ty, Ctype::Function(..)) {
                 self.functions.insert(name.clone(), ty.clone());
-                self.decls.push(FunctionDecl { name: Ident::new(name), ty });
+                self.decls.push(FunctionDecl {
+                    name: Ident::new(name),
+                    ty,
+                });
                 continue;
             }
             let unique = self.fresh_local(&name);
@@ -974,9 +1126,18 @@ impl<'a> Desugarer<'a> {
             }
             self.bind_object(
                 &name,
-                Binding { unique: unique.clone(), ty: ty.clone(), kind: IdentKind::Local },
+                Binding {
+                    unique: unique.clone(),
+                    ty: ty.clone(),
+                    kind: IdentKind::Local,
+                },
             );
-            out.push(ObjectDecl { name: unique, ty, init, span: decl.span });
+            out.push(ObjectDecl {
+                name: unique,
+                ty,
+                init,
+                span: decl.span,
+            });
         }
         Ok(out)
     }
@@ -998,7 +1159,10 @@ impl<'a> Desugarer<'a> {
             }
             if matches!(ty, Ctype::Function(..)) {
                 self.functions.insert(name.clone(), ty.clone());
-                self.decls.push(FunctionDecl { name: Ident::new(name), ty });
+                self.decls.push(FunctionDecl {
+                    name: Ident::new(name),
+                    ty,
+                });
                 continue;
             }
             // A file-scope object. `extern` without an initialiser is a
@@ -1028,7 +1192,14 @@ impl<'a> Desugarer<'a> {
                     });
                 }
             }
-            self.bind_object(&name, Binding { unique, ty, kind: IdentKind::Global });
+            self.bind_object(
+                &name,
+                Binding {
+                    unique,
+                    ty,
+                    kind: IdentKind::Global,
+                },
+            );
         }
         Ok(())
     }
@@ -1096,7 +1267,12 @@ impl<'a> Desugarer<'a> {
                 };
                 let body = self.desugar_stmt(body)?;
                 self.pop_scope();
-                Ok(AilStmt::For(Box::new(init_stmt), cond, step, Box::new(body)))
+                Ok(AilStmt::For(
+                    Box::new(init_stmt),
+                    cond,
+                    step,
+                    Box::new(body),
+                ))
             }
             CS::Switch(e, body, _) => {
                 let scrutinee = self.desugar_expr(e)?;
@@ -1181,7 +1357,11 @@ impl<'a> Desugarer<'a> {
             let unique = self.fresh_local(&pname);
             self.bind_object(
                 &pname,
-                Binding { unique: unique.clone(), ty: pty.clone(), kind: IdentKind::Local },
+                Binding {
+                    unique: unique.clone(),
+                    ty: pty.clone(),
+                    kind: IdentKind::Local,
+                },
             );
             ail_params.push((unique, pty.clone()));
         }
@@ -1321,10 +1501,8 @@ mod tests {
 
     #[test]
     fn arrow_is_rewritten_to_member_of_deref() {
-        let p = run(
-            "struct s { int v; };\n\
-             int get(struct s *p) { return p->v; }",
-        );
+        let p = run("struct s { int v; };\n\
+             int get(struct s *p) { return p->v; }");
         let body = format!("{:?}", p.functions[0].body);
         assert!(body.contains("Member"));
         assert!(body.contains("Deref"));
@@ -1345,7 +1523,8 @@ mod tests {
 
     #[test]
     fn struct_definitions_enter_the_registry() {
-        let p = run("struct point { int x; int y; }; struct point origin; int main(void){return 0;}");
+        let p =
+            run("struct point { int x; int y; }; struct point origin; int main(void){return 0;}");
         assert_eq!(p.tags.iter().count(), 1);
         let (_, def) = p.tags.iter().next().unwrap();
         assert_eq!(def.members.len(), 2);
@@ -1354,7 +1533,10 @@ mod tests {
     #[test]
     fn static_locals_become_globals() {
         let p = run("int counter(void) { static int n = 0; n = n + 1; return n; } int main(void) { return counter(); }");
-        assert!(p.globals.iter().any(|g| g.name.as_str().contains("static.n")));
+        assert!(p
+            .globals
+            .iter()
+            .any(|g| g.name.as_str().contains("static.n")));
     }
 
     #[test]
@@ -1368,21 +1550,27 @@ mod tests {
     #[test]
     fn undeclared_identifier_is_a_violation() {
         let e = run_err("int main(void) { return zz; }");
-        let FrontendError::Constraint(c) = e else { panic!("expected constraint violation") };
+        let FrontendError::Constraint(c) = e else {
+            panic!("expected constraint violation")
+        };
         assert_eq!(c.iso_clause(), "6.5.1p2");
     }
 
     #[test]
     fn shift_of_pointer_is_a_violation() {
         let e = run_err("int main(void) { int x = 0; int *p = &x; return (int)(p << 1); }");
-        let FrontendError::Constraint(c) = e else { panic!("expected constraint violation") };
+        let FrontendError::Constraint(c) = e else {
+            panic!("expected constraint violation")
+        };
         assert_eq!(c.iso_clause(), "6.5.7p2");
     }
 
     #[test]
     fn assignment_to_rvalue_is_a_violation() {
         let e = run_err("int main(void) { 3 = 4; return 0; }");
-        let FrontendError::Constraint(c) = e else { panic!("expected constraint violation") };
+        let FrontendError::Constraint(c) = e else {
+            panic!("expected constraint violation")
+        };
         assert_eq!(c.iso_clause(), "6.5.16p2");
     }
 
@@ -1397,7 +1585,9 @@ mod tests {
     #[test]
     fn call_arity_is_checked() {
         let e = run_err("int f(int a) { return a; } int main(void) { return f(1, 2); }");
-        let FrontendError::Constraint(c) = e else { panic!("expected constraint violation") };
+        let FrontendError::Constraint(c) = e else {
+            panic!("expected constraint violation")
+        };
         assert_eq!(c.iso_clause(), "6.5.2.2p2");
     }
 
@@ -1419,8 +1609,7 @@ mod tests {
 
     #[test]
     fn provenance_example_desugars() {
-        run(
-            "#include <stdio.h>\n#include <string.h>\n\
+        run("#include <stdio.h>\n#include <string.h>\n\
              int y=2, x=1;\n\
              int main() {\n\
                int *p = &x + 1;\n\
@@ -1431,8 +1620,7 @@ mod tests {
                  printf(\"x=%d y=%d *p=%d *q=%d\\n\",x,y,*p,*q);\n\
                }\n\
                return 0;\n\
-             }",
-        );
+             }");
     }
 
     #[test]
@@ -1445,10 +1633,8 @@ mod tests {
 
     #[test]
     fn function_pointers_desugar() {
-        run(
-            "int add(int a, int b) { return a + b; }\n\
-             int main(void) { int (*f)(int, int) = add; return f(2, 3); }",
-        );
+        run("int add(int a, int b) { return a + b; }\n\
+             int main(void) { int (*f)(int, int) = add; return f(2, 3); }");
     }
 
     #[test]
@@ -1476,10 +1662,8 @@ mod tests {
 
     #[test]
     fn unions_desugar() {
-        let p = run(
-            "union u { int i; char bytes[4]; };\n\
-             int main(void) { union u v; v.i = 258; return v.bytes[0]; }",
-        );
+        let p = run("union u { int i; char bytes[4]; };\n\
+             int main(void) { union u v; v.i = 258; return v.bytes[0]; }");
         assert_eq!(p.tags.iter().count(), 1);
     }
 }

@@ -81,7 +81,8 @@ pub fn binary_result_type(
             }
         }
         Lt | Gt | Le | Ge => {
-            if (lhs.is_arithmetic() && rhs.is_arithmetic()) || (lhs.is_pointer() && rhs.is_pointer())
+            if (lhs.is_arithmetic() && rhs.is_arithmetic())
+                || (lhs.is_pointer() && rhs.is_pointer())
             {
                 Ok(int_result)
             } else {
@@ -187,9 +188,15 @@ mod tests {
     #[test]
     fn decimal_constants_prefer_int() {
         assert_eq!(choose_int_const_type(1, false, 0, &env()), IntegerType::Int);
-        assert_eq!(choose_int_const_type(5_000_000_000, false, 0, &env()), IntegerType::Long);
+        assert_eq!(
+            choose_int_const_type(5_000_000_000, false, 0, &env()),
+            IntegerType::Long
+        );
         assert_eq!(choose_int_const_type(1, true, 0, &env()), IntegerType::UInt);
-        assert_eq!(choose_int_const_type(1, false, 1, &env()), IntegerType::Long);
+        assert_eq!(
+            choose_int_const_type(1, false, 1, &env()),
+            IntegerType::Long
+        );
         assert_eq!(
             choose_int_const_type(u64::MAX as i128, true, 0, &env()),
             IntegerType::ULong
@@ -226,8 +233,14 @@ mod tests {
     fn pointer_arithmetic_types() {
         let p = Ctype::pointer(Ctype::integer(IntegerType::Int));
         let i = Ctype::integer(IntegerType::Int);
-        assert_eq!(binary_result_type(BinOp::Add, &p, &i, &env(), Span::synthetic()).unwrap(), p);
-        assert_eq!(binary_result_type(BinOp::Add, &i, &p, &env(), Span::synthetic()).unwrap(), p);
+        assert_eq!(
+            binary_result_type(BinOp::Add, &p, &i, &env(), Span::synthetic()).unwrap(),
+            p
+        );
+        assert_eq!(
+            binary_result_type(BinOp::Add, &i, &p, &env(), Span::synthetic()).unwrap(),
+            p
+        );
         assert_eq!(
             binary_result_type(BinOp::Sub, &p, &p, &env(), Span::synthetic()).unwrap(),
             Ctype::integer(IntegerType::PtrdiffT)
@@ -267,6 +280,9 @@ mod tests {
         assert!(assignable(&pint, &pvoid));
         assert!(assignable(&pvoid, &pchar));
         assert!(!assignable(&pint, &pchar));
-        assert!(!assignable(&int, &Ctype::Struct(cerberus_ast::ctype::TagId(0))));
+        assert!(!assignable(
+            &int,
+            &Ctype::Struct(cerberus_ast::ctype::TagId(0))
+        ));
     }
 }

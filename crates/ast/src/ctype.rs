@@ -161,7 +161,9 @@ impl Qualifiers {
 
     /// Union of two qualifier sets.
     pub fn merge(self, other: Qualifiers) -> Qualifiers {
-        Qualifiers { constant: self.constant || other.constant }
+        Qualifiers {
+            constant: self.constant || other.constant,
+        }
     }
 }
 
@@ -364,13 +366,18 @@ mod tests {
     #[test]
     fn array_decays_to_pointer() {
         let arr = Ctype::array(Ctype::integer(IntegerType::Int), 4);
-        assert_eq!(arr.decay(), Ctype::pointer(Ctype::integer(IntegerType::Int)));
+        assert_eq!(
+            arr.decay(),
+            Ctype::pointer(Ctype::integer(IntegerType::Int))
+        );
     }
 
     #[test]
     fn function_decays_to_function_pointer() {
         let fun = Ctype::Function(Box::new(Ctype::Void), vec![], false);
-        assert!(matches!(fun.decay(), Ctype::Pointer(_, inner) if matches!(*inner, Ctype::Function(..))));
+        assert!(
+            matches!(fun.decay(), Ctype::Pointer(_, inner) if matches!(*inner, Ctype::Function(..)))
+        );
     }
 
     #[test]

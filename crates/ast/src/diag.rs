@@ -36,12 +36,22 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// A constraint-violation error.
     pub fn error(message: impl Into<String>, iso_clause: &'static str, span: Span) -> Self {
-        Diagnostic { severity: Severity::Error, message: message.into(), iso_clause, span }
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            iso_clause,
+            span,
+        }
     }
 
     /// A warning.
     pub fn warning(message: impl Into<String>, iso_clause: &'static str, span: Span) -> Self {
-        Diagnostic { severity: Severity::Warning, message: message.into(), iso_clause, span }
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            iso_clause,
+            span,
+        }
     }
 }
 
@@ -51,7 +61,11 @@ impl fmt::Display for Diagnostic {
             Severity::Error => "error",
             Severity::Warning => "warning",
         };
-        write!(f, "{}: {} [ISO C11 {}] at {}", sev, self.message, self.iso_clause, self.span)
+        write!(
+            f,
+            "{}: {} [ISO C11 {}] at {}",
+            sev, self.message, self.iso_clause, self.span
+        )
     }
 }
 
@@ -69,7 +83,9 @@ pub struct ConstraintViolation {
 impl ConstraintViolation {
     /// Construct a constraint violation citing the given clause.
     pub fn new(message: impl Into<String>, iso_clause: &'static str, span: Span) -> Self {
-        ConstraintViolation { diagnostic: Diagnostic::error(message, iso_clause, span) }
+        ConstraintViolation {
+            diagnostic: Diagnostic::error(message, iso_clause, span),
+        }
     }
 
     /// The ISO clause violated.
@@ -124,7 +140,11 @@ mod tests {
 
     #[test]
     fn warning_display() {
-        let d = Diagnostic::warning("implicit conversion changes value", "6.3.1.3", Span::synthetic());
+        let d = Diagnostic::warning(
+            "implicit conversion changes value",
+            "6.3.1.3",
+            Span::synthetic(),
+        );
         assert!(d.to_string().starts_with("warning:"));
     }
 }

@@ -282,7 +282,10 @@ mod tests {
     fn signed_conversion_wraps_twos_complement() {
         let env = ImplEnv::lp64();
         assert_eq!(env.convert_int(u32::MAX as i128, IntegerType::Int), -1);
-        assert_eq!(env.convert_int(i32::MAX as i128 + 1, IntegerType::Int), i32::MIN as i128);
+        assert_eq!(
+            env.convert_int(i32::MAX as i128 + 1, IntegerType::Int),
+            i32::MIN as i128
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ impl Ident {
     /// e.g. `e1'17` for the 17th fresh symbol derived from `e1`.
     pub fn fresh(hint: &str) -> Self {
         let n = FRESH_COUNTER.fetch_add(1, Ordering::Relaxed);
-        Ident { name: format!("{hint}'{n}") }
+        Ident {
+            name: format!("{hint}'{n}"),
+        }
     }
 
     /// The textual spelling.

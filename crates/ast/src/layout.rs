@@ -59,7 +59,11 @@ impl TagRegistry {
     /// Complete (or define afresh) a tag with its member list. Returns the id.
     pub fn define(&mut self, kind: TagKind, name: &Ident, members: Vec<Member>) -> TagId {
         let id = self.declare(kind, name);
-        self.defs[id.0 as usize] = Some(TagDefinition { kind, name: name.clone(), members });
+        self.defs[id.0 as usize] = Some(TagDefinition {
+            kind,
+            name: name.clone(),
+            members,
+        });
         id
     }
 
@@ -118,12 +122,17 @@ pub struct Layout {
 impl Layout {
     /// Offset of a member by name.
     pub fn offset_of(&self, name: &str) -> Option<u64> {
-        self.members.iter().find(|(n, _, _)| n.as_str() == name).map(|(_, off, _)| *off)
+        self.members
+            .iter()
+            .find(|(n, _, _)| n.as_str() == name)
+            .map(|(_, off, _)| *off)
     }
 
     /// Whether byte `offset` falls in padding.
     pub fn is_padding(&self, offset: u64) -> bool {
-        self.padding.iter().any(|p| offset >= p.offset && offset < p.offset + p.len)
+        self.padding
+            .iter()
+            .any(|p| offset >= p.offset && offset < p.offset + p.len)
     }
 
     /// Total number of padding bytes.
@@ -212,7 +221,10 @@ pub fn layout_struct(
         let ms = size_of(&m.ty, env, tags)?;
         let aligned = align_up(offset, ma);
         if aligned > offset {
-            padding.push(PaddingRange { offset, len: aligned - offset });
+            padding.push(PaddingRange {
+                offset,
+                len: aligned - offset,
+            });
         }
         laid.push((m.name.clone(), aligned, ms));
         offset = aligned + ms;
@@ -220,9 +232,17 @@ pub fn layout_struct(
     }
     let size = align_up(offset.max(1), align);
     if size > offset {
-        padding.push(PaddingRange { offset, len: size - offset });
+        padding.push(PaddingRange {
+            offset,
+            len: size - offset,
+        });
     }
-    Ok(Layout { size, align, members: laid, padding })
+    Ok(Layout {
+        size,
+        align,
+        members: laid,
+        padding,
+    })
 }
 
 /// Layout of a union with the given member list: members all at offset zero,
@@ -244,11 +264,19 @@ pub fn layout_union(
     }
     let total = align_up(size.max(1), align);
     let padding = if total > size {
-        vec![PaddingRange { offset: size, len: total - size }]
+        vec![PaddingRange {
+            offset: size,
+            len: total - size,
+        }]
     } else {
         Vec::new()
     };
-    Ok(Layout { size: total, align, members: laid, padding })
+    Ok(Layout {
+        size: total,
+        align,
+        members: laid,
+        padding,
+    })
 }
 
 /// Offset of member `name` within the struct/union `id` (the `offsetof`
@@ -271,7 +299,10 @@ mod tests {
     use crate::ctype::IntegerType;
 
     fn member(name: &str, ty: Ctype) -> Member {
-        Member { name: Ident::new(name), ty }
+        Member {
+            name: Ident::new(name),
+            ty,
+        }
     }
 
     #[test]
@@ -351,7 +382,10 @@ mod tests {
         let outer = tags.define(
             TagKind::Struct,
             &Ident::new("outer"),
-            vec![member("x", Ctype::integer(IntegerType::Int)), member("s", Ctype::Struct(inner))],
+            vec![
+                member("x", Ctype::integer(IntegerType::Int)),
+                member("s", Ctype::Struct(inner)),
+            ],
         );
         let layout = layout_of_tag(outer, &env, &tags).unwrap();
         assert_eq!(layout.offset_of("x"), Some(0));

@@ -22,12 +22,20 @@ pub struct Loc {
 impl Loc {
     /// The start of the translation unit.
     pub const fn start() -> Self {
-        Loc { line: 1, column: 1, offset: 0 }
+        Loc {
+            line: 1,
+            column: 1,
+            offset: 0,
+        }
     }
 
     /// Construct a location from explicit coordinates.
     pub const fn new(line: u32, column: u32, offset: u32) -> Self {
-        Loc { line, column, offset }
+        Loc {
+            line,
+            column,
+            offset,
+        }
     }
 
     /// Advance this location over a character of the source text.
@@ -67,7 +75,10 @@ pub struct Span {
 impl Span {
     /// A span covering a single point.
     pub const fn point(loc: Loc) -> Self {
-        Span { start: loc, end: loc }
+        Span {
+            start: loc,
+            end: loc,
+        }
     }
 
     /// A span with explicit endpoints.
@@ -84,8 +95,16 @@ impl Span {
     /// Smallest span covering both `self` and `other`.
     pub fn merge(self, other: Span) -> Span {
         Span {
-            start: if self.start <= other.start { self.start } else { other.start },
-            end: if self.end >= other.end { self.end } else { other.end },
+            start: if self.start <= other.start {
+                self.start
+            } else {
+                other.start
+            },
+            end: if self.end >= other.end {
+                self.end
+            } else {
+                other.end
+            },
         }
     }
 
@@ -98,7 +117,11 @@ impl Span {
 impl fmt::Display for Span {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.start.line == self.end.line {
-            write!(f, "{}:{}-{}", self.start.line, self.start.column, self.end.column)
+            write!(
+                f,
+                "{}:{}-{}",
+                self.start.line, self.start.column, self.end.column
+            )
         } else {
             write!(f, "{}-{}", self.start, self.end)
         }

@@ -317,7 +317,12 @@ impl Question {
 
     /// The paper's aggregate counts over the full 85-question catalogue.
     pub fn paper_aggregates() -> QuestionAggregates {
-        QuestionAggregates { total: 85, iso_unclear: 38, de_facto_unclear: 28, iso_de_facto_differ: 26 }
+        QuestionAggregates {
+            total: 85,
+            iso_unclear: 38,
+            de_facto_unclear: 28,
+            iso_de_facto_differ: 26,
+        }
     }
 }
 
@@ -386,7 +391,10 @@ mod tests {
 
     #[test]
     fn padding_is_the_largest_category() {
-        let max = QuestionCategory::all().iter().max_by_key(|c| c.paper_count()).unwrap();
+        let max = QuestionCategory::all()
+            .iter()
+            .max_by_key(|c| c.paper_count())
+            .unwrap();
         assert_eq!(*max, QuestionCategory::Padding);
         assert_eq!(max.paper_count(), 13);
     }

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use cerberus_gen::{diff_one, generate, GenConfig};
+use cerberus::pipeline::Session;
+use cerberus::DifferentialRunner;
+use cerberus_gen::{diff_one, generate, to_c_source, GenConfig};
 
 fn bench_differential(c: &mut Criterion) {
     let mut group = c.benchmark_group("differential");
@@ -15,6 +17,14 @@ fn bench_differential(c: &mut Criterion) {
     group.bench_function("large_program", |b| {
         let program = generate(1, GenConfig::large());
         b.iter(|| diff_one(&program, 2_000_000))
+    });
+    // One elaboration shared across the full model matrix (the Session-API
+    // fast path: no per-model re-parse or re-elaboration).
+    group.bench_function("model_matrix_shared_artifact", |b| {
+        let source = to_c_source(&generate(1, GenConfig::small()));
+        let program = Session::default().elaborate(&source).unwrap();
+        let runner = DifferentialRunner::all_named();
+        b.iter(|| runner.run(&program))
     });
     group.finish();
 }

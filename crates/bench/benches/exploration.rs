@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use cerberus::pipeline::{Config, Pipeline};
+use cerberus::pipeline::{Config, Session};
 
 const NONDET: &str = r#"
 int trace = 0;
@@ -18,11 +18,11 @@ fn bench_exploration(c: &mut Criterion) {
     let mut group = c.benchmark_group("exploration");
     group.sample_size(10);
     group.bench_function("random_single_path", |b| {
-        let driver = Pipeline::new(Config::default()).driver(NONDET).unwrap();
+        let driver = Session::new(Config::default()).driver(NONDET).unwrap();
         b.iter(|| driver.run_random(1))
     });
     group.bench_function("exhaustive_64", |b| {
-        let driver = Pipeline::new(Config::default()).driver(NONDET).unwrap();
+        let driver = Session::new(Config::default()).driver(NONDET).unwrap();
         b.iter(|| driver.run_exhaustive(64))
     });
     group.finish();

@@ -10,7 +10,11 @@ fn bench_litmus(c: &mut Criterion) {
     let suite = catalogue();
     let mut group = c.benchmark_group("litmus_suite");
     group.sample_size(10);
-    for model in [ModelConfig::concrete(), ModelConfig::de_facto(), ModelConfig::strict_iso()] {
+    for model in [
+        ModelConfig::concrete(),
+        ModelConfig::de_facto(),
+        ModelConfig::strict_iso(),
+    ] {
         group.bench_function(model.name, |b| {
             b.iter(|| {
                 for test in &suite {

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use cerberus::pipeline::{Config, Pipeline};
+use cerberus::pipeline::{Config, Session};
 
 const QUICKSORT: &str = r#"
 int data[64];
@@ -26,17 +26,29 @@ int main(void) {
 "#;
 
 fn bench_pipeline(c: &mut Criterion) {
-    let pipeline = Pipeline::new(Config::default());
+    let session = Session::new(Config::default());
     let mut group = c.benchmark_group("pipeline_phases");
     group.sample_size(20);
     group.bench_function("parse", |b| {
         b.iter(|| cerberus::parser::parse_translation_unit(QUICKSORT).unwrap())
     });
-    group.bench_function("frontend", |b| b.iter(|| pipeline.frontend(QUICKSORT).unwrap()));
-    group.bench_function("elaborate", |b| b.iter(|| pipeline.elaborate(QUICKSORT).unwrap()));
+    group.bench_function("frontend", |b| {
+        b.iter(|| session.desugar(QUICKSORT).unwrap())
+    });
+    group.bench_function("elaborate", |b| {
+        b.iter(|| session.elaborate(QUICKSORT).unwrap())
+    });
     group.bench_function("execute", |b| {
-        let driver = pipeline.driver(QUICKSORT).unwrap();
+        let driver = session.driver(QUICKSORT).unwrap();
         b.iter(|| driver.run_random(0))
+    });
+    group.bench_function("end_to_end_cold", |b| {
+        b.iter(|| session.run_source(QUICKSORT).unwrap())
+    });
+    group.bench_function("end_to_end_reused_artifact", |b| {
+        let program = session.elaborate(QUICKSORT).unwrap();
+        let config = session.config();
+        b.iter(|| program.execute(&config.model, config.mode, config.step_limit))
     });
     group.finish();
 }

@@ -6,7 +6,8 @@
 //! Usage: `cargo run -p cerberus-bench --bin reproduce [--quick]`
 
 use cerberus::core_lang::pretty::expr_to_string;
-use cerberus::pipeline::{Config, Pipeline};
+use cerberus::pipeline::Session;
+use cerberus::DifferentialRunner;
 use cerberus_ast::questions::{Question, QuestionCategory};
 use cerberus_gen::{run_differential, GenConfig};
 use cerberus_litmus::{catalogue, check, run_suite, Verdict};
@@ -34,7 +35,11 @@ fn main() {
     for &cat in QuestionCategory::all() {
         println!("  {:<55} {}", cat.label(), cat.paper_count());
     }
-    println!("  categories: {}, questions: {}", QuestionCategory::all().len(), QuestionCategory::total_questions());
+    println!(
+        "  categories: {}, questions: {}",
+        QuestionCategory::all().len(),
+        QuestionCategory::total_questions()
+    );
 
     // E3 — clarity aggregates.
     heading("E3", "ISO vs de facto clarity (paper: 38 / 28 / 26 of 85)");
@@ -44,7 +49,10 @@ fn main() {
         agg.total, agg.iso_unclear, agg.de_facto_unclear, agg.iso_de_facto_differ
     );
     let discussed = Question::discussed();
-    let iso_unclear = discussed.iter().filter(|q| q.iso == cerberus_ast::questions::Clarity::Unclear).count();
+    let iso_unclear = discussed
+        .iter()
+        .filter(|q| q.iso == cerberus_ast::questions::Clarity::Unclear)
+        .count();
     let differ = discussed.iter().filter(|q| q.differs).count();
     println!(
         "  encoded subset ({} questions discussed in the paper body): ISO unclear {}, differ {}",
@@ -54,38 +62,72 @@ fn main() {
     );
 
     // E4, E6–E10 — survey splits.
-    heading("E4/E6-E10", "published survey splits (percentages recomputed from counts)");
+    heading(
+        "E4/E6-E10",
+        "published survey splits (percentages recomputed from counts)",
+    );
     for q in survey::published_questions() {
         println!("  [{}/15] {}", q.index, q.statement);
         for a in &q.answers {
-            println!("      {:<45} {:>3}  ({:>2}%)", a.answer, a.count, a.percentage());
+            println!(
+                "      {:<45} {:>3}  ({:>2}%)",
+                a.answer,
+                a.count,
+                a.percentage()
+            );
         }
     }
 
     // E5 — the DR260 provenance example under three models.
-    heading("E5", "provenance_basic_global_xy under concrete / de facto / GCC-like models");
+    heading(
+        "E5",
+        "provenance_basic_global_xy under concrete / de facto / GCC-like models",
+    );
     let suite = catalogue();
-    let dr260 = suite.iter().find(|t| t.name == "provenance_basic_global_xy").expect("test exists");
-    for model in [ModelConfig::concrete(), ModelConfig::de_facto(), ModelConfig::gcc_like()] {
-        let outcome = cerberus_litmus::run_under(dr260, &model);
-        let first = &outcome.outcomes[0];
+    let dr260 = suite
+        .iter()
+        .find(|t| t.name == "provenance_basic_global_xy")
+        .expect("test exists");
+    // One elaboration, three models: the differential-runner fast path.
+    let matrix = DifferentialRunner::new(vec![
+        ModelConfig::concrete(),
+        ModelConfig::de_facto(),
+        ModelConfig::gcc_like(),
+    ])
+    .run(&cerberus_litmus::elaborate(dr260));
+    for row in &matrix.rows {
+        let first = &row.outcome.outcomes[0];
         println!(
             "  {:<10} -> {} {}",
-            model.name,
+            row.model,
             first.result,
-            if first.stdout.is_empty() { String::new() } else { format!("stdout: {:?}", first.stdout) }
+            if first.stdout.is_empty() {
+                String::new()
+            } else {
+                format!("stdout: {:?}", first.stdout)
+            }
         );
     }
     println!("  paper: concrete x=1 y=11 *p=11 *q=11; GCC x=1 y=2 *p=11 *q=2; candidate model: UB");
 
     // E11 / E17 — the litmus suite under every model and tool profile.
-    heading("E11/E17", "litmus suite verdicts per memory model / tool profile");
-    println!("  {:<16} {:>8} {:>8} {:>14}", "model", "flagged", "passed", "as-expected");
+    heading(
+        "E11/E17",
+        "litmus suite verdicts per memory model / tool profile",
+    );
+    println!(
+        "  {:<16} {:>8} {:>8} {:>14}",
+        "model", "flagged", "passed", "as-expected"
+    );
     for model in ModelConfig::all_named() {
         let summary = run_suite(&model);
         println!(
             "  {:<16} {:>8} {:>8} {:>9}/{:<4}",
-            summary.model, summary.flagged, summary.passed, summary.as_expected, summary.with_expectation
+            summary.model,
+            summary.flagged,
+            summary.passed,
+            summary.as_expected,
+            summary.with_expectation
         );
     }
     println!("  paper (§3): sanitisers flag few unspecified/padding tests; tis-interpreter is strict; KCC mixed");
@@ -101,14 +143,32 @@ fn main() {
 
     // E12 — CHERI findings.
     heading("E12", "CHERI C findings (§4)");
-    let a = cheri::Capability { base: 0x1_0000, length: 4, offset: 4, tag: true, prov: Provenance::Alloc(1) };
-    let b = cheri::Capability { base: 0x1_0004, length: 4, offset: 0, tag: true, prov: Provenance::Alloc(2) };
+    let a = cheri::Capability {
+        base: 0x1_0000,
+        length: 4,
+        offset: 4,
+        tag: true,
+        prov: Provenance::Alloc(1),
+    };
+    let b = cheri::Capability {
+        base: 0x1_0004,
+        length: 4,
+        offset: 0,
+        tag: true,
+        prov: Provenance::Alloc(2),
+    };
     println!(
         "  pointer equality: by-address {} vs exact-equals {} (paper: CHERI added a compare-exactly-equal instruction)",
         cheri::eq_by_address(&a, &b),
         cheri::eq_exact(&a, &b)
     );
-    let i = cheri::Capability { base: 0x1_0000, length: 64, offset: 8, tag: true, prov: Provenance::Alloc(1) };
+    let i = cheri::Capability {
+        base: 0x1_0000,
+        length: 64,
+        offset: 8,
+        tag: true,
+        prov: Provenance::Alloc(1),
+    };
     println!(
         "  (i & 3u) with address semantics = {} ; with CHERI offset semantics = {} (paper: the defensive alignment check fails)",
         cheri::uintptr_bitand_address_semantics(&i, 3),
@@ -120,7 +180,10 @@ fn main() {
     );
 
     // E13 — architecture LOS counts (Fig. 1 analogue).
-    heading("E13", "architecture phases (Fig. 1; paper LOS counts vs this repository's crates)");
+    heading(
+        "E13",
+        "architecture phases (Fig. 1; paper LOS counts vs this repository's crates)",
+    );
     let paper = [
         ("parsing", 2600),
         ("Cabs", 600),
@@ -140,9 +203,10 @@ fn main() {
 
     // E14 — the Fig. 3 left-shift elaboration.
     heading("E14", "elaboration of e1 << e2 (Fig. 3)");
-    let pipeline = Pipeline::new(Config::default());
-    let core = pipeline.elaborate("int shift(int a, int b) { return a << b; }").expect("elaborates");
-    let body = expr_to_string(&core.proc("shift").expect("proc").body);
+    let program = Session::default()
+        .elaborate("int shift(int a, int b) { return a << b; }")
+        .expect("elaborates");
+    let body = expr_to_string(&program.core().proc("shift").expect("proc").body);
     let interesting: Vec<&str> = body
         .lines()
         .filter(|l| l.contains("undef(") || l.contains("let weak") || l.contains("unseq("))
@@ -154,14 +218,21 @@ fn main() {
 
     // E15/E16 — differential validation.
     let (small_n, large_n) = if quick { (25, 5) } else { (200, 40) };
-    heading("E15", "differential validation on small generated programs (§6: 556/561 agree, 5 time out)");
+    heading(
+        "E15",
+        "differential validation on small generated programs (§6: 556/561 agree, 5 time out)",
+    );
     let small = run_differential(small_n, GenConfig::small(), 2_000_000);
     println!(
         "  measured: {}/{} agree, {} disagree, {} timeout, {} failed",
         small.agree, small.total, small.disagree, small.timeout, small.failed
     );
     heading("E16", "differential validation on larger generated programs (§6: 316 agree, 56 time out, 6 fail of 400)");
-    let large = run_differential(large_n, GenConfig::large(), if quick { 200_000 } else { 1_000_000 });
+    let large = run_differential(
+        large_n,
+        GenConfig::large(),
+        if quick { 200_000 } else { 1_000_000 },
+    );
     println!(
         "  measured: {}/{} agree, {} disagree, {} timeout, {} failed",
         large.agree, large.total, large.disagree, large.timeout, large.failed

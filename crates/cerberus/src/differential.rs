@@ -1,0 +1,202 @@
+//! Differential execution of one elaborated program across memory models.
+//!
+//! The paper's §3 compares how analysis tools (and §2 how candidate
+//! semantics) judge the same test programs — a matrix of *(program, model) →
+//! outcome*. [`DifferentialRunner`] reproduces that shape natively: it takes
+//! **one** [`Elaborated`] artifact plus a list of named [`ModelConfig`]s and
+//! executes the shared Core program under each, with no re-parse or
+//! re-elaboration, returning an [`OutcomeMatrix`] that can be queried for
+//! agreement and per-model verdicts.
+
+use cerberus_exec::driver::ExecMode;
+use cerberus_memory::config::ModelConfig;
+
+use crate::pipeline::{Config, Elaborated, RunOutcome};
+
+/// Runs one elaborated program under a list of memory models.
+#[derive(Debug, Clone)]
+pub struct DifferentialRunner {
+    models: Vec<ModelConfig>,
+    mode: ExecMode,
+    step_limit: u64,
+}
+
+impl DifferentialRunner {
+    /// A runner over the given models, with the default single-path mode and
+    /// step budget.
+    pub fn new(models: Vec<ModelConfig>) -> Self {
+        let defaults = Config::default();
+        DifferentialRunner {
+            models,
+            mode: defaults.mode,
+            step_limit: defaults.step_limit,
+        }
+    }
+
+    /// A runner over every named model configuration
+    /// ([`ModelConfig::all_named`]).
+    pub fn all_named() -> Self {
+        DifferentialRunner::new(ModelConfig::all_named())
+    }
+
+    /// Use the given exploration mode for every model.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Use the given per-execution step budget.
+    pub fn with_step_limit(mut self, step_limit: u64) -> Self {
+        self.step_limit = step_limit;
+        self
+    }
+
+    /// The models this runner executes under, in order.
+    pub fn models(&self) -> &[ModelConfig] {
+        &self.models
+    }
+
+    /// Execute `program` under every model. The elaborated artifact is
+    /// shared — each row reuses the same `Arc`'d Core program.
+    pub fn run(&self, program: &Elaborated) -> OutcomeMatrix {
+        let rows = self
+            .models
+            .iter()
+            .map(|model| ModelRun {
+                model: model.name,
+                outcome: program.execute(model, self.mode, self.step_limit),
+            })
+            .collect();
+        OutcomeMatrix { rows }
+    }
+}
+
+/// One row of the matrix: a model name and what the program did under it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelRun {
+    /// The model name (from [`ModelConfig::name`]).
+    pub model: &'static str,
+    /// The observed outcome(s).
+    pub outcome: RunOutcome,
+}
+
+/// The §3-style comparison matrix: per-model outcomes of one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcomeMatrix {
+    /// One row per model, in runner order.
+    pub rows: Vec<ModelRun>,
+}
+
+impl OutcomeMatrix {
+    /// The outcome recorded for `model`, if it was part of the run.
+    pub fn outcome_for(&self, model: &str) -> Option<&RunOutcome> {
+        self.rows
+            .iter()
+            .find(|r| r.model == model)
+            .map(|r| &r.outcome)
+    }
+
+    /// Whether every model produced the same outcome set.
+    pub fn all_agree(&self) -> bool {
+        self.rows.windows(2).all(|w| w[0].outcome == w[1].outcome)
+    }
+
+    /// Group the models into agreement classes: each class is the list of
+    /// model names that produced one distinct outcome set, in first-seen
+    /// order. A defined-everywhere deterministic program yields one class;
+    /// the DR260 example yields one class per semantic camp.
+    pub fn agreement_classes(&self) -> Vec<(Vec<&'static str>, &RunOutcome)> {
+        let mut classes: Vec<(Vec<&'static str>, &RunOutcome)> = Vec::new();
+        for row in &self.rows {
+            match classes
+                .iter_mut()
+                .find(|(_, outcome)| **outcome == row.outcome)
+            {
+                Some((models, _)) => models.push(row.model),
+                None => classes.push((vec![row.model], &row.outcome)),
+            }
+        }
+        classes
+    }
+
+    /// The models whose outcome differs from the first row's (the
+    /// "disagreements with the baseline model").
+    pub fn disagreeing_models(&self) -> Vec<&'static str> {
+        match self.rows.split_first() {
+            Some((base, rest)) => rest
+                .iter()
+                .filter(|r| r.outcome != base.outcome)
+                .map(|r| r.model)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for OutcomeMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for row in &self.rows {
+            let rendered: Vec<String> = row
+                .outcome
+                .outcomes
+                .iter()
+                .map(|o| o.result.to_string())
+                .collect();
+            writeln!(f, "{:<16} {}", row.model, rendered.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Session;
+    use cerberus_ast::ub::UbKind;
+
+    const DR260: &str = "#include <stdio.h>\n#include <string.h>\nint x = 1, y = 2;\nint main() {\n  int *p = &x + 1;\n  int *q = &y;\n  if (memcmp(&p, &q, sizeof(p)) == 0) {\n    *p = 11;\n    printf(\"x=%d y=%d *p=%d *q=%d\\n\", x, y, *p, *q);\n  }\n  return 0;\n}\n";
+
+    #[test]
+    fn one_artifact_many_models_no_reelaboration() {
+        let program = Session::default().elaborate(DR260).unwrap();
+        let shared_before = program.share();
+        let matrix = DifferentialRunner::new(vec![
+            ModelConfig::concrete(),
+            ModelConfig::de_facto(),
+            ModelConfig::gcc_like(),
+        ])
+        .run(&program);
+        // The artifact was shared, not rebuilt: the Arc is untouched.
+        assert!(std::sync::Arc::ptr_eq(&shared_before, &program.share()));
+        assert_eq!(matrix.rows.len(), 3);
+        assert!(!matrix.all_agree());
+        assert_eq!(
+            matrix.outcome_for("concrete").and_then(RunOutcome::stdout),
+            Some("x=1 y=11 *p=11 *q=11\n")
+        );
+        assert_eq!(
+            matrix.outcome_for("de-facto").unwrap().outcomes[0]
+                .result
+                .ub_kind(),
+            Some(UbKind::OutOfBoundsAccess)
+        );
+        assert_eq!(
+            matrix.outcome_for("gcc-like").and_then(RunOutcome::stdout),
+            Some("x=1 y=2 *p=11 *q=2\n")
+        );
+        assert_eq!(matrix.agreement_classes().len(), 3);
+        assert_eq!(matrix.disagreeing_models(), vec!["de-facto", "gcc-like"]);
+    }
+
+    #[test]
+    fn defined_programs_agree_everywhere() {
+        let program = Session::default()
+            .elaborate("int main(void) { return 7; }")
+            .unwrap();
+        let matrix = DifferentialRunner::all_named().run(&program);
+        assert_eq!(matrix.rows.len(), ModelConfig::all_named().len());
+        assert!(matrix.all_agree());
+        assert_eq!(matrix.agreement_classes().len(), 1);
+        assert!(matrix.disagreeing_models().is_empty());
+    }
+}

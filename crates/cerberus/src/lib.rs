@@ -5,21 +5,41 @@
 //! The pipeline mirrors the paper's Fig. 1: C source is parsed by a
 //! clean-slate parser into `Cabs`, desugared and type-annotated into `Ail`,
 //! elaborated into the `Core` calculus, and executed by the Core operational
-//! semantics linked against a configurable **memory object model** — the
-//! candidate de facto provenance model, a concrete model, a strict-ISO model,
-//! a CHERI capability model, or tool-emulation profiles.
+//! semantics linked against a pluggable **memory object model** (any
+//! [`cerberus_memory::MemoryModel`]) — the candidate de facto provenance
+//! model, a concrete model, a strict-ISO model, a CHERI capability model, or
+//! tool-emulation profiles.
+//!
+//! The front end is exposed as a staged [`pipeline::Session`] producing
+//! reusable artifacts (`Parsed → Desugared → Elaborated`); an
+//! [`pipeline::Elaborated`] program can be executed any number of times under
+//! different models, and [`differential::DifferentialRunner`] runs one
+//! artifact across a whole model list, returning the §3-style outcome matrix.
 //!
 //! # Quick start
 //!
 //! ```
-//! use cerberus::{Pipeline, Config};
+//! use cerberus::{Config, Session};
 //!
-//! let outcome = Pipeline::new(Config::default())
+//! let outcome = Session::new(Config::default())
 //!     .run_source("int main(void) { int x = 20; return x + 22; }")
 //!     .unwrap();
 //! assert_eq!(outcome.exit_value(), Some(42));
 //! ```
+//!
+//! # Differential runs
+//!
+//! ```
+//! use cerberus::{DifferentialRunner, Session};
+//!
+//! let program = Session::default()
+//!     .elaborate("int main(void) { return 0; }")
+//!     .unwrap();
+//! let matrix = DifferentialRunner::all_named().run(&program);
+//! assert!(matrix.all_agree());
+//! ```
 
+pub mod differential;
 pub mod pipeline;
 pub mod tvc;
 
@@ -31,4 +51,8 @@ pub use cerberus_exec as exec;
 pub use cerberus_memory as memory;
 pub use cerberus_parser as parser;
 
-pub use pipeline::{Config, Pipeline, PipelineError, RunOutcome};
+pub use differential::{DifferentialRunner, ModelRun, OutcomeMatrix};
+pub use pipeline::{
+    run, run_with_model, Config, Desugared, Elaborated, Parsed, PipelineError, PipelineErrorKind,
+    RunOutcome, Session,
+};

@@ -1,13 +1,46 @@
-//! The end-to-end pipeline: parse → desugar/typecheck → elaborate → execute.
+//! The staged pipeline: parse → desugar/type-check → elaborate → execute.
+//!
+//! The stages are exposed as a **session API** so that front-end work is done
+//! once and its artifacts reused: [`Session::parse`] produces a [`Parsed`]
+//! translation unit, [`Parsed::desugar`] a type-annotated [`Desugared`]
+//! program, and [`Desugared::elaborate`] an [`Elaborated`] Core program — a
+//! cheaply clonable, shareable (`Arc`) value that can be executed any number
+//! of times under different memory models and exploration modes without
+//! re-running the front end. Front-end failures are reported as a typed
+//! [`PipelineError`] carrying the structured diagnostic (kind, message, ISO
+//! clause, source span) rather than a flattened string.
+//!
+//! ```
+//! use cerberus::pipeline::Session;
+//! use cerberus::memory::config::ModelConfig;
+//!
+//! let program = Session::default()
+//!     .elaborate("int main(void) { int x = 20; return x + 22; }")
+//!     .unwrap();
+//! // One elaboration, many executions:
+//! for model in [ModelConfig::concrete(), ModelConfig::de_facto()] {
+//!     assert_eq!(program.run_under(&model).exit_value(), Some(42));
+//! }
+//! ```
+//!
+//! For running one artifact across a whole *set* of models and comparing the
+//! outcomes, see [`crate::differential::DifferentialRunner`].
+
+use std::sync::Arc;
 
 use cerberus_ail::ail::AilProgram;
 use cerberus_ail::desugar::{desugar_translation_unit, FrontendError};
+use cerberus_ast::diag::{ConstraintViolation, Diagnostic};
 use cerberus_ast::env::ImplEnv;
+use cerberus_ast::loc::Span;
 use cerberus_core::program::CoreProgram;
 use cerberus_elab::elaborate_program;
 use cerberus_exec::driver::{Driver, ExecMode, ProgramOutcome};
 use cerberus_memory::config::ModelConfig;
+use cerberus_memory::model::{ConcreteEngine, MemoryModel};
+use cerberus_parser::cabs::TranslationUnit;
 use cerberus_parser::parse_translation_unit;
+use cerberus_parser::parser::ParseError;
 
 /// Pipeline configuration: the memory object model, the
 /// implementation-defined environment, the exploration mode, and the step
@@ -40,7 +73,10 @@ impl Config {
     /// A configuration using the given memory model and the defaults for
     /// everything else.
     pub fn with_model(model: ModelConfig) -> Self {
-        Config { model, ..Config::default() }
+        Config {
+            model,
+            ..Config::default()
+        }
     }
 
     /// Switch to exhaustive exploration with the given execution bound.
@@ -50,26 +86,98 @@ impl Config {
     }
 }
 
-/// Errors produced before execution starts.
+/// What kind of front-end failure a [`PipelineError`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineErrorKind {
+    /// A syntax (or lexical/preprocessing) error.
+    Syntax,
+    /// A constraint violation diagnosed by the desugaring/type checker.
+    Constraint,
+}
+
+/// A typed front-end error carrying the structured diagnostic, not just a
+/// rendered string: the kind, the message, the source span, and (for
+/// constraint violations) the ISO C11 clause that was violated.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PipelineError {
-    /// A syntax error or constraint violation from the front end.
-    Frontend(String),
+    /// A syntax error from the preprocessor, lexer or parser.
+    Syntax(ParseError),
+    /// A constraint violation from the desugaring/type-checking pass.
+    Constraint(ConstraintViolation),
+}
+
+impl PipelineError {
+    /// Which stage rejected the program.
+    pub fn kind(&self) -> PipelineErrorKind {
+        match self {
+            PipelineError::Syntax(_) => PipelineErrorKind::Syntax,
+            PipelineError::Constraint(_) => PipelineErrorKind::Constraint,
+        }
+    }
+
+    /// The source span the error points at.
+    pub fn span(&self) -> Span {
+        match self {
+            PipelineError::Syntax(e) => e.span,
+            PipelineError::Constraint(e) => e.diagnostic.span,
+        }
+    }
+
+    /// The 1-based source line of the error, when the span is not synthetic.
+    pub fn line(&self) -> Option<u32> {
+        let span = self.span();
+        (span != Span::synthetic()).then_some(span.start.line)
+    }
+
+    /// The human-readable message (without location or clause decoration).
+    pub fn message(&self) -> &str {
+        match self {
+            PipelineError::Syntax(e) => &e.message,
+            PipelineError::Constraint(e) => e.message(),
+        }
+    }
+
+    /// The error as a [`Diagnostic`]; syntax errors are given the standard's
+    /// general syntax clause.
+    pub fn diagnostic(&self) -> Diagnostic {
+        match self {
+            PipelineError::Syntax(e) => {
+                Diagnostic::error(e.message.clone(), "6.7-6.9 (syntax)", e.span)
+            }
+            PipelineError::Constraint(e) => e.diagnostic.clone(),
+        }
+    }
 }
 
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PipelineError::Frontend(msg) => write!(f, "{msg}"),
+            PipelineError::Syntax(e) => write!(f, "{e}"),
+            PipelineError::Constraint(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
 
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> Self {
+        PipelineError::Syntax(e)
+    }
+}
+
+impl From<ConstraintViolation> for PipelineError {
+    fn from(e: ConstraintViolation) -> Self {
+        PipelineError::Constraint(e)
+    }
+}
+
 impl From<FrontendError> for PipelineError {
     fn from(e: FrontendError) -> Self {
-        PipelineError::Frontend(e.to_string())
+        match e {
+            FrontendError::Parse(e) => PipelineError::Syntax(e),
+            FrontendError::Constraint(e) => PipelineError::Constraint(e),
+        }
     }
 }
 
@@ -93,7 +201,8 @@ impl RunOutcome {
     /// The exit value of `main` when the run produced exactly one outcome
     /// that terminated normally.
     pub fn exit_value(&self) -> Option<i128> {
-        self.unique().and_then(cerberus_exec::driver::main_return_value)
+        self.unique()
+            .and_then(cerberus_exec::driver::main_return_value)
     }
 
     /// Captured standard output of the unique outcome.
@@ -108,16 +217,24 @@ impl RunOutcome {
     }
 }
 
-/// The Cerberus-rs pipeline.
-#[derive(Debug, Clone)]
-pub struct Pipeline {
+// ----- the staged session ----------------------------------------------------
+
+/// A pipeline session: fixes the configuration and exposes the front end as
+/// explicit stages producing reusable artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
     config: Config,
 }
 
-impl Pipeline {
-    /// A pipeline with the given configuration.
+impl Session {
+    /// A session with the given configuration.
     pub fn new(config: Config) -> Self {
-        Pipeline { config }
+        Session { config }
+    }
+
+    /// A session whose default execution model is `model`.
+    pub fn with_model(model: ModelConfig) -> Self {
+        Session::new(Config::with_model(model))
     }
 
     /// The configuration.
@@ -125,42 +242,154 @@ impl Pipeline {
         &self.config
     }
 
-    /// Front end only: parse, desugar and type-check.
-    pub fn frontend(&self, source: &str) -> Result<AilProgram, PipelineError> {
-        let tu = parse_translation_unit(source)
-            .map_err(|e| PipelineError::Frontend(e.to_string()))?;
-        Ok(desugar_translation_unit(&tu, &self.config.impl_env)
-            .map_err(|e| PipelineError::Frontend(e.to_string()))?)
+    /// Stage 1: preprocess, lex and parse into the Cabs AST.
+    pub fn parse(&self, source: &str) -> Result<Parsed, PipelineError> {
+        let tu = parse_translation_unit(source)?;
+        Ok(Parsed {
+            tu,
+            impl_env: self.config.impl_env.clone(),
+        })
     }
 
-    /// Parse, desugar, type-check and elaborate into Core.
-    pub fn elaborate(&self, source: &str) -> Result<CoreProgram, PipelineError> {
-        let ail = self.frontend(source)?;
-        Ok(elaborate_program(&ail, &self.config.impl_env))
+    /// Stages 1–2: parse, then desugar and type-check into Ail.
+    pub fn desugar(&self, source: &str) -> Result<Desugared, PipelineError> {
+        self.parse(source)?.desugar()
     }
 
-    /// Build the execution driver for a program.
-    pub fn driver(&self, source: &str) -> Result<Driver, PipelineError> {
-        let core = self.elaborate(source)?;
-        Ok(Driver::new(core, self.config.model.clone(), self.config.impl_env.clone())
+    /// Stages 1–3: parse, desugar/type-check and elaborate into Core. The
+    /// returned [`Elaborated`] artifact can be executed repeatedly without
+    /// re-running any front-end stage.
+    pub fn elaborate(&self, source: &str) -> Result<Elaborated, PipelineError> {
+        Ok(self.desugar(source)?.elaborate())
+    }
+
+    /// Build an execution driver for a program under this session's model.
+    pub fn driver(&self, source: &str) -> Result<Driver<ConcreteEngine>, PipelineError> {
+        let program = self.elaborate(source)?;
+        Ok(program
+            .driver(&self.config.model)
             .with_step_limit(self.config.step_limit))
     }
 
     /// Run a program from source, returning the distinct observable outcomes.
     pub fn run_source(&self, source: &str) -> Result<RunOutcome, PipelineError> {
-        let driver = self.driver(source)?;
-        Ok(RunOutcome { outcomes: driver.run(self.config.mode) })
+        let program = self.elaborate(source)?;
+        Ok(program.execute(&self.config.model, self.config.mode, self.config.step_limit))
+    }
+}
+
+/// Stage-1 artifact: the parsed translation unit.
+#[derive(Debug, Clone)]
+pub struct Parsed {
+    tu: TranslationUnit,
+    impl_env: ImplEnv,
+}
+
+impl Parsed {
+    /// The Cabs translation unit.
+    pub fn translation_unit(&self) -> &TranslationUnit {
+        &self.tu
+    }
+
+    /// Stage 2: desugar and type-check into Ail.
+    pub fn desugar(&self) -> Result<Desugared, PipelineError> {
+        let ail = desugar_translation_unit(&self.tu, &self.impl_env)?;
+        Ok(Desugared {
+            ail,
+            impl_env: self.impl_env.clone(),
+        })
+    }
+}
+
+/// Stage-2 artifact: the desugared, type-annotated Ail program.
+#[derive(Debug, Clone)]
+pub struct Desugared {
+    ail: AilProgram,
+    impl_env: ImplEnv,
+}
+
+impl Desugared {
+    /// The Ail program.
+    pub fn ail(&self) -> &AilProgram {
+        &self.ail
+    }
+
+    /// Stage 3: elaborate into Core (total on well-typed Ail).
+    pub fn elaborate(&self) -> Elaborated {
+        let core = elaborate_program(&self.ail, &self.impl_env);
+        Elaborated {
+            core: Arc::new(core),
+            impl_env: self.impl_env.clone(),
+        }
+    }
+}
+
+/// Stage-3 artifact: the elaborated Core program, shareable and reusable.
+///
+/// Cloning an `Elaborated` is cheap (the Core program is behind an `Arc`), so
+/// one elaboration can back many concurrent or sequential executions under
+/// different memory models — the shape of the paper's §3 tool comparison and
+/// of differential testing generally.
+#[derive(Debug, Clone)]
+pub struct Elaborated {
+    core: Arc<CoreProgram>,
+    impl_env: ImplEnv,
+}
+
+impl Elaborated {
+    /// The elaborated Core program.
+    pub fn core(&self) -> &CoreProgram {
+        &self.core
+    }
+
+    /// A shared handle to the Core program.
+    pub fn share(&self) -> Arc<CoreProgram> {
+        Arc::clone(&self.core)
+    }
+
+    /// The implementation-defined environment the program was elaborated
+    /// under (type layout decisions are already folded into the Core, so
+    /// execution must use the same environment).
+    pub fn impl_env(&self) -> &ImplEnv {
+        &self.impl_env
+    }
+
+    /// A driver executing this program under a [`ConcreteEngine`] configured
+    /// by `model`.
+    pub fn driver(&self, model: &ModelConfig) -> Driver<ConcreteEngine> {
+        self.driver_with(model.instantiate(self.impl_env.clone(), self.core.tags.clone()))
+    }
+
+    /// A driver executing this program under an arbitrary [`MemoryModel`]
+    /// instantiation.
+    pub fn driver_with<M: MemoryModel>(&self, model: M) -> Driver<M> {
+        Driver::new(self.share(), model)
+    }
+
+    /// Execute under `model` with an explicit mode and step budget.
+    pub fn execute(&self, model: &ModelConfig, mode: ExecMode, step_limit: u64) -> RunOutcome {
+        let driver = self.driver(model).with_step_limit(step_limit);
+        RunOutcome {
+            outcomes: driver.run(mode),
+        }
+    }
+
+    /// Execute under `model` with the default single-path mode and step
+    /// budget.
+    pub fn run_under(&self, model: &ModelConfig) -> RunOutcome {
+        let defaults = Config::default();
+        self.execute(model, defaults.mode, defaults.step_limit)
     }
 }
 
 /// Convenience: run `source` under the default (de facto) configuration.
 pub fn run(source: &str) -> Result<RunOutcome, PipelineError> {
-    Pipeline::new(Config::default()).run_source(source)
+    Session::default().run_source(source)
 }
 
 /// Convenience: run `source` under a specific memory model.
 pub fn run_with_model(source: &str, model: ModelConfig) -> Result<RunOutcome, PipelineError> {
-    Pipeline::new(Config::with_model(model)).run_source(source)
+    Session::with_model(model).run_source(source)
 }
 
 #[cfg(test)]
@@ -173,7 +402,10 @@ mod tests {
         let out = run(src).unwrap();
         match &out.outcomes[0].result {
             ExecResult::Return(v) | ExecResult::Exit(v) => *v,
-            other => panic!("expected a normal result, got {other}: {:?}", out.outcomes[0]),
+            other => panic!(
+                "expected a normal result, got {other}: {:?}",
+                out.outcomes[0]
+            ),
         }
     }
 
@@ -192,7 +424,10 @@ mod tests {
 
     #[test]
     fn arithmetic_and_locals() {
-        assert_eq!(exit_of("int main(void) { int x = 20; int y = 22; return x + y; }"), 42);
+        assert_eq!(
+            exit_of("int main(void) { int x = 20; int y = 22; return x + y; }"),
+            42
+        );
         assert_eq!(exit_of("int main(void) { return 7 * 6; }"), 42);
         assert_eq!(exit_of("int main(void) { return 100 / 2 - 8; }"), 42);
         assert_eq!(exit_of("int main(void) { return 45 % 7; }"), 3);
@@ -201,16 +436,28 @@ mod tests {
     #[test]
     fn unsigned_comparison_surprise() {
         // The §5.5 example: -1 < (unsigned int)0 evaluates to 0.
-        assert_eq!(exit_of("int main(void) { return -1 < (unsigned int)0; }"), 0);
+        assert_eq!(
+            exit_of("int main(void) { return -1 < (unsigned int)0; }"),
+            0
+        );
         assert_eq!(exit_of("int main(void) { return -1 < 0; }"), 1);
     }
 
     #[test]
     fn shifts_and_their_ub() {
         assert_eq!(exit_of("int main(void) { return 1 << 4; }"), 16);
-        assert_eq!(exit_of("int main(void) { unsigned x = 1u << 31; return x != 0; }"), 1);
-        assert_eq!(ub_of("int main(void) { int n = 40; return 1 << n; }"), UbKind::ShiftTooLarge);
-        assert_eq!(ub_of("int main(void) { int n = -1; return 1 << n; }"), UbKind::NegativeShift);
+        assert_eq!(
+            exit_of("int main(void) { unsigned x = 1u << 31; return x != 0; }"),
+            1
+        );
+        assert_eq!(
+            ub_of("int main(void) { int n = 40; return 1 << n; }"),
+            UbKind::ShiftTooLarge
+        );
+        assert_eq!(
+            ub_of("int main(void) { int n = -1; return 1 << n; }"),
+            UbKind::NegativeShift
+        );
     }
 
     #[test]
@@ -219,7 +466,10 @@ mod tests {
             ub_of("int main(void) { int x = 2147483647; return x + 1; }"),
             UbKind::ExceptionalCondition
         );
-        assert_eq!(ub_of("int main(void) { int x = 0; return 1 / x; }"), UbKind::DivisionByZero);
+        assert_eq!(
+            ub_of("int main(void) { int x = 0; return 1 / x; }"),
+            UbKind::DivisionByZero
+        );
     }
 
     #[test]
@@ -282,9 +532,7 @@ mod tests {
             1
         );
         assert_eq!(
-            exit_of(
-                "int main(void) { int i = 0; again: i++; if (i < 4) goto again; return i; }"
-            ),
+            exit_of("int main(void) { int i = 0; again: i++; if (i < 4) goto again; return i; }"),
             4
         );
     }
@@ -296,7 +544,9 @@ mod tests {
             120
         );
         assert_eq!(
-            exit_of("int add(int a, int b) { return a + b; } int main(void) { return add(40, 2); }"),
+            exit_of(
+                "int add(int a, int b) { return a + b; } int main(void) { return add(40, 2); }"
+            ),
             42
         );
     }
@@ -320,7 +570,9 @@ mod tests {
             42
         );
         assert_eq!(
-            exit_of("int main(void) { int x = 5; int *p = &x; int **pp = &p; **pp = 9; return x; }"),
+            exit_of(
+                "int main(void) { int x = 5; int *p = &x; int **pp = &p; **pp = 9; return x; }"
+            ),
             9
         );
     }
@@ -414,9 +666,14 @@ mod tests {
     fn sizeof_values() {
         assert_eq!(exit_of("int main(void) { return (int)sizeof(int); }"), 4);
         assert_eq!(exit_of("int main(void) { return (int)sizeof(long); }"), 8);
-        assert_eq!(exit_of("int main(void) { int a[7]; return (int)sizeof a; }"), 28);
         assert_eq!(
-            exit_of("struct s { char c; int i; }; int main(void) { return (int)sizeof(struct s); }"),
+            exit_of("int main(void) { int a[7]; return (int)sizeof a; }"),
+            28
+        );
+        assert_eq!(
+            exit_of(
+                "struct s { char c; int i; }; int main(void) { return (int)sizeof(struct s); }"
+            ),
             8
         );
     }
@@ -476,7 +733,10 @@ mod tests {
             ModelConfig::strict_iso(),
         )
         .unwrap();
-        assert_eq!(out.outcomes[0].result.ub_kind(), Some(UbKind::IndeterminateValueUse));
+        assert_eq!(
+            out.outcomes[0].result.ub_kind(),
+            Some(UbKind::IndeterminateValueUse)
+        );
     }
 
     #[test]
@@ -500,13 +760,18 @@ mod tests {
                    int g(void) { trace = trace * 10 + 2; return 0; }\n\
                    int add(int a, int b) { return trace; }\n\
                    int main(void) { return add(f(), g()); }";
-        let out = Pipeline::new(Config::default().exhaustive(64)).run_source(src).unwrap();
+        let out = Session::new(Config::default().exhaustive(64))
+            .run_source(src)
+            .unwrap();
         let values: Vec<i128> = out
             .outcomes
             .iter()
             .filter_map(cerberus_exec::driver::main_return_value)
             .collect();
-        assert!(values.contains(&12) && values.contains(&21), "outcomes: {values:?}");
+        assert!(
+            values.contains(&12) && values.contains(&21),
+            "outcomes: {values:?}"
+        );
     }
 
     #[test]
@@ -530,7 +795,10 @@ mod tests {
         assert_eq!(concrete.outcomes[0].stdout, "x=1 y=11 *p=11 *q=11\n");
         // Candidate de facto model: the access is undefined behaviour.
         let de_facto = run_with_model(src, ModelConfig::de_facto()).unwrap();
-        assert_eq!(de_facto.outcomes[0].result.ub_kind(), Some(UbKind::OutOfBoundsAccess));
+        assert_eq!(
+            de_facto.outcomes[0].result.ub_kind(),
+            Some(UbKind::OutOfBoundsAccess)
+        );
         // GCC-like provenance-optimising semantics: y keeps its value.
         let gcc = run_with_model(src, ModelConfig::gcc_like()).unwrap();
         assert_eq!(gcc.outcomes[0].stdout, "x=1 y=2 *p=11 *q=2\n");
@@ -576,8 +844,14 @@ mod tests {
 
     #[test]
     fn conditional_expression() {
-        assert_eq!(exit_of("int main(void) { int x = 5; return x > 3 ? 42 : 7; }"), 42);
-        assert_eq!(exit_of("int main(void) { int x = 1; return x > 3 ? 42 : 7; }"), 7);
+        assert_eq!(
+            exit_of("int main(void) { int x = 5; return x > 3 ? 42 : 7; }"),
+            42
+        );
+        assert_eq!(
+            exit_of("int main(void) { int x = 1; return x > 3 ? 42 : 7; }"),
+            7
+        );
     }
 
     #[test]
@@ -594,15 +868,61 @@ mod tests {
 
     #[test]
     fn string_literals_are_readable_and_immutable() {
-        assert_eq!(exit_of("int main(void) { char *s = \"AB\"; return s[0] + s[1]; }"), 131);
+        assert_eq!(
+            exit_of("int main(void) { char *s = \"AB\"; return s[0] + s[1]; }"),
+            131
+        );
         let out = run("int main(void) { char *s = \"AB\"; s[0] = 'x'; return 0; }").unwrap();
-        assert_eq!(out.outcomes[0].result.ub_kind(), Some(UbKind::StringLiteralModification));
+        assert_eq!(
+            out.outcomes[0].result.ub_kind(),
+            Some(UbKind::StringLiteralModification)
+        );
     }
 
     #[test]
-    fn frontend_errors_are_reported() {
-        assert!(matches!(run("int main(void) { return zz; }"), Err(PipelineError::Frontend(_))));
-        assert!(matches!(run("int main(void) { return 0 }"), Err(PipelineError::Frontend(_))));
+    fn frontend_errors_are_reported_with_their_kind() {
+        let constraint = run("int main(void) { return zz; }").unwrap_err();
+        assert_eq!(constraint.kind(), PipelineErrorKind::Constraint);
+        let syntax = run("int main(void) { return 0 }").unwrap_err();
+        assert_eq!(syntax.kind(), PipelineErrorKind::Syntax);
+    }
+
+    #[test]
+    fn one_elaboration_serves_many_models() {
+        let program = Session::default()
+            .elaborate("int main(void) { int x = 3; int *p = &x; return *p + 39; }")
+            .unwrap();
+        for model in ModelConfig::all_named() {
+            assert_eq!(
+                program.run_under(&model).exit_value(),
+                Some(42),
+                "model {}",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn elaborated_artifacts_share_the_core_program() {
+        let program = Session::default()
+            .elaborate("int main(void) { return 0; }")
+            .unwrap();
+        let clone = program.clone();
+        assert!(std::sync::Arc::ptr_eq(&program.share(), &clone.share()));
+    }
+
+    #[test]
+    fn stages_compose_explicitly() {
+        let session = Session::default();
+        let parsed = session.parse("int main(void) { return 40 + 2; }").unwrap();
+        let desugared = parsed.desugar().unwrap();
+        assert_eq!(desugared.ail().functions.len(), 1);
+        let program = desugared.elaborate();
+        assert!(program.core().main.is_some());
+        assert_eq!(
+            program.run_under(&ModelConfig::de_facto()).exit_value(),
+            Some(42)
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use cerberus_ail::ail::{AilExpr, AilExprKind, AilStmt, BinOp};
 use cerberus_exec::driver::ExecResult;
 
-use crate::pipeline::{Config, Pipeline, PipelineError};
+use crate::pipeline::{PipelineError, Session};
 
 /// A toy three-address-code instruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,8 +82,8 @@ impl From<PipelineError> for TvcError {
 /// `+`, `-`, `*`) into the mini IR. Returns `None` when the program falls
 /// outside this fragment.
 pub fn lower(source: &str) -> Result<Option<MiniIr>, TvcError> {
-    let pipeline = Pipeline::new(Config::default());
-    let ail = pipeline.frontend(source)?;
+    let desugared = Session::default().desugar(source)?;
+    let ail = desugared.ail();
     if ail.functions.len() != 1 || !ail.globals.is_empty() {
         return Ok(None);
     }
@@ -94,7 +94,9 @@ pub fn lower(source: &str) -> Result<Option<MiniIr>, TvcError> {
     let mut ir = MiniIr::default();
     let mut temps = 0usize;
     let mut env: HashMap<String, String> = HashMap::new();
-    let AilStmt::Block(items, _) = &main.body else { return Ok(None) };
+    let AilStmt::Block(items, _) = &main.body else {
+        return Ok(None);
+    };
     for item in items {
         match item {
             AilStmt::Decl(decls) => {
@@ -110,15 +112,13 @@ pub fn lower(source: &str) -> Result<Option<MiniIr>, TvcError> {
                     }
                 }
             }
-            AilStmt::Return(Some(e)) => {
-                match lower_expr(e, &mut ir, &mut temps, &env) {
-                    Some(tmp) => {
-                        ir.instrs.push(Instr::Ret(tmp));
-                        return Ok(Some(ir));
-                    }
-                    None => return Ok(None),
+            AilStmt::Return(Some(e)) => match lower_expr(e, &mut ir, &mut temps, &env) {
+                Some(tmp) => {
+                    ir.instrs.push(Instr::Ret(tmp));
+                    return Ok(Some(ir));
                 }
-            }
+                None => return Ok(None),
+            },
             AilStmt::Skip => {}
             _ => return Ok(None),
         }
@@ -188,20 +188,29 @@ pub fn eval_ir(ir: &MiniIr) -> Option<i128> {
 /// check that the IR's behaviour is among the behaviours Cerberus allows.
 pub fn validate(source: &str) -> Result<TvcVerdict, TvcError> {
     let Some(ir) = lower(source)? else {
-        return Ok(TvcVerdict::Unsupported("program outside the tvc fragment".into()));
+        return Ok(TvcVerdict::Unsupported(
+            "program outside the tvc fragment".into(),
+        ));
     };
     let Some(ir_value) = eval_ir(&ir) else {
         return Ok(TvcVerdict::Unsupported("mini IR evaluation failed".into()));
     };
-    let outcome = Pipeline::new(Config::default()).run_source(source)?;
+    let outcome = Session::default().run_source(source)?;
     let cerberus_value = match outcome.outcomes.first().map(|o| &o.result) {
         Some(ExecResult::Return(v)) => *v,
-        _ => return Ok(TvcVerdict::Unsupported("Cerberus execution did not return".into())),
+        _ => {
+            return Ok(TvcVerdict::Unsupported(
+                "Cerberus execution did not return".into(),
+            ))
+        }
     };
     if ir_value == cerberus_value {
         Ok(TvcVerdict::Validated { value: ir_value })
     } else {
-        Ok(TvcVerdict::Mismatch { ir_value, cerberus_value })
+        Ok(TvcVerdict::Mismatch {
+            ir_value,
+            cerberus_value,
+        })
     }
 }
 
@@ -221,15 +230,19 @@ mod tests {
     fn out_of_fragment_programs_are_unsupported() {
         let verdict = validate("int main(void) { int x = 0; if (x) return 1; return 0; }").unwrap();
         assert!(matches!(verdict, TvcVerdict::Unsupported(_)));
-        let verdict =
-            validate("int f(void){return 1;} int main(void) { return f(); }").unwrap();
+        let verdict = validate("int f(void){return 1;} int main(void) { return f(); }").unwrap();
         assert!(matches!(verdict, TvcVerdict::Unsupported(_)));
     }
 
     #[test]
     fn lowering_produces_three_address_code() {
-        let ir = lower("int main(void) { int a = 2; return a + 3; }").unwrap().unwrap();
-        assert!(ir.instrs.iter().any(|i| matches!(i, Instr::Binary(_, MiniOp::Add, _, _))));
+        let ir = lower("int main(void) { int a = 2; return a + 3; }")
+            .unwrap()
+            .unwrap();
+        assert!(ir
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Binary(_, MiniOp::Add, _, _))));
         assert!(matches!(ir.instrs.last(), Some(Instr::Ret(_))));
         assert_eq!(eval_ir(&ir), Some(5));
     }

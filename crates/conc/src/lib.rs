@@ -132,7 +132,14 @@ impl Execution {
     ) -> EventId {
         let id = self.next_id;
         self.next_id += 1;
-        self.events.push(Event { id, thread, kind, location, size, order });
+        self.events.push(Event {
+            id,
+            thread,
+            kind,
+            location,
+            size,
+            order,
+        });
         id
     }
 
@@ -200,7 +207,10 @@ impl Execution {
                 if self.happens_before(a, b) || self.happens_before(b, a) {
                     continue;
                 }
-                races.push(DataRace { first: a.clone(), second: b.clone() });
+                races.push(DataRace {
+                    first: a.clone(),
+                    second: b.clone(),
+                });
             }
         }
         races

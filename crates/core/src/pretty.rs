@@ -102,7 +102,12 @@ pub fn pexpr_to_string(pe: &PExpr) -> String {
         }
         PExpr::Not(inner) => format!("not({})", pexpr_to_string(inner)),
         PExpr::Binop(op, l, r) => {
-            format!("({} {} {})", pexpr_to_string(l), binop_str(*op), pexpr_to_string(r))
+            format!(
+                "({} {} {})",
+                pexpr_to_string(l),
+                binop_str(*op),
+                pexpr_to_string(r)
+            )
         }
         PExpr::If(c, t, f) => format!(
             "if {} then {} else {}",
@@ -113,7 +118,12 @@ pub fn pexpr_to_string(pe: &PExpr) -> String {
         PExpr::Case(scrutinee, arms) => {
             let mut out = format!("case {} with", pexpr_to_string(scrutinee));
             for (pat, body) in arms {
-                let _ = write!(out, " | {} => {}", pattern_to_string(pat), pexpr_to_string(body));
+                let _ = write!(
+                    out,
+                    " | {} => {}",
+                    pattern_to_string(pat),
+                    pexpr_to_string(body)
+                );
             }
             out.push_str(" end");
             out
@@ -128,7 +138,11 @@ pub fn pexpr_to_string(pe: &PExpr) -> String {
             let inner: Vec<String> = args.iter().map(pexpr_to_string).collect();
             format!("{}({})", builtin_str(*f), inner.join(", "))
         }
-        PExpr::ArrayShift { ptr, elem_ty, index } => format!(
+        PExpr::ArrayShift {
+            ptr,
+            elem_ty,
+            index,
+        } => format!(
             "array_shift({}, '{elem_ty}', {})",
             pexpr_to_string(ptr),
             pexpr_to_string(index)
@@ -157,10 +171,18 @@ fn ptrop_str(op: PtrOp) -> &'static str {
 fn action_to_string(a: &MemAction) -> String {
     match a {
         MemAction::Create { align, ty } => {
-            format!("create({}, {})", pexpr_to_string(align), pexpr_to_string(ty))
+            format!(
+                "create({}, {})",
+                pexpr_to_string(align),
+                pexpr_to_string(ty)
+            )
         }
         MemAction::Alloc { align, size } => {
-            format!("alloc({}, {})", pexpr_to_string(align), pexpr_to_string(size))
+            format!(
+                "alloc({}, {})",
+                pexpr_to_string(align),
+                pexpr_to_string(size)
+            )
         }
         MemAction::Kill(ptr) => format!("kill({})", pexpr_to_string(ptr)),
         MemAction::Store { ty, ptr, value, .. } => format!(
@@ -210,7 +232,12 @@ fn write_expr(out: &mut String, e: &Expr, level: usize) {
         }
         Expr::Let(pat, value, body) => {
             indent(out, level);
-            let _ = writeln!(out, "let {} = {} in", pattern_to_string(pat), pexpr_to_string(value));
+            let _ = writeln!(
+                out,
+                "let {} = {} in",
+                pattern_to_string(pat),
+                pexpr_to_string(value)
+            );
             write_expr(out, body, level + 1);
         }
         Expr::If(c, t, f) => {
@@ -339,7 +366,10 @@ mod tests {
 
     #[test]
     fn undef_renders_with_core_name() {
-        assert_eq!(pexpr_to_string(&PExpr::Undef(UbKind::NegativeShift)), "undef(Negative_shift)");
+        assert_eq!(
+            pexpr_to_string(&PExpr::Undef(UbKind::NegativeShift)),
+            "undef(Negative_shift)"
+        );
         assert_eq!(
             pexpr_to_string(&PExpr::Undef(UbKind::ShiftTooLarge)),
             "undef(Shift_too_large)"

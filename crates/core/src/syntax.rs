@@ -194,9 +194,18 @@ pub enum MemAction {
     /// End the lifetime of the object a pointer refers to.
     Kill(Box<PExpr>),
     /// Store a value through a pointer at a C type.
-    Store { ty: Box<PExpr>, ptr: Box<PExpr>, value: Box<PExpr>, order: MemOrder },
+    Store {
+        ty: Box<PExpr>,
+        ptr: Box<PExpr>,
+        value: Box<PExpr>,
+        order: MemOrder,
+    },
     /// Load a value through a pointer at a C type.
-    Load { ty: Box<PExpr>, ptr: Box<PExpr>, order: MemOrder },
+    Load {
+        ty: Box<PExpr>,
+        ptr: Box<PExpr>,
+        order: MemOrder,
+    },
 }
 
 /// Pure (effect-free) Core expressions (`pe` in Fig. 2).
@@ -248,10 +257,18 @@ pub enum PExpr {
     Builtin(BuiltinFn, Vec<PExpr>),
     /// Pointer array shift: `array_shift(ptr, τ, index)` advances a pointer by
     /// `index` elements of type τ (no memory access).
-    ArrayShift { ptr: Box<PExpr>, elem_ty: Ctype, index: Box<PExpr> },
+    ArrayShift {
+        ptr: Box<PExpr>,
+        elem_ty: Ctype,
+        index: Box<PExpr>,
+    },
     /// Pointer member shift: `member_shift(ptr, tag.member)` moves a pointer
     /// to a struct/union member (no memory access).
-    MemberShift { ptr: Box<PExpr>, tag: TagId, member: Ident },
+    MemberShift {
+        ptr: Box<PExpr>,
+        tag: TagId,
+        member: Ident,
+    },
 }
 
 impl PExpr {
@@ -361,7 +378,10 @@ impl Expr {
             Expr::Pure(_) | Expr::Skip | Expr::Run(_) => false,
             Expr::Memop(..) | Expr::Action(..) | Expr::Ccall(..) | Expr::Return(_) => true,
             Expr::Case(_, arms) => arms.iter().any(|(_, e)| e.has_effects()),
-            Expr::Let(_, _, e) | Expr::Indet(e) | Expr::Bound(e) | Expr::Save(_, e)
+            Expr::Let(_, _, e)
+            | Expr::Indet(e)
+            | Expr::Bound(e)
+            | Expr::Save(_, e)
             | Expr::Exit(_, e) => e.has_effects(),
             Expr::If(_, a, b) => a.has_effects() || b.has_effects(),
             Expr::Unseq(es) | Expr::Nd(es) | Expr::Par(es) => es.iter().any(Expr::has_effects),
@@ -381,8 +401,12 @@ mod tests {
         assert!(PExpr::specified_int(3).is_value());
         assert!(PExpr::Unspecified(Ctype::integer(IntegerType::Int)).is_value());
         assert!(!PExpr::sym("x").is_value());
-        assert!(!PExpr::Binop(Binop::Add, Box::new(PExpr::Integer(1)), Box::new(PExpr::Integer(2)))
-            .is_value());
+        assert!(!PExpr::Binop(
+            Binop::Add,
+            Box::new(PExpr::Integer(1)),
+            Box::new(PExpr::Integer(2))
+        )
+        .is_value());
         assert!(PExpr::Tuple(vec![PExpr::Unit, PExpr::Boolean(true)]).is_value());
     }
 

@@ -46,9 +46,11 @@ pub fn simplify_expr(e: Expr) -> Expr {
             match c {
                 PExpr::Boolean(true) => simplify_expr(*t),
                 PExpr::Boolean(false) => simplify_expr(*f),
-                other => {
-                    Expr::If(other, Box::new(simplify_expr(*t)), Box::new(simplify_expr(*f)))
-                }
+                other => Expr::If(
+                    other,
+                    Box::new(simplify_expr(*t)),
+                    Box::new(simplify_expr(*f)),
+                ),
             }
         }
         Expr::Let(pat, value, body) => {
@@ -56,7 +58,9 @@ pub fn simplify_expr(e: Expr) -> Expr {
         }
         Expr::Case(scrutinee, arms) => Expr::Case(
             simplify_pexpr(scrutinee),
-            arms.into_iter().map(|(p, e)| (p, simplify_expr(e))).collect(),
+            arms.into_iter()
+                .map(|(p, e)| (p, simplify_expr(e)))
+                .collect(),
         ),
         Expr::Unseq(mut items) => {
             if items.len() == 1 {
@@ -118,9 +122,17 @@ mod tests {
 
     #[test]
     fn literal_conditionals_fold() {
-        let e = Expr::If(PExpr::Boolean(true), Box::new(a_store()), Box::new(Expr::Skip));
+        let e = Expr::If(
+            PExpr::Boolean(true),
+            Box::new(a_store()),
+            Box::new(Expr::Skip),
+        );
         assert_eq!(simplify_expr(e), a_store());
-        let e = Expr::If(PExpr::Boolean(false), Box::new(a_store()), Box::new(Expr::Skip));
+        let e = Expr::If(
+            PExpr::Boolean(false),
+            Box::new(a_store()),
+            Box::new(Expr::Skip),
+        );
         assert_eq!(simplify_expr(e), Expr::Skip);
     }
 
@@ -153,6 +165,9 @@ mod tests {
 
     #[test]
     fn pure_not_folds() {
-        assert_eq!(simplify_pexpr(PExpr::Not(Box::new(PExpr::Boolean(false)))), PExpr::Boolean(true));
+        assert_eq!(
+            simplify_pexpr(PExpr::Not(Box::new(PExpr::Boolean(false)))),
+            PExpr::Boolean(true)
+        );
     }
 }

@@ -20,7 +20,10 @@ impl Elaborator {
     }
 
     fn conv_int(ty: IntegerType, v: PExpr) -> PExpr {
-        PExpr::Builtin(BuiltinFn::ConvInt, vec![PExpr::CtypeConst(Ctype::integer(ty)), v])
+        PExpr::Builtin(
+            BuiltinFn::ConvInt,
+            vec![PExpr::CtypeConst(Ctype::integer(ty)), v],
+        )
     }
 
     fn is_representable(v: PExpr, ty: IntegerType) -> PExpr {
@@ -67,7 +70,14 @@ impl Elaborator {
     /// The pure computation of a binary arithmetic/bitwise/comparison
     /// operator on two *specified* integer operand values, including the
     /// explicit undefined-behaviour tests of 6.5.5–6.5.14.
-    fn specified_int_arith(&self, op: BinOp, lt: IntegerType, rt: IntegerType, x: PExpr, y: PExpr) -> PExpr {
+    fn specified_int_arith(
+        &self,
+        op: BinOp,
+        lt: IntegerType,
+        rt: IntegerType,
+        x: PExpr,
+        y: PExpr,
+    ) -> PExpr {
         let env = &self.env;
         if matches!(op, BinOp::Shl | BinOp::Shr) {
             let promoted = env.integer_promotion(lt);
@@ -96,7 +106,11 @@ impl Elaborator {
                 }
             }
             BinOp::Div | BinOp::Mod => {
-                let core_op = if op == BinOp::Div { Binop::Div } else { Binop::RemT };
+                let core_op = if op == BinOp::Div {
+                    Binop::Div
+                } else {
+                    Binop::RemT
+                };
                 let math = Self::binop(core_op, cx, cy.clone());
                 let ok = if signed {
                     PExpr::If(
@@ -147,7 +161,14 @@ impl Elaborator {
     /// The elaboration of the shift operators, structurally following the
     /// paper's Fig. 3: promote, test for a negative or too-large shift
     /// amount, wrap for unsigned left operands, and flag signed overflow.
-    fn specified_shift(&self, op: BinOp, promoted: IntegerType, rt: IntegerType, x: PExpr, y: PExpr) -> PExpr {
+    fn specified_shift(
+        &self,
+        op: BinOp,
+        promoted: IntegerType,
+        rt: IntegerType,
+        x: PExpr,
+        y: PExpr,
+    ) -> PExpr {
         let env = &self.env;
         let result_ty = Ctype::integer(promoted);
         let px = Self::conv_int(promoted, x);
@@ -196,7 +217,12 @@ impl Elaborator {
     /// (6.5p2-3: "value computations of the operands … are sequenced before
     /// the value computation of the result"; the operand evaluations
     /// themselves are unsequenced).
-    fn bind_operands(&mut self, lhs: &AilExpr, rhs: &AilExpr, cont: impl FnOnce(Ident, Ident) -> Expr) -> Expr {
+    fn bind_operands(
+        &mut self,
+        lhs: &AilExpr,
+        rhs: &AilExpr,
+        cont: impl FnOnce(Ident, Ident) -> Expr,
+    ) -> Expr {
         let s1 = Ident::fresh("e1");
         let s2 = Ident::fresh("e2");
         let e1 = self.elab_rvalue(lhs);
@@ -250,7 +276,9 @@ impl Elaborator {
             AilExprKind::Member(base, member) => {
                 let tag = match &base.ty {
                     Ctype::Struct(tag) | Ctype::Union(tag) => *tag,
-                    _ => return Expr::Pure(PExpr::Error("member access on a non-aggregate".into())),
+                    _ => {
+                        return Expr::Pure(PExpr::Error("member access on a non-aggregate".into()))
+                    }
                 };
                 let p = Ident::fresh("base");
                 let base_lv = self.elab_lvalue(base);
@@ -264,7 +292,10 @@ impl Elaborator {
                     })),
                 )
             }
-            _ => Expr::Pure(PExpr::Error(format!("expression is not an lvalue: {:?}", e.kind))),
+            _ => Expr::Pure(PExpr::Error(format!(
+                "expression is not an lvalue: {:?}",
+                e.kind
+            ))),
         }
     }
 
@@ -287,15 +318,17 @@ impl Elaborator {
         }
         match &e.kind {
             AilExprKind::Constant(v) => Expr::Pure(PExpr::specified_int(*v)),
-            AilExprKind::FloatConstant(_) => {
-                Expr::Pure(PExpr::Error("floating-point arithmetic is unsupported".into()))
-            }
+            AilExprKind::FloatConstant(_) => Expr::Pure(PExpr::Error(
+                "floating-point arithmetic is unsupported".into(),
+            )),
             AilExprKind::Ident(name, IdentKind::Function) => {
                 Expr::Pure(PExpr::Specified(Box::new(PExpr::FunctionPtr(name.clone()))))
             }
             AilExprKind::Ident(..) | AilExprKind::StringLit(_) | AilExprKind::Member(..) => {
                 // Already covered by the lvalue path above.
-                Expr::Pure(PExpr::Error("unexpected lvalue kind in rvalue elaboration".into()))
+                Expr::Pure(PExpr::Error(
+                    "unexpected lvalue kind in rvalue elaboration".into(),
+                ))
             }
             AilExprKind::Unary(op, inner) => self.elab_unary(e, *op, inner),
             AilExprKind::Binary(op, lhs, rhs) => self.elab_binary(e, *op, lhs, rhs),
@@ -333,7 +366,9 @@ impl Elaborator {
         match op {
             UnOp::AddressOf => {
                 if let AilExprKind::Ident(name, IdentKind::Function) = &inner.kind {
-                    return Expr::Pure(PExpr::Specified(Box::new(PExpr::FunctionPtr(name.clone()))));
+                    return Expr::Pure(PExpr::Specified(Box::new(PExpr::FunctionPtr(
+                        name.clone(),
+                    ))));
                 }
                 let p = Ident::fresh("addr");
                 let lv = self.elab_lvalue(inner);
@@ -349,7 +384,11 @@ impl Elaborator {
                 // designator value.
                 let s = Ident::fresh("fp");
                 let rv = self.elab_rvalue(inner);
-                Expr::Sseq(Pattern::Sym(s.clone()), Box::new(rv), Box::new(Expr::Pure(PExpr::Sym(s))))
+                Expr::Sseq(
+                    Pattern::Sym(s.clone()),
+                    Box::new(rv),
+                    Box::new(Expr::Pure(PExpr::Sym(s))),
+                )
             }
             UnOp::Plus | UnOp::Minus | UnOp::BitNot | UnOp::LogicalNot => {
                 let result_ty = e.ty.clone();
@@ -359,7 +398,11 @@ impl Elaborator {
                 let operand_it = inner.ty.decay().as_integer();
                 let pure = match (op, operand_it, result_ty.as_integer()) {
                     (UnOp::LogicalNot, _, _) => PExpr::Specified(Box::new(PExpr::If(
-                        Box::new(Self::binop(Binop::Eq, PExpr::Sym(v.clone()), PExpr::Integer(0))),
+                        Box::new(Self::binop(
+                            Binop::Eq,
+                            PExpr::Sym(v.clone()),
+                            PExpr::Integer(0),
+                        )),
                         Box::new(PExpr::Integer(1)),
                         Box::new(PExpr::Integer(0)),
                     ))),
@@ -367,7 +410,11 @@ impl Elaborator {
                         PExpr::Specified(Box::new(Self::conv_int(rt, PExpr::Sym(v.clone()))))
                     }
                     (UnOp::Minus, Some(_), Some(rt)) => {
-                        let negated = Self::binop(Binop::Sub, PExpr::Integer(0), Self::conv_int(rt, PExpr::Sym(v.clone())));
+                        let negated = Self::binop(
+                            Binop::Sub,
+                            PExpr::Integer(0),
+                            Self::conv_int(rt, PExpr::Sym(v.clone())),
+                        );
                         if self.env.is_signed(rt) {
                             PExpr::If(
                                 Box::new(Self::is_representable(negated.clone(), rt)),
@@ -381,7 +428,11 @@ impl Elaborator {
                     (UnOp::BitNot, Some(_), Some(rt)) => {
                         let complement = Self::binop(
                             Binop::Sub,
-                            Self::binop(Binop::Sub, PExpr::Integer(0), Self::conv_int(rt, PExpr::Sym(v.clone()))),
+                            Self::binop(
+                                Binop::Sub,
+                                PExpr::Integer(0),
+                                Self::conv_int(rt, PExpr::Sym(v.clone())),
+                            ),
                             PExpr::Integer(1),
                         );
                         PExpr::Specified(Box::new(Self::conv_int(rt, complement)))
@@ -409,7 +460,11 @@ impl Elaborator {
     fn elab_incr_decr(&mut self, e: &AilExpr, op: UnOp, inner: &AilExpr) -> Expr {
         let ty = e.ty.clone();
         let is_post = matches!(op, UnOp::PostIncr | UnOp::PostDecr);
-        let delta: i128 = if matches!(op, UnOp::PostIncr | UnOp::PreIncr) { 1 } else { -1 };
+        let delta: i128 = if matches!(op, UnOp::PostIncr | UnOp::PreIncr) {
+            1
+        } else {
+            -1
+        };
         let p = Ident::fresh("obj");
         let old = Ident::fresh("old");
         let ov = Ident::fresh("ov");
@@ -465,13 +520,20 @@ impl Elaborator {
                         Expr::Sseq(Pattern::Wildcard, Box::new(store), Box::new(result))
                     },
                 ),
-                (Pattern::Wildcard, Expr::Pure(PExpr::Undef(UbKind::IndeterminateValueUse))),
+                (
+                    Pattern::Wildcard,
+                    Expr::Pure(PExpr::Undef(UbKind::IndeterminateValueUse)),
+                ),
             ],
         );
         Expr::Sseq(
             Pattern::Sym(p),
             Box::new(lv),
-            Box::new(Expr::Sseq(Pattern::Sym(old), Box::new(load), Box::new(after_old))),
+            Box::new(Expr::Sseq(
+                Pattern::Sym(old),
+                Box::new(load),
+                Box::new(after_old),
+            )),
         )
     }
 
@@ -496,7 +558,11 @@ impl Elaborator {
                             (
                                 Pattern::Specified(Box::new(Pattern::Sym(v.clone()))),
                                 Expr::Pure(PExpr::Specified(Box::new(PExpr::If(
-                                    Box::new(Self::binop(Binop::Ne, PExpr::Sym(v), PExpr::Integer(0))),
+                                    Box::new(Self::binop(
+                                        Binop::Ne,
+                                        PExpr::Sym(v),
+                                        PExpr::Integer(0),
+                                    )),
                                     Box::new(PExpr::Integer(1)),
                                     Box::new(PExpr::Integer(0)),
                                 )))),
@@ -531,7 +597,11 @@ impl Elaborator {
             return self.bind_operands(lhs, rhs, |s1, s2| {
                 let v1 = Ident::fresh("v1");
                 let v2 = Ident::fresh("v2");
-                let (pv, iv) = if ptr_first { (v1.clone(), v2.clone()) } else { (v2.clone(), v1.clone()) };
+                let (pv, iv) = if ptr_first {
+                    (v1.clone(), v2.clone())
+                } else {
+                    (v2.clone(), v1.clone())
+                };
                 let index = if negate {
                     Self::binop(Binop::Sub, PExpr::Integer(0), PExpr::Sym(iv))
                 } else {
@@ -552,7 +622,10 @@ impl Elaborator {
                             ]),
                             Expr::Pure(shifted),
                         ),
-                        (Pattern::Wildcard, Expr::Pure(PExpr::Undef(UbKind::IndeterminateValueUse))),
+                        (
+                            Pattern::Wildcard,
+                            Expr::Pure(PExpr::Undef(UbKind::IndeterminateValueUse)),
+                        ),
                     ],
                 )
             });
@@ -572,10 +645,17 @@ impl Elaborator {
                             ]),
                             Expr::Memop(
                                 PtrOp::Diff,
-                                vec![PExpr::sym("p1"), PExpr::sym("p2"), PExpr::CtypeConst(pointee.clone())],
+                                vec![
+                                    PExpr::sym("p1"),
+                                    PExpr::sym("p2"),
+                                    PExpr::CtypeConst(pointee.clone()),
+                                ],
                             ),
                         ),
-                        (Pattern::Wildcard, Expr::Pure(PExpr::Undef(UbKind::IndeterminateValueUse))),
+                        (
+                            Pattern::Wildcard,
+                            Expr::Pure(PExpr::Undef(UbKind::IndeterminateValueUse)),
+                        ),
                     ],
                 )
             });
@@ -603,7 +683,10 @@ impl Elaborator {
                             ]),
                             Expr::Memop(ptr_op, vec![PExpr::sym("p1"), PExpr::sym("p2")]),
                         ),
-                        (Pattern::Wildcard, Expr::Pure(PExpr::Undef(UbKind::IndeterminateValueUse))),
+                        (
+                            Pattern::Wildcard,
+                            Expr::Pure(PExpr::Undef(UbKind::IndeterminateValueUse)),
+                        ),
                     ],
                 )
             });
@@ -619,7 +702,13 @@ impl Elaborator {
             (Some(li), Some(ri)) => {
                 let v1 = Ident::fresh("v1");
                 let v2 = Ident::fresh("v2");
-                let arith = self.specified_int_arith(op, li, ri, PExpr::Sym(v1.clone()), PExpr::Sym(v2.clone()));
+                let arith = self.specified_int_arith(
+                    op,
+                    li,
+                    ri,
+                    PExpr::Sym(v1.clone()),
+                    PExpr::Sym(v2.clone()),
+                );
                 Expr::Case(
                     PExpr::Tuple(vec![PExpr::Sym(s1.clone()), PExpr::Sym(s2.clone())]),
                     vec![
@@ -630,7 +719,10 @@ impl Elaborator {
                             ]),
                             Expr::Pure(arith),
                         ),
-                        (Pattern::Wildcard, Expr::Pure(PExpr::Unspecified(result_ty.clone()))),
+                        (
+                            Pattern::Wildcard,
+                            Expr::Pure(PExpr::Unspecified(result_ty.clone())),
+                        ),
                     ],
                 )
             }
@@ -686,7 +778,10 @@ impl Elaborator {
                     PExpr::Sym(iv.clone())
                 };
                 PExpr::Case(
-                    Box::new(PExpr::Tuple(vec![PExpr::Sym(old.clone()), PExpr::Sym(rvs.clone())])),
+                    Box::new(PExpr::Tuple(vec![
+                        PExpr::Sym(old.clone()),
+                        PExpr::Sym(rvs.clone()),
+                    ])),
                     vec![
                         (
                             Pattern::Tuple(vec![
@@ -699,14 +794,23 @@ impl Elaborator {
                                 index: Box::new(delta),
                             })),
                         ),
-                        (Pattern::Wildcard, PExpr::Undef(UbKind::IndeterminateValueUse)),
+                        (
+                            Pattern::Wildcard,
+                            PExpr::Undef(UbKind::IndeterminateValueUse),
+                        ),
                     ],
                 )
             }
             (_, Some(li), Some(ri)) => {
                 let ov = Ident::fresh("ov");
                 let iv = Ident::fresh("iv");
-                let arith = self.specified_int_arith(op, li, ri, PExpr::Sym(ov.clone()), PExpr::Sym(iv.clone()));
+                let arith = self.specified_int_arith(
+                    op,
+                    li,
+                    ri,
+                    PExpr::Sym(ov.clone()),
+                    PExpr::Sym(iv.clone()),
+                );
                 let back = {
                     let res = Ident::fresh("res");
                     PExpr::Case(
@@ -721,7 +825,10 @@ impl Elaborator {
                     )
                 };
                 PExpr::Case(
-                    Box::new(PExpr::Tuple(vec![PExpr::Sym(old.clone()), PExpr::Sym(rvs.clone())])),
+                    Box::new(PExpr::Tuple(vec![
+                        PExpr::Sym(old.clone()),
+                        PExpr::Sym(rvs.clone()),
+                    ])),
                     vec![
                         (
                             Pattern::Tuple(vec![
@@ -786,7 +893,10 @@ impl Elaborator {
                             vec![PExpr::Sym(v.clone()), PExpr::CtypeConst(target.clone())],
                         ),
                     ),
-                    (Pattern::Wildcard, Expr::Pure(PExpr::Unspecified(target.clone()))),
+                    (
+                        Pattern::Wildcard,
+                        Expr::Pure(PExpr::Unspecified(target.clone())),
+                    ),
                 ],
             ),
             (Ctype::Pointer(..), f) if f.is_integer() => Expr::Case(
@@ -799,20 +909,27 @@ impl Elaborator {
                             vec![PExpr::Sym(v.clone()), PExpr::CtypeConst(target.clone())],
                         ),
                     ),
-                    (Pattern::Wildcard, Expr::Pure(PExpr::Unspecified(target.clone()))),
+                    (
+                        Pattern::Wildcard,
+                        Expr::Pure(PExpr::Unspecified(target.clone())),
+                    ),
                 ],
             ),
             // Pointer-to-pointer casts reinterpret the referenced type but
             // keep the value (and its provenance).
             (Ctype::Pointer(..), Ctype::Pointer(..)) => Expr::Pure(PExpr::Sym(s.clone())),
-            _ => Expr::Pure(PExpr::Error(format!("unsupported cast from {from} to {target}"))),
+            _ => Expr::Pure(PExpr::Error(format!(
+                "unsupported cast from {from} to {target}"
+            ))),
         };
         Expr::Sseq(Pattern::Sym(s), Box::new(rv), Box::new(body))
     }
 
     fn elab_call(&mut self, callee: &AilExpr, args: &[AilExpr]) -> Expr {
         let f = Ident::fresh("fn");
-        let arg_syms: Vec<Ident> = (0..args.len()).map(|i| Ident::fresh(&format!("arg{i}"))).collect();
+        let arg_syms: Vec<Ident> = (0..args.len())
+            .map(|i| Ident::fresh(&format!("arg{i}")))
+            .collect();
         let mut evals = Vec::with_capacity(args.len() + 1);
         evals.push(self.elab_rvalue(callee));
         for a in args {
@@ -829,6 +946,10 @@ impl Elaborator {
         // unsequenced with respect to each other; the call is sequenced after
         // all of them (6.5.2.2p10). The body of the callee is indeterminately
         // sequenced with respect to the rest of the calling expression.
-        Expr::Wseq(Pattern::Tuple(pats), Box::new(Expr::Unseq(evals)), Box::new(Expr::Indet(Box::new(call))))
+        Expr::Wseq(
+            Pattern::Tuple(pats),
+            Box::new(Expr::Unseq(evals)),
+            Box::new(Expr::Indet(Box::new(call))),
+        )
     }
 }

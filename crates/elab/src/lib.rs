@@ -28,19 +28,26 @@ pub mod stmt;
 
 use cerberus_ail::ail::AilProgram;
 use cerberus_ast::env::ImplEnv;
-use cerberus_core::program::{CoreGlobal, CoreProc, CoreProgram};
 use cerberus_ast::ident::Ident;
+use cerberus_core::program::{CoreGlobal, CoreProc, CoreProgram};
 
 use crate::stmt::Elaborator;
 
 /// Elaborate a whole desugared program into Core.
 pub fn elaborate_program(program: &AilProgram, env: &ImplEnv) -> CoreProgram {
     let mut elab = Elaborator::new(env.clone(), program.tags.clone());
-    let mut core = CoreProgram { tags: program.tags.clone(), ..CoreProgram::default() };
+    let mut core = CoreProgram {
+        tags: program.tags.clone(),
+        ..CoreProgram::default()
+    };
 
     for global in &program.globals {
         let init = elab.elaborate_global_init(global);
-        core.globals.push(CoreGlobal { name: global.name.clone(), ty: global.ty.clone(), init });
+        core.globals.push(CoreGlobal {
+            name: global.name.clone(),
+            ty: global.ty.clone(),
+            init,
+        });
     }
 
     for f in &program.functions {
@@ -113,9 +120,8 @@ mod tests {
 
     #[test]
     fn string_literals_become_objects() {
-        let core = elaborate(
-            "#include <stdio.h>\nint main(void) { printf(\"hello\\n\"); return 0; }",
-        );
+        let core =
+            elaborate("#include <stdio.h>\nint main(void) { printf(\"hello\\n\"); return 0; }");
         assert_eq!(core.string_literals.len(), 1);
         assert_eq!(core.string_literals[0].1, b"hello\n".to_vec());
     }

@@ -135,7 +135,9 @@ impl Elaborator {
                 Ctype::Struct(tag) => {
                     let members: Vec<_> = match self.tags.get(*tag) {
                         Some(def) => def.members.clone(),
-                        None => return Expr::Pure(PExpr::Error("incomplete struct initialiser".into())),
+                        None => {
+                            return Expr::Pure(PExpr::Error("incomplete struct initialiser".into()))
+                        }
                     };
                     let mut stores = Vec::new();
                     for (member, item) in members.iter().zip(items.iter()) {
@@ -151,7 +153,9 @@ impl Elaborator {
                 Ctype::Union(tag) => {
                     let first = match self.tags.get(*tag).and_then(|d| d.members.first().cloned()) {
                         Some(m) => m,
-                        None => return Expr::Pure(PExpr::Error("incomplete union initialiser".into())),
+                        None => {
+                            return Expr::Pure(PExpr::Error("incomplete union initialiser".into()))
+                        }
                     };
                     match items.first() {
                         Some(item) => self.elab_init_into(ptr, &first.ty, item),
@@ -184,9 +188,7 @@ impl Elaborator {
         let mut result = inner;
         for decl in decls.iter().rev() {
             let init = match &decl.init {
-                Some(init) => {
-                    self.elab_init_into(PExpr::Sym(decl.name.clone()), &decl.ty, init)
-                }
+                Some(init) => self.elab_init_into(PExpr::Sym(decl.name.clone()), &decl.ty, init),
                 None => Expr::Skip,
             };
             result = Expr::Sseq(
@@ -346,10 +348,7 @@ impl Elaborator {
                 let body = self.elab_stmt(body);
                 self.break_stack.pop();
                 self.continue_stack.pop();
-                let iterate = Expr::seq(
-                    Expr::Exit(cont, Box::new(body)),
-                    Expr::Run(head.clone()),
-                );
+                let iterate = Expr::seq(Expr::Exit(cont, Box::new(body)), Expr::Run(head.clone()));
                 let guarded = self.elab_condition(c, iterate, Expr::Skip);
                 Expr::Exit(brk, Box::new(Expr::Save(head, Box::new(guarded))))
             }
@@ -443,7 +442,10 @@ impl Elaborator {
                 let cased = Expr::Case(
                     PExpr::Sym(c.clone()),
                     vec![
-                        (Pattern::Specified(Box::new(Pattern::Sym(v))), dispatch_and_body),
+                        (
+                            Pattern::Specified(Box::new(Pattern::Sym(v))),
+                            dispatch_and_body,
+                        ),
                         (
                             Pattern::Wildcard,
                             Expr::Pure(PExpr::Undef(UbKind::IndeterminateValueUse)),
@@ -475,7 +477,9 @@ impl Elaborator {
                 Some(label) => Expr::Run(label.clone()),
                 None => Expr::Pure(PExpr::Error("continue outside a loop".into())),
             },
-            AilStmt::Return(None) => Expr::Return(Box::new(PExpr::Specified(Box::new(PExpr::Unit)))),
+            AilStmt::Return(None) => {
+                Expr::Return(Box::new(PExpr::Specified(Box::new(PExpr::Unit))))
+            }
             AilStmt::Return(Some(e)) => {
                 let v = Ident::fresh("ret");
                 let rv = self.elab_rvalue(e);

@@ -3,6 +3,7 @@
 //! supports, including `printf`).
 
 use cerberus_ast::ctype::{Ctype, IntegerType};
+use cerberus_memory::model::MemoryModel;
 use cerberus_memory::value::PointerValue;
 
 use crate::eval::{Interp, Stop};
@@ -11,8 +12,8 @@ use crate::value::Value;
 /// Call a builtin library function by name, if `name` is one. Returns `None`
 /// when the name is not a builtin so the caller can dispatch to a defined C
 /// function instead.
-pub fn call_builtin(
-    interp: &mut Interp<'_>,
+pub fn call_builtin<M: MemoryModel>(
+    interp: &mut Interp<'_, M>,
     name: &str,
     args: &[Value],
 ) -> Option<Result<Value, Stop>> {
@@ -28,7 +29,9 @@ pub fn call_builtin(
         "strcmp" => Some(strcmp(interp, args)),
         "strcpy" => Some(strcpy(interp, args)),
         "abort" => Some(Err(Stop::Error("abort() called".into()))),
-        "exit" => Some(Err(Stop::Exit(args.first().and_then(Value::as_int).unwrap_or(0)))),
+        "exit" => Some(Err(Stop::Exit(
+            args.first().and_then(Value::as_int).unwrap_or(0),
+        ))),
         "assert" => Some(assert_builtin(args)),
         _ => None,
     }
@@ -39,9 +42,11 @@ fn arg_int(args: &[Value], i: usize) -> i128 {
 }
 
 fn arg_ptr(args: &[Value], i: usize) -> Result<PointerValue, Stop> {
-    args.get(i)
-        .and_then(Value::as_pointer)
-        .ok_or_else(|| Stop::Error(format!("library call expected a pointer argument at position {i}")))
+    args.get(i).and_then(Value::as_pointer).ok_or_else(|| {
+        Stop::Error(format!(
+            "library call expected a pointer argument at position {i}"
+        ))
+    })
 }
 
 fn specified_int(v: i128) -> Result<Value, Stop> {
@@ -60,13 +65,13 @@ fn assert_builtin(args: &[Value]) -> Result<Value, Stop> {
     }
 }
 
-fn malloc(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
+fn malloc<M: MemoryModel>(interp: &mut Interp<'_, M>, args: &[Value]) -> Result<Value, Stop> {
     let size = arg_int(args, 0).max(0) as u64;
     let align = interp.mem.env().max_align;
     specified_ptr(interp.mem.alloc(size, align))
 }
 
-fn calloc(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
+fn calloc<M: MemoryModel>(interp: &mut Interp<'_, M>, args: &[Value]) -> Result<Value, Stop> {
     let n = arg_int(args, 0).max(0) as u64;
     let size = arg_int(args, 1).max(0) as u64;
     let total = n.saturating_mul(size);
@@ -76,13 +81,16 @@ fn calloc(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
     specified_ptr(ptr)
 }
 
-fn free(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
-    let ptr = args.first().and_then(Value::as_pointer).unwrap_or_else(PointerValue::null);
+fn free<M: MemoryModel>(interp: &mut Interp<'_, M>, args: &[Value]) -> Result<Value, Stop> {
+    let ptr = args
+        .first()
+        .and_then(Value::as_pointer)
+        .unwrap_or_else(PointerValue::null);
     interp.mem.kill(&ptr, true).map_err(Stop::from)?;
     Ok(Value::Specified(Box::new(Value::Unit)))
 }
 
-fn memcpy(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
+fn memcpy<M: MemoryModel>(interp: &mut Interp<'_, M>, args: &[Value]) -> Result<Value, Stop> {
     let dst = arg_ptr(args, 0)?;
     let src = arg_ptr(args, 1)?;
     let n = arg_int(args, 2).max(0) as u64;
@@ -90,7 +98,7 @@ fn memcpy(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
     specified_ptr(dst)
 }
 
-fn memcmp(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
+fn memcmp<M: MemoryModel>(interp: &mut Interp<'_, M>, args: &[Value]) -> Result<Value, Stop> {
     let a = arg_ptr(args, 0)?;
     let b = arg_ptr(args, 1)?;
     let n = arg_int(args, 2).max(0) as u64;
@@ -98,7 +106,7 @@ fn memcmp(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
     specified_int(i128::from(r))
 }
 
-fn memset(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
+fn memset<M: MemoryModel>(interp: &mut Interp<'_, M>, args: &[Value]) -> Result<Value, Stop> {
     let dst = arg_ptr(args, 0)?;
     let byte = (arg_int(args, 1) & 0xff) as u8;
     let n = arg_int(args, 2).max(0) as u64;
@@ -106,15 +114,21 @@ fn memset(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
     specified_ptr(dst)
 }
 
-fn strlen(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
+fn strlen<M: MemoryModel>(interp: &mut Interp<'_, M>, args: &[Value]) -> Result<Value, Stop> {
     let p = arg_ptr(args, 0)?;
     let s = interp.mem.read_c_string(&p).map_err(Stop::from)?;
     specified_int(s.len() as i128)
 }
 
-fn strcmp(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
-    let a = interp.mem.read_c_string(&arg_ptr(args, 0)?).map_err(Stop::from)?;
-    let b = interp.mem.read_c_string(&arg_ptr(args, 1)?).map_err(Stop::from)?;
+fn strcmp<M: MemoryModel>(interp: &mut Interp<'_, M>, args: &[Value]) -> Result<Value, Stop> {
+    let a = interp
+        .mem
+        .read_c_string(&arg_ptr(args, 0)?)
+        .map_err(Stop::from)?;
+    let b = interp
+        .mem
+        .read_c_string(&arg_ptr(args, 1)?)
+        .map_err(Stop::from)?;
     specified_int(match a.cmp(&b) {
         std::cmp::Ordering::Less => -1,
         std::cmp::Ordering::Equal => 0,
@@ -122,7 +136,7 @@ fn strcmp(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
     })
 }
 
-fn strcpy(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
+fn strcpy<M: MemoryModel>(interp: &mut Interp<'_, M>, args: &[Value]) -> Result<Value, Stop> {
     let dst = arg_ptr(args, 0)?;
     let src = arg_ptr(args, 1)?;
     let bytes = interp.mem.read_c_string(&src).map_err(Stop::from)?;
@@ -134,7 +148,7 @@ fn strcpy(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
 /// A subset of `printf` conversions sufficient for the test suite: `%d`,
 /// `%i`, `%u`, `%ld`, `%lu`, `%lld`, `%llu`, `%zu`, `%x`, `%c`, `%s`, `%p`
 /// and `%%`.
-fn printf(interp: &mut Interp<'_>, args: &[Value]) -> Result<Value, Stop> {
+fn printf<M: MemoryModel>(interp: &mut Interp<'_, M>, args: &[Value]) -> Result<Value, Stop> {
     let fmt_ptr = arg_ptr(args, 0)?;
     let fmt = interp.mem.read_c_string(&fmt_ptr).map_err(Stop::from)?;
     let mut out: Vec<u8> = Vec::with_capacity(fmt.len());

@@ -9,15 +9,14 @@
 //! small test case).
 
 use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use cerberus_ast::env::ImplEnv;
 use cerberus_ast::ub::UbKind;
 use cerberus_core::program::CoreProgram;
-use cerberus_memory::config::ModelConfig;
-use cerberus_memory::state::MemState;
+use cerberus_memory::model::MemoryModel;
 
 use crate::eval::{Interp, Stop};
 
@@ -36,7 +35,9 @@ pub struct RandomOracle {
 impl RandomOracle {
     /// A seeded random oracle.
     pub fn new(seed: u64) -> Self {
-        RandomOracle { rng: StdRng::seed_from_u64(seed) }
+        RandomOracle {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -60,7 +61,11 @@ pub struct ReplayOracle {
 impl ReplayOracle {
     /// An oracle that replays `prefix` then defaults to the first choice.
     pub fn new(prefix: Vec<usize>) -> Self {
-        ReplayOracle { prefix, position: 0, recorded: Vec::new() }
+        ReplayOracle {
+            prefix,
+            position: 0,
+            recorded: Vec::new(),
+        }
     }
 }
 
@@ -153,18 +158,29 @@ pub enum ExecMode {
 }
 
 /// An execution driver for one elaborated program under one memory model.
+///
+/// The driver is generic over the [`MemoryModel`] it links the Core
+/// operational semantics against; it holds one configured model instance as
+/// a prototype and obtains a pristine state per explored execution via
+/// [`MemoryModel::fresh`]. The program is shared by `Arc`, so many drivers
+/// (e.g. one per model in a differential run) can execute the same
+/// elaborated artifact without copying it.
 #[derive(Debug, Clone)]
-pub struct Driver {
-    program: CoreProgram,
-    config: ModelConfig,
-    env: ImplEnv,
+pub struct Driver<M: MemoryModel> {
+    program: Arc<CoreProgram>,
+    model: M,
     step_limit: u64,
 }
 
-impl Driver {
-    /// Build a driver with the default step limit.
-    pub fn new(program: CoreProgram, config: ModelConfig, env: ImplEnv) -> Self {
-        Driver { program, config, env, step_limit: 2_000_000 }
+impl<M: MemoryModel> Driver<M> {
+    /// Build a driver executing `program` against `model`, with the default
+    /// step limit.
+    pub fn new(program: Arc<CoreProgram>, model: M) -> Self {
+        Driver {
+            program,
+            model,
+            step_limit: 2_000_000,
+        }
     }
 
     /// Override the step budget (used to emulate the §6 timeouts).
@@ -178,8 +194,13 @@ impl Driver {
         &self.program
     }
 
+    /// The memory model prototype this driver executes against.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
     fn run_with(&self, oracle: &mut dyn ChoiceOracle) -> ProgramOutcome {
-        let mem = MemState::new(self.config.clone(), self.env.clone(), self.program.tags.clone());
+        let mem = self.model.fresh();
         let mut interp = Interp::new(&self.program, mem, oracle, self.step_limit);
         let result = (|| -> Result<i128, Stop> {
             interp.setup()?;

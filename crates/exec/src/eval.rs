@@ -8,7 +8,8 @@ use cerberus_ast::ident::Ident;
 use cerberus_ast::ub::UbKind;
 use cerberus_core::program::CoreProgram;
 use cerberus_core::syntax::{Binop, BuiltinFn, Expr, MemAction, PExpr, Pattern, PtrOp};
-use cerberus_memory::state::{AllocKind, MemError, MemState};
+use cerberus_memory::model::MemoryModel;
+use cerberus_memory::state::{AllocKind, MemError};
 use cerberus_memory::value::{IntegerValue, PointerValue};
 
 use crate::builtins;
@@ -38,7 +39,10 @@ pub enum Stop {
 
 impl From<MemError> for Stop {
     fn from(e: MemError) -> Self {
-        Stop::Undef { ub: e.ub, detail: e.detail }
+        Stop::Undef {
+            ub: e.ub,
+            detail: e.detail,
+        }
     }
 }
 
@@ -76,14 +80,17 @@ fn conflicts(a: &[Access], b: &[Access]) -> bool {
 }
 
 fn negative_conflicts(a: &[Access], b: &[Access]) -> bool {
-    a.iter().filter(|x| x.negative).any(|x| b.iter().any(|y| access_conflict(x, y)))
+    a.iter()
+        .filter(|x| x.negative)
+        .any(|x| b.iter().any(|y| access_conflict(x, y)))
 }
 
-/// The interpreter state for one execution.
-pub struct Interp<'a> {
+/// The interpreter state for one execution, generic over the memory object
+/// model it issues its actions against (§5.9).
+pub struct Interp<'a, M: MemoryModel> {
     program: &'a CoreProgram,
     /// The memory object model state.
-    pub mem: MemState,
+    pub mem: M,
     globals: Env,
     /// Bytes written by `printf` during this execution.
     pub stdout: Vec<u8>,
@@ -94,11 +101,11 @@ pub struct Interp<'a> {
     footprints: Vec<Vec<Access>>,
 }
 
-impl<'a> Interp<'a> {
+impl<'a, M: MemoryModel> Interp<'a, M> {
     /// Build an interpreter for one execution of `program` against `mem`.
     pub fn new(
         program: &'a CoreProgram,
-        mem: MemState,
+        mem: M,
         oracle: &'a mut dyn ChoiceOracle,
         step_limit: u64,
     ) -> Self {
@@ -121,7 +128,8 @@ impl<'a> Interp<'a> {
     pub fn setup(&mut self) -> Result<(), Stop> {
         for (name, bytes) in &self.program.string_literals {
             let ptr = self.mem.create_string_literal(bytes);
-            self.globals.insert(name.as_str().to_owned(), Value::Pointer(ptr));
+            self.globals
+                .insert(name.as_str().to_owned(), Value::Pointer(ptr));
         }
         for proc_name in self.program.procs.keys() {
             self.mem.register_function(&Ident::new(proc_name.clone()));
@@ -131,13 +139,16 @@ impl<'a> Interp<'a> {
                 .mem
                 .create(&global.ty, AllocKind::Static, Some(global.name.as_str()))
                 .map_err(Stop::from)?;
-            self.globals.insert(global.name.as_str().to_owned(), Value::Pointer(ptr));
+            self.globals
+                .insert(global.name.as_str().to_owned(), Value::Pointer(ptr));
         }
         for global in &self.program.globals {
             let mut env = Env::new();
             match self.eval_expr(&mut env, &global.init)? {
                 Flow::Value(_) => {}
-                Flow::Jump(l) => return Err(Stop::Error(format!("jump to {l} in a global initialiser"))),
+                Flow::Jump(l) => {
+                    return Err(Stop::Error(format!("jump to {l} in a global initialiser")))
+                }
                 Flow::Return(_) => {
                     return Err(Stop::Error("return in a global initialiser".into()))
                 }
@@ -163,9 +174,14 @@ impl<'a> Interp<'a> {
         self.call_depth += 1;
         let mut env = Env::new();
         let mut param_ptrs = Vec::new();
-        for ((sym, ty), arg) in proc.params.iter().zip(args.into_iter()) {
-            let ptr = self.mem.create(ty, AllocKind::Automatic, Some(sym.as_str())).map_err(Stop::from)?;
-            self.mem.store(ty, &ptr, &arg.to_mem(ty)).map_err(Stop::from)?;
+        for ((sym, ty), arg) in proc.params.iter().zip(args) {
+            let ptr = self
+                .mem
+                .create(ty, AllocKind::Automatic, Some(sym.as_str()))
+                .map_err(Stop::from)?;
+            self.mem
+                .store(ty, &ptr, &arg.to_mem(ty))
+                .map_err(Stop::from)?;
             env.insert(sym.as_str().to_owned(), Value::Pointer(ptr.clone()));
             param_ptrs.push(ptr);
         }
@@ -191,7 +207,12 @@ impl<'a> Interp<'a> {
 
     fn record_access(&mut self, addr: u64, len: u64, write: bool, negative: bool) {
         for collector in &mut self.footprints {
-            collector.push(Access { addr, len, write, negative });
+            collector.push(Access {
+                addr,
+                len,
+                write,
+                negative,
+            });
         }
     }
 
@@ -232,7 +253,9 @@ impl<'a> Interp<'a> {
                 }
                 Ok(())
             }
-            None => Err(Stop::Error(format!("pattern match failure binding {value}"))),
+            None => Err(Stop::Error(format!(
+                "pattern match failure binding {value}"
+            ))),
         }
     }
 
@@ -258,13 +281,17 @@ impl<'a> Interp<'a> {
         match op {
             And | Or => {
                 let (Value::Bool(x), Value::Bool(y)) = (&a, &b) else {
-                    return Err(Stop::Error("boolean operator on non-boolean operands".into()));
+                    return Err(Stop::Error(
+                        "boolean operator on non-boolean operands".into(),
+                    ));
                 };
                 Ok(Value::Bool(if op == And { *x && *y } else { *x || *y }))
             }
             Eq | Ne | Lt | Le | Gt | Ge => {
                 let (Some(x), Some(y)) = (as_num(&a), as_num(&b)) else {
-                    return Err(Stop::Error(format!("comparison on non-scalar operands {a} and {b}")));
+                    return Err(Stop::Error(format!(
+                        "comparison on non-scalar operands {a} and {b}"
+                    )));
                 };
                 let r = match op {
                     Eq => x == y,
@@ -278,7 +305,9 @@ impl<'a> Interp<'a> {
             }
             _ => {
                 let (Some(ia), Some(ib)) = (a.as_integer_value(), b.as_integer_value()) else {
-                    return Err(Stop::Error(format!("arithmetic on non-integer operands {a} and {b}")));
+                    return Err(Stop::Error(format!(
+                        "arithmetic on non-integer operands {a} and {b}"
+                    )));
                 };
                 let (x, y) = (ia.value, ib.value);
                 let value = match op {
@@ -314,7 +343,10 @@ impl<'a> Interp<'a> {
                 };
                 // "Most arithmetic involving one provenanced value and one
                 // pure value preserves the provenance" (§5.9).
-                Ok(Value::Integer(IntegerValue::with_prov(value, ia.prov.combine(ib.prov))))
+                Ok(Value::Integer(IntegerValue::with_prov(
+                    value,
+                    ia.prov.combine(ib.prov),
+                )))
             }
         }
     }
@@ -323,7 +355,9 @@ impl<'a> Interp<'a> {
         let ctype_arg = |i: usize| -> Result<Ctype, Stop> {
             match args.get(i) {
                 Some(Value::Ctype(ty)) => Ok(ty.clone()),
-                other => Err(Stop::Error(format!("builtin expected a ctype argument, got {other:?}"))),
+                other => Err(Stop::Error(format!(
+                    "builtin expected a ctype argument, got {other:?}"
+                ))),
             }
         };
         let int_arg = |i: usize| -> Result<IntegerValue, Stop> {
@@ -337,43 +371,68 @@ impl<'a> Interp<'a> {
             BuiltinFn::ConvInt => {
                 let ty = ctype_arg(0)?;
                 let iv = int_arg(1)?;
-                let it = ty.as_integer().ok_or_else(|| Stop::Error("conv_int to non-integer".into()))?;
-                Ok(Value::Integer(IntegerValue::with_prov(env.convert_int(iv.value, it), iv.prov)))
+                let it = ty
+                    .as_integer()
+                    .ok_or_else(|| Stop::Error("conv_int to non-integer".into()))?;
+                Ok(Value::Integer(IntegerValue::with_prov(
+                    env.convert_int(iv.value, it),
+                    iv.prov,
+                )))
             }
             BuiltinFn::IsRepresentable => {
                 let ty = ctype_arg(0)?;
                 let iv = int_arg(1)?;
-                let it = ty.as_integer().ok_or_else(|| Stop::Error("is_representable on non-integer".into()))?;
+                let it = ty
+                    .as_integer()
+                    .ok_or_else(|| Stop::Error("is_representable on non-integer".into()))?;
                 Ok(Value::Bool(env.representable(iv.value, it)))
             }
             BuiltinFn::CtypeWidth => {
                 let ty = ctype_arg(0)?;
-                let it = ty.as_integer().ok_or_else(|| Stop::Error("ctype_width of non-integer".into()))?;
-                Ok(Value::Integer(IntegerValue::pure(i128::from(env.integer_width(it)))))
+                let it = ty
+                    .as_integer()
+                    .ok_or_else(|| Stop::Error("ctype_width of non-integer".into()))?;
+                Ok(Value::Integer(IntegerValue::pure(i128::from(
+                    env.integer_width(it),
+                ))))
             }
             BuiltinFn::Ivmax => {
-                let it = ctype_arg(0)?.as_integer().ok_or_else(|| Stop::Error("Ivmax of non-integer".into()))?;
+                let it = ctype_arg(0)?
+                    .as_integer()
+                    .ok_or_else(|| Stop::Error("Ivmax of non-integer".into()))?;
                 Ok(Value::Integer(IntegerValue::pure(env.int_max(it))))
             }
             BuiltinFn::Ivmin => {
-                let it = ctype_arg(0)?.as_integer().ok_or_else(|| Stop::Error("Ivmin of non-integer".into()))?;
+                let it = ctype_arg(0)?
+                    .as_integer()
+                    .ok_or_else(|| Stop::Error("Ivmin of non-integer".into()))?;
                 Ok(Value::Integer(IntegerValue::pure(env.int_min(it))))
             }
             BuiltinFn::SizeOf => {
                 let ty = ctype_arg(0)?;
-                Ok(Value::Integer(IntegerValue::pure(i128::from(self.mem.size_of(&ty)?))))
+                Ok(Value::Integer(IntegerValue::pure(i128::from(
+                    self.mem.size_of(&ty)?,
+                ))))
             }
             BuiltinFn::AlignOf => {
                 let ty = ctype_arg(0)?;
-                Ok(Value::Integer(IntegerValue::pure(i128::from(self.mem.align_of(&ty)?))))
+                Ok(Value::Integer(IntegerValue::pure(i128::from(
+                    self.mem.align_of(&ty)?,
+                ))))
             }
             BuiltinFn::IsSigned => {
                 let ty = ctype_arg(0)?;
-                Ok(Value::Bool(ty.as_integer().map(|it| env.is_signed(it)).unwrap_or(false)))
+                Ok(Value::Bool(
+                    ty.as_integer().map(|it| env.is_signed(it)).unwrap_or(false),
+                ))
             }
             BuiltinFn::IsUnsigned => {
                 let ty = ctype_arg(0)?;
-                Ok(Value::Bool(ty.as_integer().map(|it| !env.is_signed(it)).unwrap_or(false)))
+                Ok(Value::Bool(
+                    ty.as_integer()
+                        .map(|it| !env.is_signed(it))
+                        .unwrap_or(false),
+                ))
             }
             BuiltinFn::IsInteger => Ok(Value::Bool(ctype_arg(0)?.is_integer())),
             BuiltinFn::IsScalar => Ok(Value::Bool(ctype_arg(0)?.is_scalar())),
@@ -390,11 +449,12 @@ impl<'a> Interp<'a> {
             PExpr::CtypeConst(ty) => Ok(Value::Ctype(ty.clone())),
             PExpr::NullPtr(_) => Ok(Value::Pointer(PointerValue::null())),
             PExpr::FunctionPtr(name) => Ok(Value::Pointer(self.mem.register_function(name))),
-            PExpr::Undef(ub) => Err(Stop::Undef { ub: *ub, detail: "explicit undef reached".into() }),
+            PExpr::Undef(ub) => Err(Stop::Undef {
+                ub: *ub,
+                detail: "explicit undef reached".into(),
+            }),
             PExpr::Error(msg) => Err(Stop::Error(msg.clone())),
-            PExpr::Specified(inner) => {
-                Ok(Value::Specified(Box::new(self.eval_pexpr(env, inner)?)))
-            }
+            PExpr::Specified(inner) => Ok(Value::Specified(Box::new(self.eval_pexpr(env, inner)?))),
             PExpr::Unspecified(ty) => Ok(Value::Unspecified(ty.clone())),
             PExpr::Tuple(items) => {
                 let mut out = Vec::with_capacity(items.len());
@@ -415,9 +475,14 @@ impl<'a> Interp<'a> {
                 let mut out = Vec::with_capacity(members.len());
                 for (name, value) in members {
                     let v = self.eval_pexpr(env, value)?;
-                    out.push((name.clone(), v.to_mem(&Ctype::integer(IntegerType::LongLong))));
+                    out.push((
+                        name.clone(),
+                        v.to_mem(&Ctype::integer(IntegerType::LongLong)),
+                    ));
                 }
-                Ok(Value::Object(cerberus_memory::value::MemValue::Struct(*tag, out)))
+                Ok(Value::Object(cerberus_memory::value::MemValue::Struct(
+                    *tag, out,
+                )))
             }
             PExpr::UnionVal(tag, member, value) => {
                 let v = self.eval_pexpr(env, value)?;
@@ -468,7 +533,11 @@ impl<'a> Interp<'a> {
                 }
                 self.eval_builtin(*f, &vs)
             }
-            PExpr::ArrayShift { ptr, elem_ty, index } => {
+            PExpr::ArrayShift {
+                ptr,
+                elem_ty,
+                index,
+            } => {
                 let p = self
                     .eval_pexpr(env, ptr)?
                     .as_pointer()
@@ -491,7 +560,7 @@ impl<'a> Interp<'a> {
 
     // ----- memory operations -----------------------------------------------------
 
-    fn to_pointer_operand(&mut self, v: &Value) -> Result<PointerValue, Stop> {
+    fn pointer_operand(&mut self, v: &Value) -> Result<PointerValue, Stop> {
         if let Some(p) = v.as_pointer() {
             return Ok(p);
         }
@@ -512,15 +581,15 @@ impl<'a> Interp<'a> {
         let specified_int = |v: i128| Flow::Value(Value::specified_int(v));
         match op {
             PtrOp::Eq | PtrOp::Ne => {
-                let a = self.to_pointer_operand(&values[0])?;
-                let b = self.to_pointer_operand(&values[1])?;
+                let a = self.pointer_operand(&values[0])?;
+                let b = self.pointer_operand(&values[1])?;
                 let eq = self.mem.ptr_eq(&a, &b)?;
                 let result = if op == PtrOp::Eq { eq } else { !eq };
                 Ok(specified_int(i128::from(result)))
             }
             PtrOp::Lt | PtrOp::Gt | PtrOp::Le | PtrOp::Ge => {
-                let a = self.to_pointer_operand(&values[0])?;
-                let b = self.to_pointer_operand(&values[1])?;
+                let a = self.pointer_operand(&values[0])?;
+                let b = self.pointer_operand(&values[1])?;
                 let ord = self.mem.ptr_rel(&a, &b)?;
                 let result = match op {
                     PtrOp::Lt => ord == std::cmp::Ordering::Less,
@@ -531,18 +600,20 @@ impl<'a> Interp<'a> {
                 Ok(specified_int(i128::from(result)))
             }
             PtrOp::Diff => {
-                let a = self.to_pointer_operand(&values[0])?;
-                let b = self.to_pointer_operand(&values[1])?;
+                let a = self.pointer_operand(&values[0])?;
+                let b = self.pointer_operand(&values[1])?;
                 let elem_ty = match &values[2] {
                     Value::Ctype(ty) => ty.clone(),
                     _ => Ctype::integer(IntegerType::Char),
                 };
                 let size = self.mem.size_of(&elem_ty)?;
                 let diff = self.mem.ptr_diff(&a, &b, size)?;
-                Ok(Flow::Value(Value::Specified(Box::new(Value::Integer(diff)))))
+                Ok(Flow::Value(Value::Specified(Box::new(Value::Integer(
+                    diff,
+                )))))
             }
             PtrOp::IntFromPtr => {
-                let p = self.to_pointer_operand(&values[0])?;
+                let p = self.pointer_operand(&values[0])?;
                 let target = match &values[1] {
                     Value::Ctype(ty) => ty.clone(),
                     _ => Ctype::integer(IntegerType::UintptrT),
@@ -550,9 +621,9 @@ impl<'a> Interp<'a> {
                 let iv = self.mem.int_from_ptr(&p);
                 let it = target.as_integer().unwrap_or(IntegerType::UintptrT);
                 let converted = self.mem.env().convert_int(iv.value, it);
-                Ok(Flow::Value(Value::Specified(Box::new(Value::Integer(IntegerValue::with_prov(
-                    converted, iv.prov,
-                ))))))
+                Ok(Flow::Value(Value::Specified(Box::new(Value::Integer(
+                    IntegerValue::with_prov(converted, iv.prov),
+                )))))
             }
             PtrOp::PtrFromInt => {
                 let iv = values[0]
@@ -562,7 +633,7 @@ impl<'a> Interp<'a> {
                 Ok(Flow::Value(Value::Specified(Box::new(Value::Pointer(p)))))
             }
             PtrOp::ValidForDeref => {
-                let p = self.to_pointer_operand(&values[0])?;
+                let p = self.pointer_operand(&values[0])?;
                 let ty = match values.get(1) {
                     Some(Value::Ctype(ty)) => ty.clone(),
                     _ => Ctype::integer(IntegerType::Char),
@@ -602,7 +673,7 @@ impl<'a> Interp<'a> {
                     other => return Err(Stop::Error(format!("store at a non-type {other}"))),
                 };
                 let p = self.eval_pexpr(env, ptr)?;
-                let p = self.to_pointer_operand(&p)?;
+                let p = self.pointer_operand(&p)?;
                 let v = self.eval_pexpr(env, value)?;
                 let len = self.mem.size_of(&ty)?;
                 self.mem.store(&ty, &p, &v.to_mem(&ty))?;
@@ -615,7 +686,7 @@ impl<'a> Interp<'a> {
                     other => return Err(Stop::Error(format!("load at a non-type {other}"))),
                 };
                 let p = self.eval_pexpr(env, ptr)?;
-                let p = self.to_pointer_operand(&p)?;
+                let p = self.pointer_operand(&p)?;
                 let len = self.mem.size_of(&ty)?;
                 let mv = self.mem.load(&ty, &p)?;
                 self.record_access(p.addr, len, false, negative);
@@ -662,7 +733,9 @@ impl<'a> Interp<'a> {
                         other => Ok(other),
                     }
                 } else {
-                    Err(Stop::Error(format!("label {label} not found while seeking")))
+                    Err(Stop::Error(format!(
+                        "label {label} not found while seeking"
+                    )))
                 }
             }
             Expr::Exit(l, body) => {
@@ -717,9 +790,13 @@ impl<'a> Interp<'a> {
                         return self.eval_seeking(env, item, label);
                     }
                 }
-                Err(Stop::Error(format!("label {label} not found while seeking")))
+                Err(Stop::Error(format!(
+                    "label {label} not found while seeking"
+                )))
             }
-            _ => Err(Stop::Error(format!("label {label} not found while seeking"))),
+            _ => Err(Stop::Error(format!(
+                "label {label} not found while seeking"
+            ))),
         }
     }
 
@@ -741,9 +818,11 @@ impl<'a> Interp<'a> {
         match e {
             Expr::Pure(pe) => Ok(Flow::Value(self.eval_pexpr(env, pe)?)),
             Expr::Memop(op, args) => self.eval_memop(env, *op, args),
-            Expr::Action(polarity, action) => {
-                self.eval_action(env, action, *polarity == cerberus_core::syntax::Polarity::Negative)
-            }
+            Expr::Action(polarity, action) => self.eval_action(
+                env,
+                action,
+                *polarity == cerberus_core::syntax::Polarity::Negative,
+            ),
             Expr::Case(scrutinee, arms) => {
                 let v = self.eval_pexpr(env, scrutinee)?;
                 for (pat, body) in arms {
@@ -812,8 +891,9 @@ impl<'a> Interp<'a> {
                         if negative_conflicts(&fp_first, &fp_second) {
                             return Err(Stop::Undef {
                                 ub: UbKind::UnsequencedRace,
-                                detail: "a side-effect store is unsequenced with a conflicting access"
-                                    .into(),
+                                detail:
+                                    "a side-effect store is unsequenced with a conflicting access"
+                                        .into(),
                             });
                         }
                         match flow {
@@ -872,7 +952,11 @@ impl<'a> Interp<'a> {
                 if items.is_empty() {
                     return Ok(Flow::Value(Value::Unit));
                 }
-                let idx = if items.len() == 1 { 0 } else { self.oracle.choose(items.len()) };
+                let idx = if items.len() == 1 {
+                    0
+                } else {
+                    self.oracle.choose(items.len())
+                };
                 self.eval_expr(env, &items[idx])
             }
             Expr::Save(label, body) => self.eval_save(env, label, body),
@@ -892,7 +976,11 @@ impl<'a> Interp<'a> {
                 let mut order: Vec<usize> = (0..items.len()).collect();
                 let mut results = vec![Value::Unit; items.len()];
                 while !order.is_empty() {
-                    let k = if order.len() == 1 { 0 } else { self.oracle.choose(order.len()) };
+                    let k = if order.len() == 1 {
+                        0
+                    } else {
+                        self.oracle.choose(order.len())
+                    };
                     let idx = order.remove(k);
                     match self.eval_expr(env, &items[idx])? {
                         Flow::Value(v) => results[idx] = v,
@@ -913,7 +1001,11 @@ impl<'a> Interp<'a> {
         let mut results: Vec<Value> = vec![Value::Unit; n];
         let mut footprints: Vec<Vec<Access>> = vec![Vec::new(); n];
         while !remaining.is_empty() {
-            let k = if remaining.len() == 1 { 0 } else { self.oracle.choose(remaining.len()) };
+            let k = if remaining.len() == 1 {
+                0
+            } else {
+                self.oracle.choose(remaining.len())
+            };
             let idx = remaining.remove(k);
             self.footprints.push(Vec::new());
             let flow = self.eval_expr(env, &items[idx]);
@@ -939,4 +1031,3 @@ impl<'a> Interp<'a> {
         Ok(Flow::Value(Value::Tuple(results)))
     }
 }
-

@@ -1,7 +1,9 @@
 //! The Core operational semantics and execution drivers (§5.4, §5.6, §6).
 //!
-//! The evaluator executes elaborated [`cerberus_core::CoreProgram`]s against a
-//! [`cerberus_memory::MemState`]. All the looseness of the C semantics is
+//! The evaluator executes elaborated [`cerberus_core::CoreProgram`]s against
+//! any [`cerberus_memory::MemoryModel`] implementation — the executor is
+//! generic over the paper's abstract memory object model interface (§5.9) and
+//! never names a concrete engine. All the looseness of the C semantics is
 //! routed through a single [`driver::ChoiceOracle`]: the order in which
 //! `unseq` siblings are evaluated, and which `nd` branch is taken. "By
 //! selecting an appropriate sequencing monad implementation, we can select

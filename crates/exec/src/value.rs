@@ -119,9 +119,7 @@ impl Value {
             },
             Value::Object(mv) => mv.clone(),
             Value::Bool(b) => MemValue::int(IntegerType::Bool, i128::from(*b)),
-            Value::Unit | Value::Ctype(_) | Value::Tuple(_) => {
-                MemValue::Unspecified(ty.clone())
-            }
+            Value::Unit | Value::Ctype(_) | Value::Tuple(_) => MemValue::Unspecified(ty.clone()),
         }
     }
 }

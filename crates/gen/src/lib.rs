@@ -18,9 +18,9 @@ use std::fmt::Write as _;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use cerberus::pipeline::{Config, Pipeline};
 use cerberus::exec::driver::ExecResult;
 use cerberus::memory::config::ModelConfig;
+use cerberus::pipeline::Session;
 
 /// Binary operators of the generated fragment (all defined at `unsigned
 /// long`).
@@ -135,12 +135,24 @@ pub struct GenConfig {
 impl GenConfig {
     /// Small programs (the 561-test validation set analogue).
     pub fn small() -> Self {
-        GenConfig { globals: 4, functions: 1, statements: 6, max_depth: 2, max_loop: 4 }
+        GenConfig {
+            globals: 4,
+            functions: 1,
+            statements: 6,
+            max_depth: 2,
+            max_loop: 4,
+        }
     }
 
     /// Larger programs (the 400-test, 40–600 line analogue).
     pub fn large() -> Self {
-        GenConfig { globals: 8, functions: 3, statements: 20, max_depth: 3, max_loop: 8 }
+        GenConfig {
+            globals: 8,
+            functions: 3,
+            statements: 20,
+            max_depth: 3,
+            max_loop: 8,
+        }
     }
 }
 
@@ -177,7 +189,10 @@ impl Generator {
                 Box::new(self.expr(depth - 1, locals)),
             )
         } else if choice == 8 || self.funcs.is_empty() {
-            GExpr::ModConst(Box::new(self.expr(depth - 1, locals)), self.rng.gen_range(1..17))
+            GExpr::ModConst(
+                Box::new(self.expr(depth - 1, locals)),
+                self.rng.gen_range(1..17),
+            )
         } else {
             let idx = self.rng.gen_range(0..self.funcs.len());
             let (name, arity) = self.funcs[idx].clone();
@@ -216,20 +231,36 @@ pub fn generate(seed: u64, config: GenConfig) -> GenProgram {
         globals: (0..config.globals).map(|i| format!("g{i}")).collect(),
         funcs: Vec::new(),
     };
-    let globals: Vec<(String, u64)> =
-        g.globals.clone().into_iter().map(|name| (name, g.rng.gen_range(0..100))).collect();
+    let globals: Vec<(String, u64)> = g
+        .globals
+        .clone()
+        .into_iter()
+        .map(|name| (name, g.rng.gen_range(0..100)))
+        .collect();
 
     let mut funcs = Vec::new();
     for i in 0..config.functions {
         let name = format!("fn{i}");
         let params: Vec<String> = (0..2).map(|j| format!("p{j}")).collect();
         let ret = g.expr(2, &params);
-        funcs.push(GFunc { name: name.clone(), params, body: Vec::new(), ret });
+        funcs.push(GFunc {
+            name: name.clone(),
+            params,
+            body: Vec::new(),
+            ret,
+        });
         g.funcs.push((name, 2));
     }
 
-    let body: Vec<GStmt> = (0..config.statements).map(|_| g.stmt(config.max_depth)).collect();
-    GenProgram { globals, funcs, body, seed }
+    let body: Vec<GStmt> = (0..config.statements)
+        .map(|_| g.stmt(config.max_depth))
+        .collect();
+    GenProgram {
+        globals,
+        funcs,
+        body,
+        seed,
+    }
 }
 
 // ----- C source rendering ---------------------------------------------------
@@ -293,7 +324,10 @@ fn stmt_to_c(s: &GStmt, indent: usize, counter: &mut usize, out: &mut String) {
         GStmt::For(n, body) => {
             *counter += 1;
             let var = format!("i{counter}");
-            let _ = writeln!(out, "{pad}for (unsigned long {var} = 0ul; {var} < {n}ul; {var}++) {{");
+            let _ = writeln!(
+                out,
+                "{pad}for (unsigned long {var} = 0ul; {var} < {n}ul; {var}++) {{"
+            );
             for s in body {
                 stmt_to_c(s, indent + 1, counter, out);
             }
@@ -311,7 +345,11 @@ pub fn to_c_source(p: &GenProgram) -> String {
     }
     out.push('\n');
     for f in &p.funcs {
-        let params: Vec<String> = f.params.iter().map(|p| format!("unsigned long {p}")).collect();
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|p| format!("unsigned long {p}"))
+            .collect();
         let _ = writeln!(out, "unsigned long {}({}) {{", f.name, params.join(", "));
         out.push_str("  return ");
         expr_to_c(&f.ret, &mut out);
@@ -342,16 +380,25 @@ pub struct Reference {
     pub exit: i128,
 }
 
-fn ref_expr(e: &GExpr, globals: &HashMap<String, u64>, locals: &HashMap<String, u64>, funcs: &[GFunc]) -> u64 {
+fn ref_expr(
+    e: &GExpr,
+    globals: &HashMap<String, u64>,
+    locals: &HashMap<String, u64>,
+    funcs: &[GFunc],
+) -> u64 {
     match e {
         GExpr::Const(v) => *v,
         GExpr::Var(name) => *locals.get(name).or_else(|| globals.get(name)).unwrap_or(&0),
-        GExpr::Bin(op, a, b) => {
-            op.apply(ref_expr(a, globals, locals, funcs), ref_expr(b, globals, locals, funcs))
-        }
+        GExpr::Bin(op, a, b) => op.apply(
+            ref_expr(a, globals, locals, funcs),
+            ref_expr(b, globals, locals, funcs),
+        ),
         GExpr::ModConst(a, k) => ref_expr(a, globals, locals, funcs) % k,
         GExpr::Call(name, args) => {
-            let f = funcs.iter().find(|f| &f.name == name).expect("generated call target exists");
+            let f = funcs
+                .iter()
+                .find(|f| &f.name == name)
+                .expect("generated call target exists");
             let mut frame = HashMap::new();
             for (p, a) in f.params.iter().zip(args.iter()) {
                 frame.insert(p.clone(), ref_expr(a, globals, locals, funcs));
@@ -394,7 +441,10 @@ pub fn reference_eval(p: &GenProgram) -> Reference {
     for (name, _) in &p.globals {
         checksum = checksum.wrapping_mul(31) ^ globals[name];
     }
-    Reference { checksum, exit: (checksum % 128) as i128 }
+    Reference {
+        checksum,
+        exit: (checksum % 128) as i128,
+    }
 }
 
 // ----- differential testing ----------------------------------------------------
@@ -436,12 +486,14 @@ pub struct DiffSummary {
 pub fn diff_one(p: &GenProgram, step_limit: u64) -> DiffOutcome {
     let reference = reference_eval(p);
     let source = to_c_source(p);
-    let mut config = Config::with_model(ModelConfig::concrete());
-    config.step_limit = step_limit;
-    let outcome = match Pipeline::new(config).run_source(&source) {
-        Ok(o) => o,
+    let session = Session::with_model(ModelConfig::concrete());
+    let program = match session.elaborate(&source) {
+        Ok(program) => program,
         Err(e) => return DiffOutcome::Failure(e.to_string()),
     };
+    let config = session.config();
+    // `step_limit` is the §6-style timeout budget.
+    let outcome = program.execute(&config.model, config.mode, step_limit);
     let Some(first) = outcome.outcomes.first() else {
         return DiffOutcome::Failure("no outcome produced".into());
     };
@@ -465,7 +517,10 @@ pub fn diff_one(p: &GenProgram, step_limit: u64) -> DiffOutcome {
 /// Run the differential harness over `count` programs generated from
 /// consecutive seeds.
 pub fn run_differential(count: usize, config: GenConfig, step_limit: u64) -> DiffSummary {
-    let mut summary = DiffSummary { total: count, ..DiffSummary::default() };
+    let mut summary = DiffSummary {
+        total: count,
+        ..DiffSummary::default()
+    };
     for seed in 0..count as u64 {
         let program = generate(seed, config);
         match diff_one(&program, step_limit) {
@@ -497,7 +552,11 @@ mod tests {
         let src = to_c_source(&p);
         assert!(src.contains("int main(void)"));
         let out = cerberus::pipeline::run_with_model(&src, ModelConfig::concrete()).unwrap();
-        assert!(matches!(out.outcomes[0].result, ExecResult::Return(_)), "{:?}", out.outcomes[0]);
+        assert!(
+            matches!(out.outcomes[0].result, ExecResult::Return(_)),
+            "{:?}",
+            out.outcomes[0]
+        );
     }
 
     #[test]

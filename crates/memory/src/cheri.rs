@@ -38,7 +38,13 @@ pub struct Capability {
 impl Capability {
     /// A capability covering one whole allocation, pointing at its base.
     pub fn for_allocation(base: u64, length: u64, prov: Provenance) -> Self {
-        Capability { base, length, offset: 0, tag: true, prov }
+        Capability {
+            base,
+            length,
+            offset: 0,
+            tag: true,
+            prov,
+        }
     }
 
     /// Construct a capability from a [`PointerValue`] carrying CHERI
@@ -70,7 +76,11 @@ impl Capability {
         PointerValue {
             prov: self.prov,
             addr: self.address(),
-            cap: Some(CapMeta { base: self.base, length: self.length, tag: self.tag }),
+            cap: Some(CapMeta {
+                base: self.base,
+                length: self.length,
+                tag: self.tag,
+            }),
             function: None,
         }
     }
@@ -134,13 +144,31 @@ mod tests {
     fn aligned_interior_cap() -> Capability {
         // An allocation at a 16-aligned base; the capability points at offset
         // 6 within it, i.e. at an address whose low bits depend on base+offset.
-        Capability { base: 0x1_0000, length: 64, offset: 6, tag: true, prov: Provenance::Alloc(1) }
+        Capability {
+            base: 0x1_0000,
+            length: 64,
+            offset: 6,
+            tag: true,
+            prov: Provenance::Alloc(1),
+        }
     }
 
     #[test]
     fn equality_by_address_vs_exact() {
-        let a = Capability { base: 0x1_0000, length: 4, offset: 4, tag: true, prov: Provenance::Alloc(1) };
-        let b = Capability { base: 0x1_0004, length: 4, offset: 0, tag: true, prov: Provenance::Alloc(2) };
+        let a = Capability {
+            base: 0x1_0000,
+            length: 4,
+            offset: 4,
+            tag: true,
+            prov: Provenance::Alloc(1),
+        };
+        let b = Capability {
+            base: 0x1_0004,
+            length: 4,
+            offset: 0,
+            tag: true,
+            prov: Provenance::Alloc(2),
+        };
         // Same represented address (one-past a == base of b) …
         assert_eq!(a.address(), b.address());
         // … so the original semantics calls them equal, although they are not
@@ -153,7 +181,13 @@ mod tests {
     fn uintptr_bitand_quirk_reproduces() {
         // (i & 3u) == 0u with i pointing at an address whose low two bits are
         // zero: base = 0x10000, offset = 8 → address 0x10008, aligned.
-        let i = Capability { base: 0x1_0000, length: 64, offset: 8, tag: true, prov: Provenance::Alloc(1) };
+        let i = Capability {
+            base: 0x1_0000,
+            length: 64,
+            offset: 8,
+            tag: true,
+            prov: Provenance::Alloc(1),
+        };
         assert_eq!(i.address() & 3, 0);
         // Expected (address) semantics: the test passes.
         assert_eq!(uintptr_bitand_address_semantics(&i, 3), 0);
@@ -184,7 +218,13 @@ mod tests {
 
     #[test]
     fn pointer_round_trip() {
-        let c = Capability { base: 0x3_0000, length: 32, offset: 8, tag: true, prov: Provenance::Alloc(9) };
+        let c = Capability {
+            base: 0x3_0000,
+            length: 32,
+            offset: 8,
+            tag: true,
+            prov: Provenance::Alloc(9),
+        };
         let p = c.to_pointer();
         assert_eq!(p.addr, 0x3_0008);
         let back = Capability::from_pointer(&p).unwrap();
@@ -197,6 +237,9 @@ mod tests {
             arithmetic_provenance(Provenance::Alloc(1), Provenance::Alloc(2)),
             Provenance::Alloc(1)
         );
-        assert_eq!(arithmetic_provenance(Provenance::Empty, Provenance::Alloc(2)), Provenance::Empty);
+        assert_eq!(
+            arithmetic_provenance(Provenance::Empty, Provenance::Alloc(2)),
+            Provenance::Empty
+        );
     }
 }

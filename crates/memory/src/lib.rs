@@ -8,11 +8,17 @@
 //!
 //! This crate provides:
 //!
+//! * the abstract memory object model interface ([`model::MemoryModel`]):
+//!   the §5.9 signature (create/kill, typed load/store, the ptrops, the
+//!   intptr casts, relational operations, UB reporting) that the executor in
+//!   `cerberus-exec` is generic over;
 //! * the value representations ([`value`]): integer and pointer values
 //!   carrying provenance, and structured memory values;
-//! * a configurable memory engine ([`state::MemState`]) implementing object
-//!   creation/kill, typed loads and stores over representation bytes, padding
-//!   semantics, effective types, and the pointer operations (`ptrop`s);
+//! * a configurable memory engine ([`state::MemState`], exported as
+//!   [`model::ConcreteEngine`] — the first `MemoryModel` implementation)
+//!   implementing object creation/kill, typed loads and stores over
+//!   representation bytes, padding semantics, effective types, and the
+//!   pointer operations (`ptrop`s);
 //! * a family of model configurations ([`config::ModelConfig`]): the concrete
 //!   (provenance-erasing) model, the candidate de facto provenance model, a
 //!   strict-ISO model, a GCC-like provenance-optimising model, a CompCert-style
@@ -40,6 +46,7 @@
 
 pub mod cheri;
 pub mod config;
+pub mod model;
 pub mod state;
 pub mod value;
 
@@ -47,5 +54,6 @@ pub use config::{
     IntToPtrSemantics, ModelConfig, PaddingSemantics, RelationalSemantics, ToolProfile,
     UninitSemantics,
 };
+pub use model::{ConcreteEngine, MemoryModel, ModelResult};
 pub use state::{AllocKind, Allocation, MemError, MemState};
 pub use value::{AllocId, IntegerValue, MemValue, PointerValue, Provenance};

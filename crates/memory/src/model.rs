@@ -1,0 +1,344 @@
+//! The abstract memory object model interface.
+//!
+//! The paper's executable semantics "is parameterised by an abstract memory
+//! object model interface" (§5.9): the Core operational semantics never
+//! manipulates representation bytes itself, it only issues the actions and
+//! pointer operations of this signature and lets the linked model decide what
+//! is defined. [`MemoryModel`] is that signature: object create/kill, typed
+//! loads and stores, the `ptrop`s (equality, relational comparison,
+//! subtraction, the integer casts, `validForDeref`, `array_shift`/
+//! `member_shift`), the byte-level library helpers, and undefined-behaviour
+//! reporting via [`MemError`].
+//!
+//! [`ConcreteEngine`] (the configurable byte-representation engine of
+//! [`crate::state`], parameterised by a [`ModelConfig`]) is the first
+//! implementation; alternative instantiations — a purely abstract block
+//! model, a symbolic model, or the operational concurrency model — can be
+//! linked against the executor without touching it, because
+//! `cerberus_exec::Interp` and `cerberus_exec::Driver` are generic over
+//! `M: MemoryModel`.
+
+use cerberus_ast::ctype::{Ctype, TagId};
+use cerberus_ast::env::ImplEnv;
+use cerberus_ast::ident::Ident;
+use cerberus_ast::layout::TagRegistry;
+
+use crate::config::ModelConfig;
+use crate::state::{AllocKind, MemError, MemState};
+use crate::value::{IntegerValue, MemValue, PointerValue};
+
+/// The first implementation of [`MemoryModel`]: the concrete,
+/// representation-byte engine parameterised by a [`ModelConfig`].
+pub type ConcreteEngine = MemState;
+
+/// Result alias for model operations: `Err` reports detected undefined
+/// behaviour (or a dynamic model error) as a [`MemError`].
+pub type ModelResult<T> = Result<T, MemError>;
+
+/// The abstract memory object model signature of §5.9.
+///
+/// One value of the implementing type describes the memory state of **one
+/// execution**; the driver obtains a pristine state per execution via
+/// [`MemoryModel::fresh`] (the prototype pattern: a `Driver` holds one
+/// configured instance and resets it for every explored path).
+pub trait MemoryModel {
+    // ----- identity and environment --------------------------------------
+
+    /// The human-readable model name (used in reports and outcome matrices).
+    fn model_name(&self) -> &'static str;
+
+    /// The implementation-defined environment the model computes layout with.
+    fn env(&self) -> &ImplEnv;
+
+    /// The struct/union registry in force.
+    fn tags(&self) -> &TagRegistry;
+
+    /// A pristine state with the same configuration, environment and tag
+    /// registry, ready for a new execution.
+    fn fresh(&self) -> Self
+    where
+        Self: Sized;
+
+    // ----- layout --------------------------------------------------------
+
+    /// `sizeof(ty)` under this model's environment.
+    fn size_of(&self, ty: &Ctype) -> ModelResult<u64>;
+
+    /// `_Alignof(ty)` under this model's environment.
+    fn align_of(&self, ty: &Ctype) -> ModelResult<u64>;
+
+    // ----- object lifecycle ----------------------------------------------
+
+    /// Create an object of declared type `ty` (the Core `create` action).
+    fn create(
+        &mut self,
+        ty: &Ctype,
+        kind: AllocKind,
+        name: Option<&str>,
+    ) -> ModelResult<PointerValue>;
+
+    /// Allocate a dynamic region (the Core `alloc` action, i.e. `malloc`).
+    fn alloc(&mut self, size: u64, align: u64) -> PointerValue;
+
+    /// Create a read-only string-literal object holding `bytes` plus NUL.
+    fn create_string_literal(&mut self, bytes: &[u8]) -> PointerValue;
+
+    /// Register a C function, giving it a synthetic address.
+    fn register_function(&mut self, name: &Ident) -> PointerValue;
+
+    /// The function registered at a synthetic function address, if any.
+    fn function_at(&self, addr: u64) -> Option<&Ident>;
+
+    /// End the lifetime of the pointed-to object (the Core `kill` action);
+    /// `dynamic` selects `free` semantics.
+    fn kill(&mut self, ptr: &PointerValue, dynamic: bool) -> ModelResult<()>;
+
+    // ----- typed accesses ------------------------------------------------
+
+    /// Store `value` at type `ty` through `ptr` (the Core `store` action).
+    fn store(&mut self, ty: &Ctype, ptr: &PointerValue, value: &MemValue) -> ModelResult<()>;
+
+    /// Load a value at type `ty` through `ptr` (the Core `load` action).
+    fn load(&mut self, ty: &Ctype, ptr: &PointerValue) -> ModelResult<MemValue>;
+
+    // ----- pointer operations (the ptrops) -------------------------------
+
+    /// Pointer equality (`==`); inequality is the caller's negation.
+    fn ptr_eq(&self, a: &PointerValue, b: &PointerValue) -> ModelResult<bool>;
+
+    /// Pointer relational comparison: the ordering of the addresses, or UB
+    /// under models that forbid cross-object comparison.
+    fn ptr_rel(&self, a: &PointerValue, b: &PointerValue) -> ModelResult<std::cmp::Ordering>;
+
+    /// Pointer subtraction in elements of `elem_size` bytes.
+    fn ptr_diff(
+        &self,
+        a: &PointerValue,
+        b: &PointerValue,
+        elem_size: u64,
+    ) -> ModelResult<IntegerValue>;
+
+    /// Cast a pointer to an integer (`intFromPtr`).
+    fn int_from_ptr(&self, p: &PointerValue) -> IntegerValue;
+
+    /// Cast an integer to a pointer (`ptrFromInt`), following the model's
+    /// provenance semantics.
+    fn ptr_from_int(&self, iv: &IntegerValue) -> PointerValue;
+
+    /// Whether `ptr` may be dereferenced at `ty` without undefined behaviour.
+    fn valid_for_deref(&self, ptr: &PointerValue, ty: &Ctype) -> bool;
+
+    /// Pointer arithmetic by `index` elements of `elem_ty` (`array_shift`).
+    fn array_shift(
+        &self,
+        ptr: &PointerValue,
+        elem_ty: &Ctype,
+        index: i128,
+    ) -> ModelResult<PointerValue>;
+
+    /// Pointer to a struct/union member (`member_shift`).
+    fn member_shift(
+        &self,
+        ptr: &PointerValue,
+        tag: TagId,
+        member: &Ident,
+    ) -> ModelResult<PointerValue>;
+
+    // ----- byte-level library helpers ------------------------------------
+
+    /// `memcpy`: copy representation bytes, preserving carried provenance.
+    fn copy_bytes(&mut self, dst: &PointerValue, src: &PointerValue, n: u64) -> ModelResult<()>;
+
+    /// `memcmp` over representation bytes.
+    fn compare_bytes(&self, a: &PointerValue, b: &PointerValue, n: u64) -> ModelResult<i32>;
+
+    /// `memset`.
+    fn set_bytes(&mut self, dst: &PointerValue, byte: u8, n: u64) -> ModelResult<()>;
+
+    /// Read a NUL-terminated C string starting at `ptr`.
+    fn read_c_string(&self, ptr: &PointerValue) -> ModelResult<Vec<u8>>;
+}
+
+impl MemoryModel for ConcreteEngine {
+    fn model_name(&self) -> &'static str {
+        self.config().name
+    }
+
+    fn env(&self) -> &ImplEnv {
+        MemState::env(self)
+    }
+
+    fn tags(&self) -> &TagRegistry {
+        MemState::tags(self)
+    }
+
+    fn fresh(&self) -> Self {
+        MemState::new(
+            self.config().clone(),
+            MemState::env(self).clone(),
+            MemState::tags(self).clone(),
+        )
+    }
+
+    fn size_of(&self, ty: &Ctype) -> ModelResult<u64> {
+        MemState::size_of(self, ty)
+    }
+
+    fn align_of(&self, ty: &Ctype) -> ModelResult<u64> {
+        MemState::align_of(self, ty)
+    }
+
+    fn create(
+        &mut self,
+        ty: &Ctype,
+        kind: AllocKind,
+        name: Option<&str>,
+    ) -> ModelResult<PointerValue> {
+        MemState::create(self, ty, kind, name)
+    }
+
+    fn alloc(&mut self, size: u64, align: u64) -> PointerValue {
+        MemState::alloc(self, size, align)
+    }
+
+    fn create_string_literal(&mut self, bytes: &[u8]) -> PointerValue {
+        MemState::create_string_literal(self, bytes)
+    }
+
+    fn register_function(&mut self, name: &Ident) -> PointerValue {
+        MemState::register_function(self, name)
+    }
+
+    fn function_at(&self, addr: u64) -> Option<&Ident> {
+        MemState::function_at(self, addr)
+    }
+
+    fn kill(&mut self, ptr: &PointerValue, dynamic: bool) -> ModelResult<()> {
+        MemState::kill(self, ptr, dynamic)
+    }
+
+    fn store(&mut self, ty: &Ctype, ptr: &PointerValue, value: &MemValue) -> ModelResult<()> {
+        MemState::store(self, ty, ptr, value)
+    }
+
+    fn load(&mut self, ty: &Ctype, ptr: &PointerValue) -> ModelResult<MemValue> {
+        MemState::load(self, ty, ptr)
+    }
+
+    fn ptr_eq(&self, a: &PointerValue, b: &PointerValue) -> ModelResult<bool> {
+        MemState::ptr_eq(self, a, b)
+    }
+
+    fn ptr_rel(&self, a: &PointerValue, b: &PointerValue) -> ModelResult<std::cmp::Ordering> {
+        MemState::ptr_rel(self, a, b)
+    }
+
+    fn ptr_diff(
+        &self,
+        a: &PointerValue,
+        b: &PointerValue,
+        elem_size: u64,
+    ) -> ModelResult<IntegerValue> {
+        MemState::ptr_diff(self, a, b, elem_size)
+    }
+
+    fn int_from_ptr(&self, p: &PointerValue) -> IntegerValue {
+        MemState::int_from_ptr(self, p)
+    }
+
+    fn ptr_from_int(&self, iv: &IntegerValue) -> PointerValue {
+        MemState::ptr_from_int(self, iv)
+    }
+
+    fn valid_for_deref(&self, ptr: &PointerValue, ty: &Ctype) -> bool {
+        MemState::valid_for_deref(self, ptr, ty)
+    }
+
+    fn array_shift(
+        &self,
+        ptr: &PointerValue,
+        elem_ty: &Ctype,
+        index: i128,
+    ) -> ModelResult<PointerValue> {
+        MemState::array_shift(self, ptr, elem_ty, index)
+    }
+
+    fn member_shift(
+        &self,
+        ptr: &PointerValue,
+        tag: TagId,
+        member: &Ident,
+    ) -> ModelResult<PointerValue> {
+        MemState::member_shift(self, ptr, tag, member)
+    }
+
+    fn copy_bytes(&mut self, dst: &PointerValue, src: &PointerValue, n: u64) -> ModelResult<()> {
+        MemState::copy_bytes(self, dst, src, n)
+    }
+
+    fn compare_bytes(&self, a: &PointerValue, b: &PointerValue, n: u64) -> ModelResult<i32> {
+        MemState::compare_bytes(self, a, b, n)
+    }
+
+    fn set_bytes(&mut self, dst: &PointerValue, byte: u8, n: u64) -> ModelResult<()> {
+        MemState::set_bytes(self, dst, byte, n)
+    }
+
+    fn read_c_string(&self, ptr: &PointerValue) -> ModelResult<Vec<u8>> {
+        MemState::read_c_string(self, ptr)
+    }
+}
+
+impl ModelConfig {
+    /// Instantiate this configuration as a [`ConcreteEngine`] prototype for
+    /// programs using `tags` under `env` (the state is pristine; the driver
+    /// calls [`MemoryModel::fresh`] per execution).
+    pub fn instantiate(&self, env: ImplEnv, tags: TagRegistry) -> ConcreteEngine {
+        MemState::new(self.clone(), env, tags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerberus_ast::ctype::IntegerType;
+
+    fn engine() -> ConcreteEngine {
+        ModelConfig::de_facto().instantiate(ImplEnv::lp64(), TagRegistry::new())
+    }
+
+    /// Exercise the engine exclusively through the trait, as the executor
+    /// does.
+    fn roundtrip<M: MemoryModel>(mem: &mut M) -> i128 {
+        let ty = Ctype::integer(IntegerType::Int);
+        let p = mem.create(&ty, AllocKind::Automatic, Some("x")).unwrap();
+        mem.store(&ty, &p, &MemValue::int(IntegerType::Int, 41))
+            .unwrap();
+        mem.load(&ty, &p).unwrap().as_int().unwrap() + 1
+    }
+
+    #[test]
+    fn the_concrete_engine_satisfies_the_interface() {
+        let mut mem = engine();
+        assert_eq!(roundtrip(&mut mem), 42);
+        assert_eq!(mem.model_name(), "de-facto");
+    }
+
+    #[test]
+    fn fresh_resets_the_state_but_keeps_the_configuration() {
+        let mut mem = engine();
+        let _ = roundtrip(&mut mem);
+        assert!(!mem.allocations().is_empty());
+        let fresh = MemoryModel::fresh(&mem);
+        assert!(fresh.allocations().is_empty());
+        assert_eq!(fresh.model_name(), mem.model_name());
+    }
+
+    #[test]
+    fn every_named_config_instantiates() {
+        for config in ModelConfig::all_named() {
+            let engine = config.instantiate(ImplEnv::lp64(), TagRegistry::new());
+            assert_eq!(engine.model_name(), config.name);
+        }
+    }
+}

@@ -49,11 +49,17 @@ pub struct AbsByte {
 
 impl AbsByte {
     fn unspec() -> Self {
-        AbsByte { prov: Provenance::Empty, value: None }
+        AbsByte {
+            prov: Provenance::Empty,
+            value: None,
+        }
     }
 
     fn zero() -> Self {
-        AbsByte { prov: Provenance::Empty, value: Some(0) }
+        AbsByte {
+            prov: Provenance::Empty,
+            value: Some(0),
+        }
     }
 }
 
@@ -109,7 +115,10 @@ pub struct MemError {
 
 impl MemError {
     fn new(ub: UbKind, detail: impl Into<String>) -> Self {
-        MemError { ub, detail: detail.into() }
+        MemError {
+            ub,
+            detail: detail.into(),
+        }
     }
 }
 
@@ -231,15 +240,29 @@ impl MemState {
         self.next_addr = base + size;
         self.allocations.push(alloc);
         let cap = if self.config.cheri {
-            Some(CapMeta { base, length: size, tag: true })
+            Some(CapMeta {
+                base,
+                length: size,
+                tag: true,
+            })
         } else {
             None
         };
-        PointerValue { prov: Provenance::Alloc(id), addr: base, cap, function: None }
+        PointerValue {
+            prov: Provenance::Alloc(id),
+            addr: base,
+            cap,
+            function: None,
+        }
     }
 
     /// Create an object of declared type `ty` (the Core `create` action).
-    pub fn create(&mut self, ty: &Ctype, kind: AllocKind, name: Option<&str>) -> MResult<PointerValue> {
+    pub fn create(
+        &mut self,
+        ty: &Ctype,
+        kind: AllocKind,
+        name: Option<&str>,
+    ) -> MResult<PointerValue> {
         let size = self.size_of(ty)?;
         let align = self.align_of(ty)?;
         Ok(self.push_allocation(size, align, kind, Some(ty.clone()), name, false))
@@ -248,7 +271,14 @@ impl MemState {
     /// Allocate a dynamic region of `size` bytes (the Core `alloc` action,
     /// i.e. `malloc`).
     pub fn alloc(&mut self, size: u64, align: u64) -> PointerValue {
-        self.push_allocation(size.max(1), align.max(1), AllocKind::Dynamic, None, None, false)
+        self.push_allocation(
+            size.max(1),
+            align.max(1),
+            AllocKind::Dynamic,
+            None,
+            None,
+            false,
+        )
     }
 
     /// Create a read-only string-literal object holding `bytes` plus a
@@ -260,14 +290,23 @@ impl MemState {
             contents.len() as u64,
             1,
             AllocKind::StringLiteral,
-            Some(Ctype::array(Ctype::integer(IntegerType::Char), contents.len() as u64)),
+            Some(Ctype::array(
+                Ctype::integer(IntegerType::Char),
+                contents.len() as u64,
+            )),
             None,
             true,
         );
-        let id = ptr.prov.alloc_id().expect("fresh string allocation has a provenance");
+        let id = ptr
+            .prov
+            .alloc_id()
+            .expect("fresh string allocation has a provenance");
         let alloc = &mut self.allocations[id as usize];
         for (i, b) in contents.iter().enumerate() {
-            alloc.bytes[i] = AbsByte { prov: Provenance::Empty, value: Some(*b) };
+            alloc.bytes[i] = AbsByte {
+                prov: Provenance::Empty,
+                value: Some(*b),
+            };
         }
         ptr
     }
@@ -284,7 +323,12 @@ impl MemState {
                 a
             }
         };
-        PointerValue { prov: Provenance::Empty, addr, cap: None, function: Some(name.clone()) }
+        PointerValue {
+            prov: Provenance::Empty,
+            addr,
+            cap: None,
+            function: Some(name.clone()),
+        }
     }
 
     /// The function registered at a synthetic function address, if any.
@@ -303,7 +347,10 @@ impl MemState {
         let id = self.resolve_allocation(ptr)?;
         let alloc = &mut self.allocations[id as usize];
         if !alloc.alive {
-            return Err(MemError::new(UbKind::InvalidFree, "object lifetime already ended"));
+            return Err(MemError::new(
+                UbKind::InvalidFree,
+                "object lifetime already ended",
+            ));
         }
         if dynamic {
             if alloc.kind != AllocKind::Dynamic {
@@ -313,7 +360,10 @@ impl MemState {
                 ));
             }
             if ptr.addr != alloc.base {
-                return Err(MemError::new(UbKind::InvalidFree, "free of an interior pointer"));
+                return Err(MemError::new(
+                    UbKind::InvalidFree,
+                    "free of an interior pointer",
+                ));
             }
         }
         alloc.alive = false;
@@ -330,17 +380,25 @@ impl MemState {
     }
 
     fn find_alloc_by_addr(&self, addr: u64) -> Option<&Allocation> {
-        self.allocations.iter().find(|a| a.alive && addr >= a.base && addr < a.end())
+        self.allocations
+            .iter()
+            .find(|a| a.alive && addr >= a.base && addr < a.end())
     }
 
     // ----- access checking ---------------------------------------------------
 
     fn check_access(&self, ptr: &PointerValue, len: u64, is_store: bool) -> MResult<AllocId> {
         if ptr.function.is_some() {
-            return Err(MemError::new(UbKind::InvalidLvalue, "object access through a function pointer"));
+            return Err(MemError::new(
+                UbKind::InvalidLvalue,
+                "object access through a function pointer",
+            ));
         }
         if ptr.is_null() {
-            return Err(MemError::new(UbKind::NullPointerDeref, "access through a null pointer"));
+            return Err(MemError::new(
+                UbKind::NullPointerDeref,
+                "access through a null pointer",
+            ));
         }
         if self.config.cheri {
             if let Some(cap) = &ptr.cap {
@@ -366,9 +424,9 @@ impl MemState {
         let id = if self.config.provenance_checking {
             match ptr.prov {
                 Provenance::Alloc(id) => {
-                    let alloc = self
-                        .allocation(id)
-                        .ok_or_else(|| MemError::new(UbKind::OutOfBoundsAccess, "unknown allocation"))?;
+                    let alloc = self.allocation(id).ok_or_else(|| {
+                        MemError::new(UbKind::OutOfBoundsAccess, "unknown allocation")
+                    })?;
                     if !alloc.alive {
                         return Err(MemError::new(
                             UbKind::AccessOutsideLifetime,
@@ -414,7 +472,10 @@ impl MemState {
                 )
             })?;
             if !alloc.contains_range(ptr.addr, len) {
-                return Err(MemError::new(UbKind::OutOfBoundsAccess, "access straddles allocations"));
+                return Err(MemError::new(
+                    UbKind::OutOfBoundsAccess,
+                    "access straddles allocations",
+                ));
             }
             alloc.id
         };
@@ -427,12 +488,20 @@ impl MemState {
         Ok(id)
     }
 
-    fn check_effective_type(&mut self, id: AllocId, access_ty: &Ctype, is_store: bool) -> MResult<()> {
+    fn check_effective_type(
+        &mut self,
+        id: AllocId,
+        access_ty: &Ctype,
+        is_store: bool,
+    ) -> MResult<()> {
         if !self.config.effective_types || access_ty.is_character() {
             return Ok(());
         }
         let alloc = &mut self.allocations[id as usize];
-        let declared = alloc.declared_ty.clone().or_else(|| alloc.effective_ty.clone());
+        let declared = alloc
+            .declared_ty
+            .clone()
+            .or_else(|| alloc.effective_ty.clone());
         match declared {
             None => {
                 if is_store {
@@ -446,7 +515,9 @@ impl MemState {
                 } else {
                     Err(MemError::new(
                         UbKind::EffectiveTypeViolation,
-                        format!("access at type {access_ty} to an object with effective type {decl}"),
+                        format!(
+                            "access at type {access_ty} to an object with effective type {decl}"
+                        ),
                     ))
                 }
             }
@@ -463,7 +534,10 @@ impl MemState {
                 Endianness::Little => 8 * i,
                 Endianness::Big => 8 * (size - 1 - i),
             };
-            out.push(AbsByte { prov, value: Some(((uval >> shift) & 0xff) as u8) });
+            out.push(AbsByte {
+                prov,
+                value: Some(((uval >> shift) & 0xff) as u8),
+            });
         }
         out
     }
@@ -547,9 +621,13 @@ impl MemState {
                     .get(*tag)
                     .ok_or_else(|| MemError::new(UbKind::InvalidLvalue, "incomplete union"))?
                     .clone();
-                let m = def.members.iter().find(|m| &m.name == member).ok_or_else(|| {
-                    MemError::new(UbKind::InvalidLvalue, format!("no union member {member}"))
-                })?;
+                let m = def
+                    .members
+                    .iter()
+                    .find(|m| &m.name == member)
+                    .ok_or_else(|| {
+                        MemError::new(UbKind::InvalidLvalue, format!("no union member {member}"))
+                    })?;
                 let mut out = vec![AbsByte::unspec(); size as usize];
                 for (i, b) in self.serialize(&m.ty, inner)?.into_iter().enumerate() {
                     out[i] = b;
@@ -591,17 +669,24 @@ impl MemState {
                         ));
                     }
                     let cap = if self.config.cheri {
-                        prov.alloc_id().and_then(|id| self.allocation(id)).map(|a| CapMeta {
-                            base: a.base,
-                            length: a.size,
-                            tag: true,
-                        })
+                        prov.alloc_id()
+                            .and_then(|id| self.allocation(id))
+                            .map(|a| CapMeta {
+                                base: a.base,
+                                length: a.size,
+                                tag: true,
+                            })
                     } else {
                         None
                     };
                     Ok(MemValue::Pointer(
                         (**pointee).clone(),
-                        PointerValue { prov, addr, cap, function: None },
+                        PointerValue {
+                            prov,
+                            addr,
+                            cap,
+                            function: None,
+                        },
                     ))
                 }
                 None => Ok(MemValue::Unspecified(ty.clone())),
@@ -635,20 +720,25 @@ impl MemState {
                     .get(*tag)
                     .ok_or_else(|| MemError::new(UbKind::InvalidLvalue, "incomplete union"))?
                     .clone();
-                let first = def.members.first().ok_or_else(|| {
-                    MemError::new(UbKind::InvalidLvalue, "union with no members")
-                })?;
+                let first = def
+                    .members
+                    .first()
+                    .ok_or_else(|| MemError::new(UbKind::InvalidLvalue, "union with no members"))?;
                 let fsize = self.size_of(&first.ty)? as usize;
                 let inner = self.deserialize(&first.ty, &bytes[..fsize])?;
                 Ok(MemValue::Union(*tag, first.name.clone(), Box::new(inner)))
             }
             Ctype::Floating => match self.bytes_to_int(bytes, true) {
-                Some((v, prov)) => {
-                    Ok(MemValue::Integer(IntegerType::LongLong, IntegerValue::with_prov(v, prov)))
-                }
+                Some((v, prov)) => Ok(MemValue::Integer(
+                    IntegerType::LongLong,
+                    IntegerValue::with_prov(v, prov),
+                )),
                 None => Ok(MemValue::Unspecified(ty.clone())),
             },
-            _ => Err(MemError::new(UbKind::InvalidLvalue, format!("cannot load at type {ty}"))),
+            _ => Err(MemError::new(
+                UbKind::InvalidLvalue,
+                format!("cannot load at type {ty}"),
+            )),
         }
     }
 
@@ -696,7 +786,9 @@ impl MemState {
 
     fn is_one_past_store(&self, ptr: &PointerValue, len: u64) -> bool {
         match ptr.prov.alloc_id().and_then(|id| self.allocation(id)) {
-            Some(alloc) => ptr.addr == alloc.end() && self.find_alloc_by_addr(ptr.addr).is_some() && len > 0,
+            Some(alloc) => {
+                ptr.addr == alloc.end() && self.find_alloc_by_addr(ptr.addr).is_some() && len > 0
+            }
             None => false,
         }
     }
@@ -784,7 +876,12 @@ impl MemState {
     }
 
     /// Pointer subtraction, in elements of size `elem_size`.
-    pub fn ptr_diff(&self, a: &PointerValue, b: &PointerValue, elem_size: u64) -> MResult<IntegerValue> {
+    pub fn ptr_diff(
+        &self,
+        a: &PointerValue,
+        b: &PointerValue,
+        elem_size: u64,
+    ) -> MResult<IntegerValue> {
         let same_object = match (a.prov.alloc_id(), b.prov.alloc_id()) {
             (Some(x), Some(y)) => x == y,
             _ => !self.config.provenance_checking,
@@ -815,7 +912,12 @@ impl MemState {
         }
         let addr = iv.value as u64;
         if let Some(name) = self.functions_by_addr.get(&addr) {
-            return PointerValue { prov: Provenance::Empty, addr, cap: None, function: Some(name.clone()) };
+            return PointerValue {
+                prov: Provenance::Empty,
+                addr,
+                cap: None,
+                function: Some(name.clone()),
+            };
         }
         let prov = match self.config.int_to_ptr {
             IntToPtrSemantics::TrackedProvenance => iv.prov,
@@ -823,15 +925,22 @@ impl MemState {
             IntToPtrSemantics::Forbidden => Provenance::Empty,
         };
         let cap = if self.config.cheri {
-            prov.alloc_id().and_then(|id| self.allocation(id)).map(|a| CapMeta {
-                base: a.base,
-                length: a.size,
-                tag: true,
-            })
+            prov.alloc_id()
+                .and_then(|id| self.allocation(id))
+                .map(|a| CapMeta {
+                    base: a.base,
+                    length: a.size,
+                    tag: true,
+                })
         } else {
             None
         };
-        PointerValue { prov, addr, cap, function: None }
+        PointerValue {
+            prov,
+            addr,
+            cap,
+            function: None,
+        }
     }
 
     /// Whether a pointer may be dereferenced at the given type without
@@ -845,7 +954,12 @@ impl MemState {
 
     /// Pointer arithmetic: advance `ptr` by `index` elements of type
     /// `elem_ty` (the Core `array_shift`).
-    pub fn array_shift(&self, ptr: &PointerValue, elem_ty: &Ctype, index: i128) -> MResult<PointerValue> {
+    pub fn array_shift(
+        &self,
+        ptr: &PointerValue,
+        elem_ty: &Ctype,
+        index: i128,
+    ) -> MResult<PointerValue> {
         let esize = self.size_of(elem_ty)? as i128;
         let new_addr = (ptr.addr as i128 + index * esize) as u64;
         if !self.config.allow_oob_pointer_arith {
@@ -862,7 +976,12 @@ impl MemState {
     }
 
     /// Pointer to a struct/union member (the Core `member_shift`).
-    pub fn member_shift(&self, ptr: &PointerValue, tag: TagId, member: &Ident) -> MResult<PointerValue> {
+    pub fn member_shift(
+        &self,
+        ptr: &PointerValue,
+        tag: TagId,
+        member: &Ident,
+    ) -> MResult<PointerValue> {
         let def = self
             .tags
             .get(tag)
@@ -939,7 +1058,10 @@ impl MemState {
         let alloc = &mut self.allocations[id as usize];
         let start = (dst.addr - alloc.base) as usize;
         for b in &mut alloc.bytes[start..start + n as usize] {
-            *b = AbsByte { prov: Provenance::Empty, value: Some(byte) };
+            *b = AbsByte {
+                prov: Provenance::Empty,
+                value: Some(byte),
+            };
         }
         Ok(())
     }
@@ -955,14 +1077,19 @@ impl MemState {
             let alloc = &self.allocations[id as usize];
             let b = alloc.bytes[(addr - alloc.base) as usize]
                 .value
-                .ok_or_else(|| MemError::new(UbKind::IndeterminateValueUse, "unspecified byte in string"))?;
+                .ok_or_else(|| {
+                    MemError::new(UbKind::IndeterminateValueUse, "unspecified byte in string")
+                })?;
             if b == 0 {
                 return Ok(out);
             }
             out.push(b);
             addr += 1;
             if out.len() > 1_000_000 {
-                return Err(MemError::new(UbKind::OutOfBoundsAccess, "unterminated string"));
+                return Err(MemError::new(
+                    UbKind::OutOfBoundsAccess,
+                    "unterminated string",
+                ));
             }
         }
     }
@@ -1006,19 +1133,26 @@ mod tests {
     #[test]
     fn store_load_round_trip() {
         let mut mem = new_state(ModelConfig::de_facto());
-        let p = mem.create(&int_ty(), AllocKind::Automatic, Some("x")).unwrap();
-        mem.store(&int_ty(), &p, &MemValue::int(IntegerType::Int, -7)).unwrap();
+        let p = mem
+            .create(&int_ty(), AllocKind::Automatic, Some("x"))
+            .unwrap();
+        mem.store(&int_ty(), &p, &MemValue::int(IntegerType::Int, -7))
+            .unwrap();
         assert_eq!(mem.load(&int_ty(), &p).unwrap().as_int(), Some(-7));
     }
 
     #[test]
     fn uninitialised_reads_follow_config() {
         let mut liberal = new_state(ModelConfig::de_facto());
-        let p = liberal.create(&int_ty(), AllocKind::Automatic, None).unwrap();
+        let p = liberal
+            .create(&int_ty(), AllocKind::Automatic, None)
+            .unwrap();
         assert!(liberal.load(&int_ty(), &p).unwrap().is_unspecified());
 
         let mut strict = new_state(ModelConfig::strict_iso());
-        let q = strict.create(&int_ty(), AllocKind::Automatic, None).unwrap();
+        let q = strict
+            .create(&int_ty(), AllocKind::Automatic, None)
+            .unwrap();
         let err = strict.load(&int_ty(), &q).unwrap_err();
         assert_eq!(err.ub, UbKind::IndeterminateValueUse);
     }
@@ -1038,7 +1172,9 @@ mod tests {
         let x = mem.create(&int_ty(), AllocKind::Static, Some("x")).unwrap();
         let _y = mem.create(&int_ty(), AllocKind::Static, Some("y")).unwrap();
         let one_past = mem.array_shift(&x, &int_ty(), 1).unwrap();
-        let err = mem.store(&int_ty(), &one_past, &MemValue::int(IntegerType::Int, 11)).unwrap_err();
+        let err = mem
+            .store(&int_ty(), &one_past, &MemValue::int(IntegerType::Int, 11))
+            .unwrap_err();
         assert_eq!(err.ub, UbKind::OutOfBoundsAccess);
     }
 
@@ -1047,10 +1183,12 @@ mod tests {
         let mut mem = new_state(ModelConfig::concrete());
         let x = mem.create(&int_ty(), AllocKind::Static, Some("x")).unwrap();
         let y = mem.create(&int_ty(), AllocKind::Static, Some("y")).unwrap();
-        mem.store(&int_ty(), &y, &MemValue::int(IntegerType::Int, 2)).unwrap();
+        mem.store(&int_ty(), &y, &MemValue::int(IntegerType::Int, 2))
+            .unwrap();
         let one_past = mem.array_shift(&x, &int_ty(), 1).unwrap();
         assert_eq!(one_past.addr, y.addr);
-        mem.store(&int_ty(), &one_past, &MemValue::int(IntegerType::Int, 11)).unwrap();
+        mem.store(&int_ty(), &one_past, &MemValue::int(IntegerType::Int, 11))
+            .unwrap();
         assert_eq!(mem.load(&int_ty(), &y).unwrap().as_int(), Some(11));
     }
 
@@ -1059,9 +1197,11 @@ mod tests {
         let mut mem = new_state(ModelConfig::gcc_like());
         let x = mem.create(&int_ty(), AllocKind::Static, Some("x")).unwrap();
         let y = mem.create(&int_ty(), AllocKind::Static, Some("y")).unwrap();
-        mem.store(&int_ty(), &y, &MemValue::int(IntegerType::Int, 2)).unwrap();
+        mem.store(&int_ty(), &y, &MemValue::int(IntegerType::Int, 2))
+            .unwrap();
         let one_past = mem.array_shift(&x, &int_ty(), 1).unwrap();
-        mem.store(&int_ty(), &one_past, &MemValue::int(IntegerType::Int, 11)).unwrap();
+        mem.store(&int_ty(), &one_past, &MemValue::int(IntegerType::Int, 11))
+            .unwrap();
         // y keeps its old value (the compiler assumed no aliasing) …
         assert_eq!(mem.load(&int_ty(), &y).unwrap().as_int(), Some(2));
         // … while a load through p sees the stored value.
@@ -1071,8 +1211,12 @@ mod tests {
     #[test]
     fn pointer_equality_may_use_provenance() {
         let mut plain = new_state(ModelConfig::de_facto());
-        let x = plain.create(&int_ty(), AllocKind::Static, Some("x")).unwrap();
-        let y = plain.create(&int_ty(), AllocKind::Static, Some("y")).unwrap();
+        let x = plain
+            .create(&int_ty(), AllocKind::Static, Some("x"))
+            .unwrap();
+        let y = plain
+            .create(&int_ty(), AllocKind::Static, Some("y"))
+            .unwrap();
         let one_past = plain.array_shift(&x, &int_ty(), 1).unwrap();
         assert!(plain.ptr_eq(&one_past, &y).unwrap());
 
@@ -1093,13 +1237,18 @@ mod tests {
         let mut iso = new_state(ModelConfig::strict_iso());
         let a = iso.create(&int_ty(), AllocKind::Static, None).unwrap();
         let b = iso.create(&int_ty(), AllocKind::Static, None).unwrap();
-        assert_eq!(iso.ptr_rel(&a, &b).unwrap_err().ub, UbKind::RelationalCompareDifferentObjects);
+        assert_eq!(
+            iso.ptr_rel(&a, &b).unwrap_err().ub,
+            UbKind::RelationalCompareDifferentObjects
+        );
     }
 
     #[test]
     fn oob_pointer_construction_follows_config() {
         let mut df = new_state(ModelConfig::de_facto());
-        let a = df.create(&Ctype::array(int_ty(), 4), AllocKind::Automatic, None).unwrap();
+        let a = df
+            .create(&Ctype::array(int_ty(), 4), AllocKind::Automatic, None)
+            .unwrap();
         // Transiently out of bounds (Q31): allowed under the de facto model …
         assert!(df.array_shift(&a, &int_ty(), 10).is_ok());
         // … but dereferencing there is undefined behaviour.
@@ -1107,7 +1256,9 @@ mod tests {
         assert!(df.load(&int_ty(), &oob).is_err());
 
         let mut iso = new_state(ModelConfig::strict_iso());
-        let a = iso.create(&Ctype::array(int_ty(), 4), AllocKind::Automatic, None).unwrap();
+        let a = iso
+            .create(&Ctype::array(int_ty(), 4), AllocKind::Automatic, None)
+            .unwrap();
         assert_eq!(
             iso.array_shift(&a, &int_ty(), 10).unwrap_err().ub,
             UbKind::OutOfBoundsPointerArithmetic
@@ -1120,7 +1271,8 @@ mod tests {
     fn int_ptr_round_trips_preserve_provenance_when_tracked() {
         let mut mem = new_state(ModelConfig::de_facto());
         let p = mem.create(&int_ty(), AllocKind::Automatic, None).unwrap();
-        mem.store(&int_ty(), &p, &MemValue::int(IntegerType::Int, 5)).unwrap();
+        mem.store(&int_ty(), &p, &MemValue::int(IntegerType::Int, 5))
+            .unwrap();
         let i = mem.int_from_ptr(&p);
         assert_eq!(i.prov, p.prov);
         let q = mem.ptr_from_int(&i);
@@ -1129,10 +1281,14 @@ mod tests {
         // Under the block model the round trip loses the ability to access.
         let mut blk = new_state(ModelConfig::block());
         let p = blk.create(&int_ty(), AllocKind::Automatic, None).unwrap();
-        blk.store(&int_ty(), &p, &MemValue::int(IntegerType::Int, 5)).unwrap();
+        blk.store(&int_ty(), &p, &MemValue::int(IntegerType::Int, 5))
+            .unwrap();
         let i = blk.int_from_ptr(&p);
         let q = blk.ptr_from_int(&i);
-        assert_eq!(blk.load(&int_ty(), &q).unwrap_err().ub, UbKind::AccessWithoutProvenance);
+        assert_eq!(
+            blk.load(&int_ty(), &q).unwrap_err().ub,
+            UbKind::AccessWithoutProvenance
+        );
     }
 
     #[test]
@@ -1140,12 +1296,16 @@ mod tests {
         // Q13: copying a pointer via its representation bytes must yield a
         // usable pointer under the candidate model.
         let mut mem = new_state(ModelConfig::de_facto());
-        let target = mem.create(&int_ty(), AllocKind::Automatic, Some("t")).unwrap();
-        mem.store(&int_ty(), &target, &MemValue::int(IntegerType::Int, 99)).unwrap();
+        let target = mem
+            .create(&int_ty(), AllocKind::Automatic, Some("t"))
+            .unwrap();
+        mem.store(&int_ty(), &target, &MemValue::int(IntegerType::Int, 99))
+            .unwrap();
         let pty = Ctype::pointer(int_ty());
         let p1 = mem.create(&pty, AllocKind::Automatic, Some("p1")).unwrap();
         let p2 = mem.create(&pty, AllocKind::Automatic, Some("p2")).unwrap();
-        mem.store(&pty, &p1, &MemValue::Pointer(int_ty(), target.clone())).unwrap();
+        mem.store(&pty, &p1, &MemValue::Pointer(int_ty(), target.clone()))
+            .unwrap();
         mem.copy_bytes(&p2, &p1, 8).unwrap();
         let copied = mem.load(&pty, &p2).unwrap();
         let copied_ptr = copied.as_pointer().expect("a pointer");
@@ -1158,7 +1318,10 @@ mod tests {
         let mut mem = new_state(ModelConfig::de_facto());
         let p = mem.create(&int_ty(), AllocKind::Automatic, None).unwrap();
         mem.kill(&p, false).unwrap();
-        assert_eq!(mem.load(&int_ty(), &p).unwrap_err().ub, UbKind::AccessOutsideLifetime);
+        assert_eq!(
+            mem.load(&int_ty(), &p).unwrap_err().ub,
+            UbKind::AccessOutsideLifetime
+        );
     }
 
     #[test]
@@ -1179,7 +1342,11 @@ mod tests {
         let s = mem.create_string_literal(b"hi");
         assert_eq!(mem.read_c_string(&s).unwrap(), b"hi".to_vec());
         let err = mem
-            .store(&Ctype::integer(IntegerType::Char), &s, &MemValue::int(IntegerType::Char, 65))
+            .store(
+                &Ctype::integer(IntegerType::Char),
+                &s,
+                &MemValue::int(IntegerType::Char, 65),
+            )
             .unwrap_err();
         assert_eq!(err.ub, UbKind::StringLiteralModification);
     }
@@ -1191,8 +1358,14 @@ mod tests {
             TagKind::Struct,
             &Ident::new("s"),
             vec![
-                Member { name: Ident::new("c"), ty: Ctype::integer(IntegerType::Char) },
-                Member { name: Ident::new("i"), ty: int_ty() },
+                Member {
+                    name: Ident::new("c"),
+                    ty: Ctype::integer(IntegerType::Char),
+                },
+                Member {
+                    name: Ident::new("i"),
+                    ty: int_ty(),
+                },
             ],
         );
         let sty = Ctype::Struct(tag);
@@ -1229,10 +1402,14 @@ mod tests {
     fn effective_types_reject_mismatched_access_when_enforced() {
         let mut iso = new_state(ModelConfig::strict_iso());
         let p = iso.create(&int_ty(), AllocKind::Automatic, None).unwrap();
-        iso.store(&int_ty(), &p, &MemValue::int(IntegerType::Int, 1)).unwrap();
+        iso.store(&int_ty(), &p, &MemValue::int(IntegerType::Int, 1))
+            .unwrap();
         // Access at an incompatible non-character type: UB under strict ISO.
         let short_ty = Ctype::integer(IntegerType::Short);
-        assert_eq!(iso.load(&short_ty, &p).unwrap_err().ub, UbKind::EffectiveTypeViolation);
+        assert_eq!(
+            iso.load(&short_ty, &p).unwrap_err().ub,
+            UbKind::EffectiveTypeViolation
+        );
         // Character-typed access is always permitted.
         let char_ty = Ctype::integer(IntegerType::UChar);
         assert!(iso.load(&char_ty, &p).is_ok());
@@ -1249,13 +1426,16 @@ mod tests {
         let char_arr = Ctype::array(Ctype::integer(IntegerType::UChar), 8);
         let mut df = new_state(ModelConfig::de_facto());
         let p = df.create(&char_arr, AllocKind::Automatic, None).unwrap();
-        df.store(&int_ty(), &p, &MemValue::int(IntegerType::Int, 3)).unwrap();
+        df.store(&int_ty(), &p, &MemValue::int(IntegerType::Int, 3))
+            .unwrap();
         assert_eq!(df.load(&int_ty(), &p).unwrap().as_int(), Some(3));
 
         let mut iso = new_state(ModelConfig::strict_iso());
         let p = iso.create(&char_arr, AllocKind::Automatic, None).unwrap();
         assert_eq!(
-            iso.store(&int_ty(), &p, &MemValue::int(IntegerType::Int, 3)).unwrap_err().ub,
+            iso.store(&int_ty(), &p, &MemValue::int(IntegerType::Int, 3))
+                .unwrap_err()
+                .ub,
             UbKind::EffectiveTypeViolation
         );
     }
@@ -1267,7 +1447,10 @@ mod tests {
         let p = mem.create(&arr, AllocKind::Automatic, None).unwrap();
         assert!(p.cap.is_some());
         let oob = mem.array_shift(&p, &int_ty(), 5).unwrap();
-        assert_eq!(mem.load(&int_ty(), &oob).unwrap_err().ub, UbKind::OutOfBoundsAccess);
+        assert_eq!(
+            mem.load(&int_ty(), &oob).unwrap_err().ub,
+            UbKind::OutOfBoundsAccess
+        );
     }
 
     #[test]
@@ -1296,9 +1479,17 @@ mod tests {
         let f = mem.register_function(&Ident::new("callback"));
         let fn_ptr_ty = Ctype::pointer(Ctype::Function(Box::new(int_ty()), vec![], false));
         let slot = mem.create(&fn_ptr_ty, AllocKind::Automatic, None).unwrap();
-        mem.store(&fn_ptr_ty, &slot, &MemValue::Pointer(Ctype::Void, f.clone())).unwrap();
+        mem.store(
+            &fn_ptr_ty,
+            &slot,
+            &MemValue::Pointer(Ctype::Void, f.clone()),
+        )
+        .unwrap();
         let loaded = mem.load(&fn_ptr_ty, &slot).unwrap();
-        assert_eq!(loaded.as_pointer().unwrap().function, Some(Ident::new("callback")));
+        assert_eq!(
+            loaded.as_pointer().unwrap().function,
+            Some(Ident::new("callback"))
+        );
     }
 
     #[test]

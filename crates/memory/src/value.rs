@@ -87,7 +87,10 @@ pub struct IntegerValue {
 impl IntegerValue {
     /// A pure integer with empty provenance.
     pub fn pure(value: i128) -> Self {
-        IntegerValue { value, prov: Provenance::Empty }
+        IntegerValue {
+            value,
+            prov: Provenance::Empty,
+        }
     }
 
     /// An integer carrying the given provenance.
@@ -125,17 +128,32 @@ pub struct PointerValue {
 impl PointerValue {
     /// The null pointer.
     pub fn null() -> Self {
-        PointerValue { prov: Provenance::Empty, addr: 0, cap: None, function: None }
+        PointerValue {
+            prov: Provenance::Empty,
+            addr: 0,
+            cap: None,
+            function: None,
+        }
     }
 
     /// An object pointer with the given provenance and address.
     pub fn object(prov: Provenance, addr: u64) -> Self {
-        PointerValue { prov, addr, cap: None, function: None }
+        PointerValue {
+            prov,
+            addr,
+            cap: None,
+            function: None,
+        }
     }
 
     /// A function designator value.
     pub fn function(name: Ident) -> Self {
-        PointerValue { prov: Provenance::Empty, addr: 0, cap: None, function: Some(name) }
+        PointerValue {
+            prov: Provenance::Empty,
+            addr: 0,
+            cap: None,
+            function: Some(name),
+        }
     }
 
     /// Whether this is the null pointer.
@@ -146,7 +164,10 @@ impl PointerValue {
     /// A copy with a different address and the same provenance/metadata
     /// (pointer arithmetic).
     pub fn with_addr(&self, addr: u64) -> Self {
-        PointerValue { addr, ..self.clone() }
+        PointerValue {
+            addr,
+            ..self.clone()
+        }
     }
 }
 
@@ -299,6 +320,9 @@ mod tests {
     #[test]
     fn integer_value_display_includes_provenance() {
         assert_eq!(IntegerValue::pure(5).to_string(), "5");
-        assert_eq!(IntegerValue::with_prov(5, Provenance::Alloc(2)).to_string(), "5@2");
+        assert_eq!(
+            IntegerValue::with_prov(5, Provenance::Alloc(2)).to_string(),
+            "5@2"
+        );
     }
 }

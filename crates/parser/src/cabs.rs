@@ -19,6 +19,9 @@ pub struct TranslationUnit {
 }
 
 /// An external declaration (6.9).
+// AST nodes are built once per parse and immediately consumed by the
+// desugaring; the size skew between variants is not worth a Box indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExternalDeclaration {
     /// A function definition with a body.
@@ -336,11 +339,27 @@ impl Expr {
     pub fn span(&self) -> Span {
         use Expr::*;
         match self {
-            Ident(_, s) | IntConst(_, _, s) | CharConst(_, s) | FloatConst(_, s)
-            | StringLit(_, s) | Member(_, _, s) | MemberPtr(_, _, s) | Index(_, _, s)
-            | Call(_, _, s) | PostIncr(_, s) | PostDecr(_, s) | PreIncr(_, s) | PreDecr(_, s)
-            | Unary(_, _, s) | SizeofExpr(_, s) | SizeofType(_, s) | AlignofType(_, s)
-            | Cast(_, _, s) | Binary(_, _, _, s) | Conditional(_, _, _, s) | Assign(_, _, _, s)
+            Ident(_, s)
+            | IntConst(_, _, s)
+            | CharConst(_, s)
+            | FloatConst(_, s)
+            | StringLit(_, s)
+            | Member(_, _, s)
+            | MemberPtr(_, _, s)
+            | Index(_, _, s)
+            | Call(_, _, s)
+            | PostIncr(_, s)
+            | PostDecr(_, s)
+            | PreIncr(_, s)
+            | PreDecr(_, s)
+            | Unary(_, _, s)
+            | SizeofExpr(_, s)
+            | SizeofType(_, s)
+            | AlignofType(_, s)
+            | Cast(_, _, s)
+            | Binary(_, _, _, s)
+            | Conditional(_, _, _, s)
+            | Assign(_, _, _, s)
             | Comma(_, _, s) => *s,
         }
     }
@@ -356,6 +375,7 @@ pub enum ForInit {
 }
 
 /// An item of a compound statement (6.8.2).
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum BlockItem {
     /// A declaration.
@@ -365,6 +385,7 @@ pub enum BlockItem {
 }
 
 /// Statements (6.8).
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// An expression statement; `None` is the null statement `;`.
@@ -378,7 +399,13 @@ pub enum Statement {
     /// `do body while (c);`.
     DoWhile(Box<Statement>, Expr, Span),
     /// `for (init; cond; step) body`.
-    For(Option<ForInit>, Option<Expr>, Option<Expr>, Box<Statement>, Span),
+    For(
+        Option<ForInit>,
+        Option<Expr>,
+        Option<Expr>,
+        Box<Statement>,
+        Span,
+    ),
     /// `switch (e) body`.
     Switch(Expr, Box<Statement>, Span),
     /// `case e: stmt`.
@@ -402,9 +429,20 @@ impl Statement {
     pub fn span(&self) -> Span {
         use Statement::*;
         match self {
-            Expr(_, s) | Compound(_, s) | If(_, _, _, s) | While(_, _, s) | DoWhile(_, _, s)
-            | For(_, _, _, _, s) | Switch(_, _, s) | Case(_, _, s) | Default(_, s) | Break(s)
-            | Continue(s) | Return(_, s) | Goto(_, s) | Labeled(_, _, s) => *s,
+            Expr(_, s)
+            | Compound(_, s)
+            | If(_, _, _, s)
+            | While(_, _, s)
+            | DoWhile(_, _, s)
+            | For(_, _, _, _, s)
+            | Switch(_, _, s)
+            | Case(_, _, s)
+            | Default(_, s)
+            | Break(s)
+            | Continue(s)
+            | Return(_, s)
+            | Goto(_, s)
+            | Labeled(_, _, s) => *s,
         }
     }
 }

@@ -30,7 +30,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { chars: src.chars().collect(), pos: 0, loc: Loc::start(), src }
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            loc: Loc::start(),
+            src,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -53,7 +58,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn error(&self, message: impl Into<String>) -> LexError {
-        LexError { message: message.into(), loc: self.loc }
+        LexError {
+            message: message.into(),
+            loc: self.loc,
+        }
     }
 
     fn skip_whitespace(&mut self) {
@@ -68,7 +76,7 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         let word: String = self.chars[start..self.pos].iter().collect();
-        match Keyword::from_str(&word) {
+        match Keyword::from_spelling(&word) {
             Some(k) => TokenKind::Keyword(k),
             None => TokenKind::Ident(word),
         }
@@ -130,7 +138,9 @@ impl<'a> Lexer<'a> {
             }
         }
 
-        let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
+        let value = if let Some(hex) = digits
+            .strip_prefix("0x")
+            .or_else(|| digits.strip_prefix("0X"))
         {
             i128::from_str_radix(hex, 16)
         } else if digits.len() > 1 && digits.starts_with('0') {
@@ -144,7 +154,9 @@ impl<'a> Lexer<'a> {
     }
 
     fn lex_escape(&mut self) -> Result<u8, LexError> {
-        let c = self.bump().ok_or_else(|| self.error("unterminated escape sequence"))?;
+        let c = self
+            .bump()
+            .ok_or_else(|| self.error("unterminated escape sequence"))?;
         Ok(match c {
             'n' => b'\n',
             't' => b'\t',
@@ -185,7 +197,9 @@ impl<'a> Lexer<'a> {
 
     fn lex_char_const(&mut self) -> Result<TokenKind, LexError> {
         self.bump(); // opening quote
-        let c = self.peek().ok_or_else(|| self.error("unterminated character constant"))?;
+        let c = self
+            .peek()
+            .ok_or_else(|| self.error("unterminated character constant"))?;
         let value = if c == '\\' {
             self.bump();
             i64::from(self.lex_escape()?)
@@ -295,7 +309,10 @@ impl<'a> Lexer<'a> {
             Some('"') => self.lex_string()?,
             Some(_) => self.lex_punct()?,
         };
-        Ok(Token { kind, span: Span::new(start, self.loc) })
+        Ok(Token {
+            kind,
+            span: Span::new(start, self.loc),
+        })
     }
 
     fn run(mut self) -> Result<Vec<Token>, LexError> {
@@ -364,9 +381,36 @@ mod tests {
         assert!(matches!(ks[0], TokenKind::IntConst(42, _)));
         assert!(matches!(ks[1], TokenKind::IntConst(42, _)));
         assert!(matches!(ks[2], TokenKind::IntConst(42, _)));
-        assert!(matches!(ks[3], TokenKind::IntConst(3, IntSuffix { unsigned: true, longs: 0 })));
-        assert!(matches!(ks[4], TokenKind::IntConst(7, IntSuffix { unsigned: true, longs: 1 })));
-        assert!(matches!(ks[5], TokenKind::IntConst(9, IntSuffix { unsigned: false, longs: 2 })));
+        assert!(matches!(
+            ks[3],
+            TokenKind::IntConst(
+                3,
+                IntSuffix {
+                    unsigned: true,
+                    longs: 0
+                }
+            )
+        ));
+        assert!(matches!(
+            ks[4],
+            TokenKind::IntConst(
+                7,
+                IntSuffix {
+                    unsigned: true,
+                    longs: 1
+                }
+            )
+        ));
+        assert!(matches!(
+            ks[5],
+            TokenKind::IntConst(
+                9,
+                IntSuffix {
+                    unsigned: false,
+                    longs: 2
+                }
+            )
+        ));
     }
 
     #[test]

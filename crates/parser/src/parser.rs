@@ -8,7 +8,7 @@
 use std::collections::HashSet;
 
 use cerberus_ast::ctype::Qualifiers;
-use cerberus_ast::loc::Span;
+use cerberus_ast::loc::{Loc, Span};
 
 use crate::cabs::*;
 use crate::lexer::lex;
@@ -42,7 +42,11 @@ struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0, typedef_scopes: vec![HashSet::new()] }
+        Parser {
+            tokens,
+            pos: 0,
+            typedef_scopes: vec![HashSet::new()],
+        }
     }
 
     fn peek(&self) -> &Token {
@@ -66,14 +70,21 @@ impl Parser {
     }
 
     fn error<T>(&self, message: impl Into<String>) -> PResult<T> {
-        Err(ParseError { message: message.into(), span: self.span() })
+        Err(ParseError {
+            message: message.into(),
+            span: self.span(),
+        })
     }
 
     fn expect_punct(&mut self, p: Punct) -> PResult<Span> {
         if self.peek().is_punct(p) {
             Ok(self.bump().span)
         } else {
-            self.error(format!("expected `{}`, found `{}`", p.as_str(), self.peek().kind))
+            self.error(format!(
+                "expected `{}`, found `{}`",
+                p.as_str(),
+                self.peek().kind
+            ))
         }
     }
 
@@ -81,7 +92,11 @@ impl Parser {
         if self.peek().is_keyword(k) {
             Ok(self.bump().span)
         } else {
-            self.error(format!("expected `{}`, found `{}`", k.as_str(), self.peek().kind))
+            self.error(format!(
+                "expected `{}`, found `{}`",
+                k.as_str(),
+                self.peek().kind
+            ))
         }
     }
 
@@ -170,11 +185,17 @@ impl Parser {
 
     fn parse_decl_specifiers(&mut self) -> PResult<DeclSpecifiers> {
         let start = self.span();
-        let mut specs = DeclSpecifiers { span: start, ..DeclSpecifiers::default() };
+        let mut specs = DeclSpecifiers {
+            span: start,
+            ..DeclSpecifiers::default()
+        };
         loop {
             match &self.peek().kind {
                 TokenKind::Keyword(k) => match k {
-                    Keyword::Typedef | Keyword::Extern | Keyword::Static | Keyword::Auto
+                    Keyword::Typedef
+                    | Keyword::Extern
+                    | Keyword::Static
+                    | Keyword::Auto
                     | Keyword::Register => {
                         let sc = match k {
                             Keyword::Typedef => StorageClass::Typedef,
@@ -239,7 +260,9 @@ impl Parser {
                     }
                     Keyword::Struct | Keyword::Union => {
                         let sou = self.parse_struct_or_union_specifier()?;
-                        specs.type_specifiers.push(TypeSpecifier::StructOrUnion(sou));
+                        specs
+                            .type_specifiers
+                            .push(TypeSpecifier::StructOrUnion(sou));
                     }
                     Keyword::Enum => {
                         let e = self.parse_enum_specifier()?;
@@ -250,7 +273,9 @@ impl Parser {
                 TokenKind::Ident(name)
                     if specs.type_specifiers.is_empty() && self.is_typedef_name(name) =>
                 {
-                    specs.type_specifiers.push(TypeSpecifier::TypedefName(name.clone()));
+                    specs
+                        .type_specifiers
+                        .push(TypeSpecifier::TypedefName(name.clone()));
                     self.bump();
                 }
                 _ => break,
@@ -288,7 +313,11 @@ impl Parser {
         if name.is_none() && members.is_none() {
             return self.error("struct/union specifier needs a tag or a member list");
         }
-        Ok(StructOrUnionSpecifier { is_union, name, members })
+        Ok(StructOrUnionSpecifier {
+            is_union,
+            name,
+            members,
+        })
     }
 
     fn parse_struct_declaration(&mut self) -> PResult<StructDeclaration> {
@@ -303,7 +332,10 @@ impl Parser {
             }
         }
         self.expect_punct(Punct::Semicolon)?;
-        Ok(StructDeclaration { specifiers, declarators })
+        Ok(StructDeclaration {
+            specifiers,
+            declarators,
+        })
     }
 
     fn parse_enum_specifier(&mut self) -> PResult<EnumSpecifier> {
@@ -429,13 +461,16 @@ impl Parser {
                 break;
             }
             let specifiers = self.parse_decl_specifiers()?;
-            let declarator = if self.peek().is_punct(Punct::Comma) || self.peek().is_punct(Punct::RParen)
-            {
-                Declarator::Abstract
-            } else {
-                self.parse_declarator()?
-            };
-            params.push(ParamDeclaration { specifiers, declarator });
+            let declarator =
+                if self.peek().is_punct(Punct::Comma) || self.peek().is_punct(Punct::RParen) {
+                    Declarator::Abstract
+                } else {
+                    self.parse_declarator()?
+                };
+            params.push(ParamDeclaration {
+                specifiers,
+                declarator,
+            });
             if !self.eat_punct(Punct::Comma) {
                 break;
             }
@@ -450,7 +485,10 @@ impl Parser {
         } else {
             self.parse_declarator()?
         };
-        Ok(TypeName { specifiers, declarator })
+        Ok(TypeName {
+            specifiers,
+            declarator,
+        })
     }
 
     // ----- declarations ----------------------------------------------------
@@ -491,14 +529,21 @@ impl Parser {
                 } else {
                     None
                 };
-                declarators.push(InitDeclarator { declarator, initializer });
+                declarators.push(InitDeclarator {
+                    declarator,
+                    initializer,
+                });
                 if !self.eat_punct(Punct::Comma) {
                     break;
                 }
             }
         }
         let end = self.expect_punct(Punct::Semicolon)?;
-        Ok(Declaration { specifiers, declarators, span: start.merge(end) })
+        Ok(Declaration {
+            specifiers,
+            declarators,
+            span: start.merge(end),
+        })
     }
 
     fn parse_external_declaration(&mut self) -> PResult<ExternalDeclaration> {
@@ -524,19 +569,27 @@ impl Parser {
         if first.is_function_declarator() && self.peek().is_punct(Punct::LBrace) {
             let body = self.parse_compound_statement()?;
             let span = start.merge(body.span());
-            return Ok(ExternalDeclaration::FunctionDefinition(FunctionDefinition {
-                specifiers,
-                declarator: first,
-                body,
-                span,
-            }));
+            return Ok(ExternalDeclaration::FunctionDefinition(
+                FunctionDefinition {
+                    specifiers,
+                    declarator: first,
+                    body,
+                    span,
+                },
+            ));
         }
         // Otherwise, an ordinary declaration; the first declarator may have an
         // initialiser and further declarators may follow.
         let mut declarators = Vec::new();
-        let initializer =
-            if self.eat_punct(Punct::Eq) { Some(self.parse_initializer()?) } else { None };
-        declarators.push(InitDeclarator { declarator: first, initializer });
+        let initializer = if self.eat_punct(Punct::Eq) {
+            Some(self.parse_initializer()?)
+        } else {
+            None
+        };
+        declarators.push(InitDeclarator {
+            declarator: first,
+            initializer,
+        });
         while self.eat_punct(Punct::Comma) {
             let declarator = self.parse_declarator()?;
             if specifiers.storage == Some(StorageClass::Typedef) {
@@ -544,9 +597,15 @@ impl Parser {
                     self.add_typedef(name);
                 }
             }
-            let initializer =
-                if self.eat_punct(Punct::Eq) { Some(self.parse_initializer()?) } else { None };
-            declarators.push(InitDeclarator { declarator, initializer });
+            let initializer = if self.eat_punct(Punct::Eq) {
+                Some(self.parse_initializer()?)
+            } else {
+                None
+            };
+            declarators.push(InitDeclarator {
+                declarator,
+                initializer,
+            });
         }
         let end = self.expect_punct(Punct::Semicolon)?;
         Ok(ExternalDeclaration::Declaration(Declaration {
@@ -645,7 +704,13 @@ impl Parser {
                 };
                 self.expect_punct(Punct::RParen)?;
                 let body = Box::new(self.parse_statement()?);
-                Ok(Statement::For(init, cond, step, body, start.merge(self.span())))
+                Ok(Statement::For(
+                    init,
+                    cond,
+                    step,
+                    body,
+                    start.merge(self.span()),
+                ))
             }
             TokenKind::Keyword(Keyword::Switch) => {
                 self.bump();
@@ -756,7 +821,12 @@ impl Parser {
             self.expect_punct(Punct::Colon)?;
             let els = self.parse_conditional_expr()?;
             let span = cond.span().merge(els.span());
-            Ok(Expr::Conditional(Box::new(cond), Box::new(then), Box::new(els), span))
+            Ok(Expr::Conditional(
+                Box::new(cond),
+                Box::new(then),
+                Box::new(els),
+                span,
+            ))
         } else {
             Ok(cond)
         }
@@ -976,10 +1046,14 @@ impl Parser {
 /// Returns a [`ParseError`] describing the first preprocessing, lexical or
 /// syntax error encountered.
 pub fn parse_translation_unit(src: &str) -> PResult<TranslationUnit> {
-    let preprocessed = preprocess(src)
-        .map_err(|e| ParseError { message: e.to_string(), span: Span::synthetic() })?;
-    let tokens =
-        lex(&preprocessed).map_err(|e| ParseError { message: e.message, span: Span::point(e.loc) })?;
+    let preprocessed = preprocess(src).map_err(|e| ParseError {
+        message: e.message,
+        span: Span::point(Loc::new(e.line, 1, 0)),
+    })?;
+    let tokens = lex(&preprocessed).map_err(|e| ParseError {
+        message: e.message,
+        span: Span::point(e.loc),
+    })?;
     Parser::new(tokens).parse_translation_unit()
 }
 
@@ -995,14 +1069,20 @@ mod tests {
     fn minimal_main() {
         let tu = parse("int main(void) { return 0; }");
         assert_eq!(tu.declarations.len(), 1);
-        assert!(matches!(tu.declarations[0], ExternalDeclaration::FunctionDefinition(_)));
+        assert!(matches!(
+            tu.declarations[0],
+            ExternalDeclaration::FunctionDefinition(_)
+        ));
     }
 
     #[test]
     fn globals_and_prototypes() {
         let tu = parse("int x = 1; extern int y; void f(int a, char *b);");
         assert_eq!(tu.declarations.len(), 3);
-        assert!(tu.declarations.iter().all(|d| matches!(d, ExternalDeclaration::Declaration(_))));
+        assert!(tu
+            .declarations
+            .iter()
+            .all(|d| matches!(d, ExternalDeclaration::Declaration(_))));
     }
 
     #[test]
@@ -1031,7 +1111,9 @@ mod tests {
     #[test]
     fn expression_precedence_shapes() {
         let tu = parse("int x = 1 + 2 * 3;");
-        let ExternalDeclaration::Declaration(d) = &tu.declarations[0] else { panic!() };
+        let ExternalDeclaration::Declaration(d) = &tu.declarations[0] else {
+            panic!()
+        };
         let Some(Initializer::Expr(Expr::Binary(BinaryOp::Add, _, rhs, _))) =
             &d.declarators[0].initializer
         else {
@@ -1048,7 +1130,9 @@ mod tests {
     #[test]
     fn cast_vs_parenthesised_expression() {
         let tu = parse("int y; int x = (y) + 1;");
-        let ExternalDeclaration::Declaration(d) = &tu.declarations[1] else { panic!() };
+        let ExternalDeclaration::Declaration(d) = &tu.declarations[1] else {
+            panic!()
+        };
         assert!(matches!(
             d.declarators[0].initializer,
             Some(Initializer::Expr(Expr::Binary(BinaryOp::Add, _, _, _)))
@@ -1076,9 +1160,7 @@ mod tests {
 
     #[test]
     fn pointer_expressions() {
-        parse(
-            "int main(void) { int x = 1; int *p = &x; *p = 2; int **pp = &p; return **pp; }",
-        );
+        parse("int main(void) { int x = 1; int *p = &x; *p = 2; int **pp = &p; return **pp; }");
     }
 
     #[test]
@@ -1134,7 +1216,10 @@ mod tests {
     #[test]
     fn old_style_parameterless_main_parses() {
         let tu = parse("int main() { return 0; }");
-        assert!(matches!(tu.declarations[0], ExternalDeclaration::FunctionDefinition(_)));
+        assert!(matches!(
+            tu.declarations[0],
+            ExternalDeclaration::FunctionDefinition(_)
+        ));
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub struct PreprocessError {
 
 impl std::fmt::Display for PreprocessError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "preprocessor error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "preprocessor error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -254,7 +258,10 @@ pub fn preprocess(src: &str) -> Result<String, PreprocessError> {
     }
 
     if !active_stack.is_empty() {
-        return Err(PreprocessError { message: "unterminated #ifdef".into(), line: 0 });
+        return Err(PreprocessError {
+            message: "unterminated #ifdef".into(),
+            line: 0,
+        });
     }
     Ok(out)
 }

@@ -46,7 +46,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Look a keyword up by its source spelling.
-    pub fn from_str(s: &str) -> Option<Keyword> {
+    pub fn from_spelling(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {
             "auto" => Auto,
@@ -314,10 +314,10 @@ mod tests {
     #[test]
     fn keywords_round_trip() {
         for kw in ["int", "while", "_Bool", "sizeof", "typedef"] {
-            let k = Keyword::from_str(kw).unwrap();
+            let k = Keyword::from_spelling(kw).unwrap();
             assert_eq!(k.as_str(), kw);
         }
-        assert_eq!(Keyword::from_str("integer"), None);
+        assert_eq!(Keyword::from_spelling("integer"), None);
     }
 
     #[test]
@@ -329,7 +329,10 @@ mod tests {
 
     #[test]
     fn token_predicates() {
-        let t = Token { kind: TokenKind::Punct(Punct::Semicolon), span: Span::synthetic() };
+        let t = Token {
+            kind: TokenKind::Punct(Punct::Semicolon),
+            span: Span::synthetic(),
+        };
         assert!(t.is_punct(Punct::Semicolon));
         assert!(!t.is_punct(Punct::Comma));
         assert!(!t.is_keyword(Keyword::Int));

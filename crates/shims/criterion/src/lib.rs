@@ -1,0 +1,111 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the workspace benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}` and
+//! `Bencher::iter`) with plain wall-clock timing: each benchmark runs a small
+//! warm-up followed by `sample_size` timed iterations and prints the mean
+//! time per iteration. No statistics, no HTML reports — just enough to keep
+//! `cargo bench` runnable and comparable run-over-run without network access.
+
+use std::time::Instant;
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_one(name, 10, f);
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        iterations: sample_size,
+        nanos: 0,
+    };
+    f(&mut bencher);
+    let mean = bencher.nanos / bencher.iterations.max(1) as u128;
+    println!("  {name:<40} {mean:>12} ns/iter ({sample_size} samples)");
+}
+
+/// Passed to the closure of `bench_function`; `iter` times the routine.
+pub struct Bencher {
+    iterations: usize,
+    nanos: u128,
+}
+
+impl Bencher {
+    /// Time `routine`, running it once as warm-up and then `sample_size`
+    /// measured times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.nanos = start.elapsed().as_nanos();
+    }
+}
+
+/// An identity function the optimiser is told not to see through.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

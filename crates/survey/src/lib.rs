@@ -37,7 +37,9 @@ pub fn respondent_expertise() -> Vec<ExpertiseRow> {
         ("no response", 6),
         ("other", 18),
     ];
-    rows.iter().map(|&(category, count)| ExpertiseRow { category, count }).collect()
+    rows.iter()
+        .map(|&(category, count)| ExpertiseRow { category, count })
+        .collect()
 }
 
 /// The total number of responses to the 2015 survey.
@@ -157,7 +159,11 @@ pub fn published_questions() -> Vec<SurveyQuestion> {
 /// The percentages the paper quotes for a question, recomputed from the
 /// counts.
 pub fn percentages(question: &SurveyQuestion) -> Vec<(&'static str, u32)> {
-    question.answers.iter().map(|a| (a.answer, a.percentage())).collect()
+    question
+        .answers
+        .iter()
+        .map(|a| (a.answer, a.percentage()))
+        .collect()
 }
 
 /// Aggregate statistics used by experiment E3 (from
@@ -200,7 +206,10 @@ mod tests {
         // "yes: 191 (60%) only sometimes: 52 (16%), no: 31 (9%), don't know:
         // 38 (12%)".
         let qs = published_questions();
-        let q7 = qs.iter().find(|q| q.index == 7 && q.statement.contains("will it work")).unwrap();
+        let q7 = qs
+            .iter()
+            .find(|q| q.index == 7 && q.statement.contains("will it work"))
+            .unwrap();
         let p = percentages(q7);
         assert_eq!(p[0].0, "yes");
         // The paper rounds 191/323 to 60%; allow either rounding.
@@ -217,7 +226,7 @@ mod tests {
         let p = percentages(q2);
         assert_eq!(p[0].1, 43); // undefined behaviour: 43%
         assert_eq!(p[3].1, 35); // arbitrary but stable: 35%
-        // The two modes together dominate.
+                                // The two modes together dominate.
         assert!(p[0].1 + p[3].1 > 70);
     }
 
@@ -232,7 +241,10 @@ mod tests {
     #[test]
     fn q11_char_array_reuse() {
         let qs = published_questions();
-        let q11 = qs.iter().find(|q| q.index == 11 && q.statement.contains("will it work")).unwrap();
+        let q11 = qs
+            .iter()
+            .find(|q| q.index == 11 && q.statement.contains("will it work"))
+            .unwrap();
         assert!(percentages(q11)[0].1 >= 75, "the paper reports 76%");
     }
 
@@ -241,7 +253,11 @@ mod tests {
         let qs = published_questions();
         let q5 = qs.iter().find(|q| q.index == 5).unwrap();
         let p = percentages(q5);
-        assert!(p[0].1 >= 66 && p[0].1 <= 68, "the paper reports 68%: {}", p[0].1);
+        assert!(
+            p[0].1 >= 66 && p[0].1 <= 68,
+            "the paper reports 68%: {}",
+            p[0].1
+        );
     }
 
     #[test]

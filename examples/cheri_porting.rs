@@ -14,12 +14,34 @@ use cerberus_memory::value::Provenance;
 
 fn main() {
     println!("== finding 1: pointer equality needs to compare metadata ==");
-    let one_past_x = Capability { base: 0x1_0000, length: 4, offset: 4, tag: true, prov: Provenance::Alloc(1) };
-    let y = Capability { base: 0x1_0004, length: 4, offset: 0, tag: true, prov: Provenance::Alloc(2) };
-    println!("  by address: {}   exact-equals: {}", eq_by_address(&one_past_x, &y), eq_exact(&one_past_x, &y));
+    let one_past_x = Capability {
+        base: 0x1_0000,
+        length: 4,
+        offset: 4,
+        tag: true,
+        prov: Provenance::Alloc(1),
+    };
+    let y = Capability {
+        base: 0x1_0004,
+        length: 4,
+        offset: 0,
+        tag: true,
+        prov: Provenance::Alloc(2),
+    };
+    println!(
+        "  by address: {}   exact-equals: {}",
+        eq_by_address(&one_past_x, &y),
+        eq_exact(&one_past_x, &y)
+    );
 
     println!("\n== finding 2: (i & 3u) on a uintptr_t capability ==");
-    let i = Capability { base: 0x1_0000, length: 64, offset: 8, tag: true, prov: Provenance::Alloc(1) };
+    let i = Capability {
+        base: 0x1_0000,
+        length: 64,
+        offset: 8,
+        tag: true,
+        prov: Provenance::Alloc(1),
+    };
     println!(
         "  expected (address) semantics: {}   CHERI offset semantics: {}",
         uintptr_bitand_address_semantics(&i, 3),

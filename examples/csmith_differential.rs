@@ -12,7 +12,10 @@ fn main() {
     let sample = generate(2, GenConfig::small());
     println!("== generated program (seed 2) ==\n{}", to_c_source(&sample));
     let reference = reference_eval(&sample);
-    println!("reference oracle: checksum={} exit={}\n", reference.checksum, reference.exit);
+    println!(
+        "reference oracle: checksum={} exit={}\n",
+        reference.checksum, reference.exit
+    );
 
     // Differentially test a batch.
     println!("== differential batch (30 small programs) ==");

@@ -3,9 +3,14 @@
 //! changes — concrete, candidate de facto, GCC-like, strict ISO, and the
 //! CompCert-style block model.
 //!
+//! Each program is elaborated **once** and the resulting artifact is executed
+//! under every model by a `DifferentialRunner` — the Session-API shape of
+//! the paper's §3 comparison.
+//!
 //! Run with: `cargo run --example provenance_explorer`
 
-use cerberus::pipeline::run_with_model;
+use cerberus::pipeline::Session;
+use cerberus::DifferentialRunner;
 use cerberus_memory::config::ModelConfig;
 
 const DR260: &str = r#"
@@ -39,27 +44,43 @@ int main(void) { return &a < &b || &a > &b; }
 
 fn show(title: &str, source: &str) {
     println!("== {title} ==");
-    for model in [
+    // One front-end pass; five executions off the shared artifact.
+    let program = Session::default()
+        .elaborate(source)
+        .expect("well-formed program");
+    let matrix = DifferentialRunner::new(vec![
         ModelConfig::concrete(),
         ModelConfig::de_facto(),
         ModelConfig::gcc_like(),
         ModelConfig::strict_iso(),
         ModelConfig::block(),
-    ] {
-        let outcome = run_with_model(source, model.clone()).expect("well-formed program");
-        let first = &outcome.outcomes[0];
+    ])
+    .run(&program);
+    for row in &matrix.rows {
+        let first = &row.outcome.outcomes[0];
         let stdout = if first.stdout.is_empty() {
             String::new()
         } else {
             format!("   [prints {:?}]", first.stdout)
         };
-        println!("  {:<12} {}{}", model.name, first.result, stdout);
+        println!("  {:<12} {}{}", row.model, first.result, stdout);
+    }
+    let classes = matrix.agreement_classes();
+    println!("  -> {} agreement class(es):", classes.len());
+    for (models, _) in classes {
+        println!("     {{{}}}", models.join(", "));
     }
     println!();
 }
 
 fn main() {
-    show("DR260 provenance example (provenance_basic_global_xy.c)", DR260);
+    show(
+        "DR260 provenance example (provenance_basic_global_xy.c)",
+        DR260,
+    );
     show("pointer/integer round trip (Q5)", ROUND_TRIP);
-    show("relational comparison of pointers to different objects (Q25)", RELATIONAL);
+    show(
+        "relational comparison of pointers to different objects (Q25)",
+        RELATIONAL,
+    );
 }

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use cerberus::pipeline::{Config, Pipeline};
+use cerberus::pipeline::{Config, Session};
 
 const PROGRAM: &str = r#"
 #include <stdio.h>
@@ -22,8 +22,10 @@ int main(void) {
 "#;
 
 fn main() {
-    let pipeline = Pipeline::new(Config::default());
-    let outcome = pipeline.run_source(PROGRAM).expect("the program is well-formed");
+    let session = Session::new(Config::default());
+    let outcome = session
+        .run_source(PROGRAM)
+        .expect("the program is well-formed");
     let first = &outcome.outcomes[0];
     print!("{}", first.stdout);
     println!("--\nexecution finished with: {}", first.result);

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example ub_oracle`
 
-use cerberus::pipeline::{Config, Pipeline};
+use cerberus::pipeline::{Config, Session};
 
 /// Unspecified evaluation order: the two calls may happen in either order.
 const ORDER: &str = r#"
@@ -26,8 +26,8 @@ int main(void) { return shift(31) != 0; }
 
 fn explore(title: &str, source: &str) {
     println!("== {title} ==");
-    let pipeline = Pipeline::new(Config::default().exhaustive(128));
-    let outcome = pipeline.run_source(source).expect("well-formed program");
+    let session = Session::new(Config::default().exhaustive(128));
+    let outcome = session.run_source(source).expect("well-formed program");
     for (i, o) in outcome.outcomes.iter().enumerate() {
         println!("  behaviour {}: {}", i + 1, o.result);
     }

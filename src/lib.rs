@@ -5,11 +5,21 @@
 //! tests; the functionality lives in the member crates, re-exported here for
 //! convenience:
 //!
-//! * [`cerberus`] — the pipeline (parse → Ail → Core → execute),
-//! * [`cerberus_memory`] — the memory object models,
-//! * [`cerberus_litmus`] — the de facto semantic test suite,
-//! * [`cerberus_gen`] — the csmith-lite differential-testing harness,
+//! * [`cerberus`] — the staged Session pipeline (`parse → desugar →
+//!   elaborate`), producing reusable [`cerberus::Elaborated`] artifacts that
+//!   execute under any memory model, and the
+//!   [`cerberus::DifferentialRunner`] for one-artifact/many-models outcome
+//!   matrices;
+//! * [`cerberus_memory`] — the abstract [`cerberus_memory::MemoryModel`]
+//!   interface and its first implementation, the configurable
+//!   [`cerberus_memory::ConcreteEngine`];
+//! * [`cerberus_exec`] — the Core operational semantics and drivers, generic
+//!   over the memory model;
+//! * [`cerberus_litmus`] — the de facto semantic test suite;
+//! * [`cerberus_gen`] — the csmith-lite differential-testing harness;
 //! * [`cerberus_survey`] — the survey datasets and analysis.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the crate map.
 
 pub use cerberus;
 pub use cerberus_ail;

@@ -1,7 +1,7 @@
 //! Integration tests: realistic C programs run end-to-end through the whole
 //! pipeline (parser → Ail → Core → evaluator → memory model).
 
-use cerberus::pipeline::{run, run_with_model, Config, Pipeline};
+use cerberus::pipeline::{run, run_with_model, Config, Session};
 use cerberus_exec::driver::ExecResult;
 use cerberus_memory::config::ModelConfig;
 
@@ -9,12 +9,17 @@ fn exit_of(src: &str) -> i128 {
     let out = run(src).expect("program is well-formed");
     match &out.outcomes[0].result {
         ExecResult::Return(v) | ExecResult::Exit(v) => *v,
-        other => panic!("expected normal termination, got {other} ({:?})", out.outcomes[0]),
+        other => panic!(
+            "expected normal termination, got {other} ({:?})",
+            out.outcomes[0]
+        ),
     }
 }
 
 fn stdout_of(src: &str) -> String {
-    run(src).expect("program is well-formed").outcomes[0].stdout.clone()
+    run(src).expect("program is well-formed").outcomes[0]
+        .stdout
+        .clone()
 }
 
 #[test]
@@ -169,18 +174,26 @@ fn the_same_program_can_be_checked_under_every_model() {
 #[test]
 fn exhaustive_and_random_drivers_agree_on_deterministic_programs() {
     let src = "int sq(int x) { return x * x; } int main(void) { int acc = 0; for (int i = 0; i < 5; i++) acc += sq(i); return acc; }";
-    let random = Pipeline::new(Config::default()).run_source(src).unwrap();
-    let exhaustive = Pipeline::new(Config::default().exhaustive(32)).run_source(src).unwrap();
-    assert_eq!(exhaustive.outcomes.len(), 1, "a deterministic program has a single behaviour");
+    let random = Session::new(Config::default()).run_source(src).unwrap();
+    let exhaustive = Session::new(Config::default().exhaustive(32))
+        .run_source(src)
+        .unwrap();
+    assert_eq!(
+        exhaustive.outcomes.len(),
+        1,
+        "a deterministic program has a single behaviour"
+    );
     assert_eq!(random.outcomes[0].result, exhaustive.outcomes[0].result);
 }
 
 #[test]
 fn ilp32_environment_changes_long_width() {
     let src = "int main(void) { return (int)sizeof(long); }";
-    let mut config = Config::default();
-    config.impl_env = cerberus_ast::env::ImplEnv::ilp32();
-    let out = Pipeline::new(config).run_source(src).unwrap();
+    let config = Config {
+        impl_env: cerberus_ast::env::ImplEnv::ilp32(),
+        ..Config::default()
+    };
+    let out = Session::new(config).run_source(src).unwrap();
     assert!(matches!(out.outcomes[0].result, ExecResult::Return(4)));
     assert_eq!(exit_of(src), 8, "LP64 default");
 }

@@ -45,7 +45,10 @@ fn model_strictness_ordering_matches_the_paper() {
 #[test]
 fn dr260_outcomes_reproduce_the_paper_shape() {
     let suite = catalogue();
-    let dr260 = suite.iter().find(|t| t.name == "provenance_basic_global_xy").unwrap();
+    let dr260 = suite
+        .iter()
+        .find(|t| t.name == "provenance_basic_global_xy")
+        .unwrap();
 
     let concrete = run_under(dr260, &ModelConfig::concrete());
     assert_eq!(concrete.outcomes[0].stdout, "x=1 y=11 *p=11 *q=11\n");
@@ -54,13 +57,19 @@ fn dr260_outcomes_reproduce_the_paper_shape() {
     assert_eq!(gcc_like.outcomes[0].stdout, "x=1 y=2 *p=11 *q=2\n");
 
     let de_facto = run_under(dr260, &ModelConfig::de_facto());
-    assert_eq!(de_facto.outcomes[0].result.ub_kind(), Some(UbKind::OutOfBoundsAccess));
+    assert_eq!(
+        de_facto.outcomes[0].result.ub_kind(),
+        Some(UbKind::OutOfBoundsAccess)
+    );
 }
 
 #[test]
 fn effective_types_only_bite_under_strict_models() {
     let suite = catalogue();
-    let q75 = suite.iter().find(|t| t.name == "effective_type_char_array_reuse").unwrap();
+    let q75 = suite
+        .iter()
+        .find(|t| t.name == "effective_type_char_array_reuse")
+        .unwrap();
     assert!(!run_under(q75, &ModelConfig::de_facto()).any_undef());
     assert!(run_under(q75, &ModelConfig::strict_iso()).any_undef());
 }
@@ -68,7 +77,10 @@ fn effective_types_only_bite_under_strict_models() {
 #[test]
 fn q31_transient_oob_pointers_split_the_models() {
     let suite = catalogue();
-    let q31 = suite.iter().find(|t| t.name == "oob_transient_pointer").unwrap();
+    let q31 = suite
+        .iter()
+        .find(|t| t.name == "oob_transient_pointer")
+        .unwrap();
     assert!(!run_under(q31, &ModelConfig::de_facto()).any_undef());
     assert!(run_under(q31, &ModelConfig::strict_iso()).any_undef());
 }
@@ -79,7 +91,11 @@ fn suite_covers_a_substantial_part_of_the_question_taxonomy() {
     let suite = catalogue();
     let categories: std::collections::HashSet<QuestionCategory> =
         suite.iter().map(|t| t.category).collect();
-    assert!(categories.len() >= 12, "only {} categories covered", categories.len());
+    assert!(
+        categories.len() >= 12,
+        "only {} categories covered",
+        categories.len()
+    );
     let with_questions = suite.iter().filter(|t| t.question.is_some()).count();
     assert!(with_questions >= 14);
 }

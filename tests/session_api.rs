@@ -1,0 +1,134 @@
+//! Integration tests for the staged Session API: reusable elaborated
+//! artifacts, differential runs across memory models, and structured
+//! front-end diagnostics.
+
+use cerberus::pipeline::{PipelineErrorKind, Session};
+use cerberus::DifferentialRunner;
+use cerberus_litmus::{catalogue, check_outcome, Verdict};
+use cerberus_memory::config::ModelConfig;
+
+/// The three-model panel of the §2/§3 comparisons.
+fn panel() -> Vec<ModelConfig> {
+    vec![
+        ModelConfig::concrete(),
+        ModelConfig::de_facto(),
+        ModelConfig::strict_iso(),
+    ]
+}
+
+#[test]
+fn provenance_litmus_programs_split_the_model_panel_as_recorded() {
+    let provenance_tests: Vec<_> = catalogue()
+        .into_iter()
+        .filter(|t| t.name.starts_with("provenance") || t.name.starts_with("intptr"))
+        .collect();
+    assert!(
+        provenance_tests.len() >= 3,
+        "expected several provenance tests"
+    );
+
+    for test in &provenance_tests {
+        // Elaborate once; execute under all three models off the shared
+        // artifact.
+        let program = cerberus_litmus::elaborate(test);
+        let shared = program.share();
+        let matrix = DifferentialRunner::new(panel()).run(&program);
+        assert_eq!(matrix.rows.len(), 3);
+        assert!(
+            std::sync::Arc::ptr_eq(&shared, &program.share()),
+            "the artifact must be shared, not rebuilt"
+        );
+        // Every recorded expectation in the panel holds.
+        for row in &matrix.rows {
+            assert_eq!(
+                check_outcome(test, row.model, &row.outcome),
+                match test.expectation_for(row.model) {
+                    Some(_) => Verdict::AsExpected,
+                    None => Verdict::NoExpectation,
+                },
+                "test {} under model {}",
+                test.name,
+                row.model
+            );
+        }
+    }
+}
+
+#[test]
+fn the_dr260_matrix_has_the_paper_shape() {
+    let suite = catalogue();
+    let dr260 = suite
+        .iter()
+        .find(|t| t.name == "provenance_basic_global_xy")
+        .unwrap();
+    let matrix = DifferentialRunner::new(panel()).run(&cerberus_litmus::elaborate(dr260));
+    // Concrete executes the store into y; the candidate de facto model flags
+    // it; strict ISO flags it too — so concrete disagrees with both.
+    assert!(!matrix.all_agree());
+    assert!(matrix.disagreeing_models().contains(&"de-facto"));
+    let concrete = matrix.outcome_for("concrete").unwrap();
+    assert_eq!(concrete.stdout(), Some("x=1 y=11 *p=11 *q=11\n"));
+    assert!(matrix.outcome_for("de-facto").unwrap().any_undef());
+}
+
+#[test]
+fn defined_programs_agree_across_the_panel() {
+    let program = Session::default()
+        .elaborate("int main(void) { int x = 3; int *p = &x; return *p + 39; }")
+        .unwrap();
+    let matrix = DifferentialRunner::new(panel()).run(&program);
+    assert!(matrix.all_agree(), "{matrix}");
+    assert_eq!(matrix.agreement_classes().len(), 1);
+    assert_eq!(
+        matrix.outcome_for("de-facto").unwrap().exit_value(),
+        Some(42)
+    );
+}
+
+#[test]
+fn syntax_errors_carry_their_source_line() {
+    // The missing semicolon is diagnosed at the `}` on line 2 (1-based).
+    let err = Session::default()
+        .parse("int main(void) {\n  return 0 }\n")
+        .unwrap_err();
+    assert_eq!(err.kind(), PipelineErrorKind::Syntax);
+    assert_eq!(err.line(), Some(2), "error was: {err}");
+    let diagnostic = err.diagnostic();
+    assert_eq!(diagnostic.span.start.line, 2);
+    assert!(!err.message().is_empty());
+}
+
+#[test]
+fn preprocessor_errors_carry_their_source_line() {
+    // An unknown header is rejected by the preprocessor, which knows the
+    // directive's line; the structured error must not lose it.
+    let err = Session::default()
+        .parse("int x;\n#include <no_such_header.h>\nint main(void) { return x; }\n")
+        .unwrap_err();
+    assert_eq!(err.kind(), PipelineErrorKind::Syntax);
+    assert_eq!(err.line(), Some(2), "error was: {err}");
+}
+
+#[test]
+fn constraint_violations_carry_their_source_line_and_clause() {
+    let source = "int main(void) {\n  int x = 1;\n  return zz;\n}\n";
+    let err = Session::default().elaborate(source).unwrap_err();
+    assert_eq!(err.kind(), PipelineErrorKind::Constraint);
+    assert_eq!(err.line(), Some(3), "error was: {err}");
+    let diagnostic = err.diagnostic();
+    assert_eq!(diagnostic.span.start.line, 3);
+    // Constraint diagnostics cite the violated ISO clause (6.5.1p2 for an
+    // undeclared identifier).
+    assert_eq!(diagnostic.iso_clause, "6.5.1p2");
+    assert!(err.message().contains("zz"));
+}
+
+#[test]
+fn parse_errors_surface_before_desugaring_and_constraints_after() {
+    let session = Session::default();
+    // A program that is syntactically fine but ill-typed: parse succeeds,
+    // desugar fails.
+    let parsed = session.parse("int main(void) { return zz; }").unwrap();
+    let err = parsed.desugar().unwrap_err();
+    assert_eq!(err.kind(), PipelineErrorKind::Constraint);
+}
