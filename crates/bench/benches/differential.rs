@@ -1,11 +1,24 @@
 //! Benchmark: the csmith-lite differential validation workload (experiment
-//! E15/E16 — Cerberus vs the reference oracle).
+//! E15/E16 — Cerberus vs the reference oracle), plus the two optimisations
+//! layered on the Session/DifferentialRunner pipeline:
+//!
+//! * `model_matrix_shared_artifact` is the **baseline**: one elaboration,
+//!   every named model executed sequentially on the calling thread.
+//! * `model_matrix_parallel` runs the same matrix through the parallel
+//!   runner (one scoped thread per model) — the win scales with cores.
+//! * `elaborate_uncached` vs `elaborate_memoized` measure the Session
+//!   artifact cache: the memoized path resolves a repeated source by hash
+//!   lookup instead of re-running parse/desugar/elaborate.
+//! * `seed_batch_sequential` vs `seed_batch_parallel` measure batching
+//!   csmith-lite seeds across threads over one shared session.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use cerberus::pipeline::Session;
 use cerberus::DifferentialRunner;
-use cerberus_gen::{diff_one, generate, to_c_source, GenConfig};
+use cerberus_gen::{
+    diff_one, generate, run_differential, run_differential_parallel, to_c_source, GenConfig,
+};
 
 fn bench_differential(c: &mut Criterion) {
     let mut group = c.benchmark_group("differential");
@@ -19,12 +32,63 @@ fn bench_differential(c: &mut Criterion) {
         b.iter(|| diff_one(&program, 2_000_000))
     });
     // One elaboration shared across the full model matrix (the Session-API
-    // fast path: no per-model re-parse or re-elaboration).
+    // fast path: no per-model re-parse or re-elaboration). Sequential
+    // execution — this is the baseline the parallel runner is measured
+    // against.
     group.bench_function("model_matrix_shared_artifact", |b| {
         let source = to_c_source(&generate(1, GenConfig::small()));
         let program = Session::default().elaborate(&source).unwrap();
         let runner = DifferentialRunner::all_named();
+        b.iter(|| runner.run_sequential(&program))
+    });
+    // The same matrix with the rows chunked across the available cores
+    // (degrades to the sequential path on a single-core host).
+    group.bench_function("model_matrix_parallel", |b| {
+        let source = to_c_source(&generate(1, GenConfig::small()));
+        let program = Session::default().elaborate(&source).unwrap();
+        let runner = DifferentialRunner::all_named();
         b.iter(|| runner.run(&program))
+    });
+    // The exploration workflow end to end: resolve the source to an artifact
+    // and run the full matrix, per iteration. The optimised path combines
+    // the memo cache (elaboration becomes a hash lookup) with the parallel
+    // runner; the baseline re-elaborates and runs sequentially.
+    group.bench_function("end_to_end_uncached_sequential", |b| {
+        let source = to_c_source(&generate(1, GenConfig::small()));
+        let session = Session::default();
+        let runner = DifferentialRunner::all_named();
+        b.iter(|| runner.run_sequential(&session.elaborate_uncached(&source).unwrap()))
+    });
+    group.bench_function("end_to_end_memoized_parallel", |b| {
+        let source = to_c_source(&generate(1, GenConfig::small()));
+        let session = Session::default();
+        let runner = DifferentialRunner::all_named();
+        b.iter(|| runner.run(&session.elaborate(&source).unwrap()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("elaboration_cache");
+    group.sample_size(10);
+    let source = to_c_source(&generate(1, GenConfig::large()));
+    // Baseline: the full front end on every call.
+    group.bench_function("elaborate_uncached", |b| {
+        let session = Session::default();
+        b.iter(|| session.elaborate_uncached(&source).unwrap())
+    });
+    // Memoized: after the warm-up call, every elaboration is a hash lookup.
+    group.bench_function("elaborate_memoized", |b| {
+        let session = Session::default();
+        b.iter(|| session.elaborate(&source).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("seed_batch");
+    group.sample_size(10);
+    group.bench_function("seed_batch_sequential", |b| {
+        b.iter(|| run_differential(16, GenConfig::small(), 2_000_000))
+    });
+    group.bench_function("seed_batch_parallel_4", |b| {
+        b.iter(|| run_differential_parallel(16, GenConfig::small(), 2_000_000, 4))
     });
     group.finish();
 }

@@ -3,7 +3,13 @@
 //! paper-reported values next to the values measured from this
 //! reimplementation.
 //!
-//! Usage: `cargo run -p cerberus-bench --bin reproduce [--quick]`
+//! Usage: `cargo run -p cerberus-bench --bin reproduce [--quick]
+//! [--models name,name,...]`
+//!
+//! `--models` restricts the per-model experiments (E11/E17) to the named
+//! configurations of `ModelConfig::all_named()` — e.g.
+//! `--models concrete,symbolic` is the CI smoke run pitting the concrete
+//! byte engine against the symbolic provenance engine.
 
 use cerberus::core_lang::pretty::expr_to_string;
 use cerberus::pipeline::Session;
@@ -20,8 +26,54 @@ fn heading(id: &str, title: &str) {
     println!("\n=== {id}: {title} ===");
 }
 
+/// The models the per-model experiments run under: all of them by default, or
+/// the `--models a,b,c` selection. An unknown name, a missing value, or an
+/// empty selection is a hard error — a smoke run that silently executed zero
+/// models would still exit 0 and turn the CI gate green.
+fn selected_models(args: &[String]) -> Vec<ModelConfig> {
+    let mut names: Option<String> = None;
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(list) = arg.strip_prefix("--models=") {
+            names = Some(list.to_owned());
+        } else if arg == "--models" {
+            match args.get(i + 1) {
+                Some(value) if !value.starts_with("--") => names = Some(value.clone()),
+                _ => {
+                    eprintln!("error: --models requires a comma-separated list of model names");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let Some(list) = names else {
+        return ModelConfig::all_named();
+    };
+    let models: Vec<ModelConfig> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|name| !name.is_empty())
+        .map(|name| {
+            ModelConfig::by_name(name).unwrap_or_else(|| {
+                let known: Vec<&str> = ModelConfig::all_named().iter().map(|m| m.name).collect();
+                eprintln!(
+                    "error: unknown model '{name}' (known models: {})",
+                    known.join(", ")
+                );
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    if models.is_empty() {
+        eprintln!("error: --models selected no models");
+        std::process::exit(2);
+    }
+    models
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let models = selected_models(&args);
 
     // E1 — survey respondent expertise.
     heading("E1", "survey respondent expertise (paper §2 table)");
@@ -95,7 +147,7 @@ fn main() {
         ModelConfig::gcc_like(),
     ])
     .run(&cerberus_litmus::elaborate(dr260));
-    for row in &matrix.rows {
+    for row in matrix.rows() {
         let first = &row.outcome.outcomes[0];
         println!(
             "  {:<10} -> {} {}",
@@ -119,8 +171,8 @@ fn main() {
         "  {:<16} {:>8} {:>8} {:>14}",
         "model", "flagged", "passed", "as-expected"
     );
-    for model in ModelConfig::all_named() {
-        let summary = run_suite(&model);
+    for model in &models {
+        let summary = run_suite(model);
         println!(
             "  {:<16} {:>8} {:>8} {:>9}/{:<4}",
             summary.model,

@@ -7,13 +7,40 @@
 //! executes the shared Core program under each, with no re-parse or
 //! re-elaboration, returning an [`OutcomeMatrix`] that can be queried for
 //! agreement and per-model verdicts.
+//!
+//! Rows are *independent*: every model executes a pristine engine against the
+//! same `Arc`-shared Core program. [`DifferentialRunner::run`] therefore
+//! executes the rows **in parallel** — chunked over the available cores with
+//! scoped threads — and reassembles the matrix in runner order so the result
+//! is bit-identical to the sequential path
+//! ([`DifferentialRunner::run_sequential`], kept as the baseline for
+//! `benches/differential.rs`). With the symbolic engine
+//! registered in [`ModelConfig::all_named`], the default matrix now mixes
+//! two genuinely different [`cerberus_memory::MemoryModel`] implementations,
+//! not just configurations of one.
 
 use cerberus_exec::driver::ExecMode;
 use cerberus_memory::config::ModelConfig;
+use std::collections::HashMap;
 
 use crate::pipeline::{Config, Elaborated, RunOutcome};
 
 /// Runs one elaborated program under a list of memory models.
+///
+/// ```
+/// use cerberus::pipeline::Session;
+/// use cerberus::DifferentialRunner;
+///
+/// let program = Session::default()
+///     .elaborate("int x = 1, y = 2;\nint main(void) { int *p = &x + 1; int *q = &y; return p == q; }")
+///     .unwrap();
+/// let matrix = DifferentialRunner::all_named().run(&program);
+/// // Concrete layout makes one-past-x alias &y; the symbolic engine keeps
+/// // every allocation in its own address region, so the models disagree.
+/// assert_eq!(matrix.outcome_for("concrete").unwrap().exit_value(), Some(1));
+/// assert_eq!(matrix.outcome_for("symbolic").unwrap().exit_value(), Some(0));
+/// assert!(!matrix.all_agree());
+/// ```
 #[derive(Debug, Clone)]
 pub struct DifferentialRunner {
     models: Vec<ModelConfig>,
@@ -56,18 +83,58 @@ impl DifferentialRunner {
         &self.models
     }
 
-    /// Execute `program` under every model. The elaborated artifact is
-    /// shared — each row reuses the same `Arc`'d Core program.
+    /// Execute `program` under every model, spreading the rows across the
+    /// machine's cores with scoped threads. The elaborated artifact is
+    /// shared — each row reuses the same `Arc`'d Core program — and the
+    /// matrix is assembled in runner order, so the result is identical to
+    /// [`DifferentialRunner::run_sequential`].
+    ///
+    /// The worker count adapts to [`std::thread::available_parallelism`]:
+    /// rows are dealt to at most that many threads (contiguous chunks, so
+    /// each spawn amortises over several models), and a single-core machine
+    /// falls back to the sequential path with no spawn overhead at all.
     pub fn run(&self, program: &Elaborated) -> OutcomeMatrix {
-        let rows = self
-            .models
-            .iter()
-            .map(|model| ModelRun {
-                model: model.name,
-                outcome: program.execute(model, self.mode, self.step_limit),
-            })
-            .collect();
-        OutcomeMatrix { rows }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.models.len());
+        if workers <= 1 {
+            return self.run_sequential(program);
+        }
+        let chunk = self.models.len().div_ceil(workers);
+        let mut rows: Vec<Option<ModelRun>> = self.models.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slots, models) in rows.chunks_mut(chunk).zip(self.models.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, model) in slots.iter_mut().zip(models.iter()) {
+                        *slot = Some(ModelRun {
+                            model: model.name,
+                            outcome: program.execute(model, self.mode, self.step_limit),
+                        });
+                    }
+                });
+            }
+        });
+        OutcomeMatrix::new(
+            rows.into_iter()
+                .map(|row| row.expect("every scoped row thread ran to completion"))
+                .collect(),
+        )
+    }
+
+    /// Execute `program` under every model on the calling thread, in runner
+    /// order (the baseline the parallel [`DifferentialRunner::run`] is
+    /// benchmarked — and tested for determinism — against).
+    pub fn run_sequential(&self, program: &Elaborated) -> OutcomeMatrix {
+        OutcomeMatrix::new(
+            self.models
+                .iter()
+                .map(|model| ModelRun {
+                    model: model.name,
+                    outcome: program.execute(model, self.mode, self.step_limit),
+                })
+                .collect(),
+        )
     }
 }
 
@@ -81,19 +148,43 @@ pub struct ModelRun {
 }
 
 /// The §3-style comparison matrix: per-model outcomes of one program.
+///
+/// Rows are immutable after construction (exposed via
+/// [`OutcomeMatrix::rows`]); that is what keeps the internal name index and
+/// the rows permanently in sync.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OutcomeMatrix {
     /// One row per model, in runner order.
-    pub rows: Vec<ModelRun>,
+    rows: Vec<ModelRun>,
+    /// Model name → row position, built once at construction so
+    /// [`OutcomeMatrix::outcome_for`] is a hash lookup rather than a linear
+    /// scan per query. If a runner lists the same model name twice, the
+    /// *first* row wins (matching the old scan's behaviour).
+    index: HashMap<&'static str, usize>,
 }
 
 impl OutcomeMatrix {
-    /// The outcome recorded for `model`, if it was part of the run.
+    /// A matrix over the given rows, indexing them by model name (first
+    /// occurrence wins for duplicated names).
+    pub fn new(rows: Vec<ModelRun>) -> Self {
+        let mut index = HashMap::with_capacity(rows.len());
+        for (position, row) in rows.iter().enumerate() {
+            index.entry(row.model).or_insert(position);
+        }
+        OutcomeMatrix { rows, index }
+    }
+
+    /// The rows, one per model, in runner order.
+    pub fn rows(&self) -> &[ModelRun] {
+        &self.rows
+    }
+
+    /// The outcome recorded for `model`, if it was part of the run. For a
+    /// model listed more than once, the first row's outcome is returned.
     pub fn outcome_for(&self, model: &str) -> Option<&RunOutcome> {
-        self.rows
-            .iter()
-            .find(|r| r.model == model)
-            .map(|r| &r.outcome)
+        self.index
+            .get(model)
+            .map(|&position| &self.rows[position].outcome)
     }
 
     /// Whether every model produced the same outcome set.
@@ -168,7 +259,7 @@ mod tests {
         .run(&program);
         // The artifact was shared, not rebuilt: the Arc is untouched.
         assert!(std::sync::Arc::ptr_eq(&shared_before, &program.share()));
-        assert_eq!(matrix.rows.len(), 3);
+        assert_eq!(matrix.rows().len(), 3);
         assert!(!matrix.all_agree());
         assert_eq!(
             matrix.outcome_for("concrete").and_then(RunOutcome::stdout),
@@ -194,9 +285,66 @@ mod tests {
             .elaborate("int main(void) { return 7; }")
             .unwrap();
         let matrix = DifferentialRunner::all_named().run(&program);
-        assert_eq!(matrix.rows.len(), ModelConfig::all_named().len());
+        assert_eq!(matrix.rows().len(), ModelConfig::all_named().len());
         assert!(matrix.all_agree());
         assert_eq!(matrix.agreement_classes().len(), 1);
         assert!(matrix.disagreeing_models().is_empty());
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_yield_the_same_matrix() {
+        let program = Session::default().elaborate(DR260).unwrap();
+        let runner = DifferentialRunner::all_named();
+        let parallel = runner.run(&program);
+        let sequential = runner.run_sequential(&program);
+        assert_eq!(parallel, sequential);
+        // Row order is the runner order in both paths.
+        let names: Vec<_> = parallel.rows().iter().map(|r| r.model).collect();
+        let expected: Vec<_> = ModelConfig::all_named().iter().map(|m| m.name).collect();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn duplicate_model_names_resolve_to_the_first_row() {
+        // Two rows named "de-facto" with different step limits: the first one
+        // completes, the second times out. `outcome_for` must return the
+        // first row (the documented duplicate contract), and both rows stay
+        // visible in `rows`.
+        let program = Session::default()
+            .elaborate("int main(void) { for (int i = 0; i < 100; i++) ; return 5; }")
+            .unwrap();
+        let completing = DifferentialRunner::new(vec![ModelConfig::de_facto()]);
+        let starving = completing.clone().with_step_limit(1);
+        let mut rows = completing.run(&program).rows().to_vec();
+        rows.extend(starving.run(&program).rows().to_vec());
+        let matrix = OutcomeMatrix::new(rows);
+        assert_eq!(matrix.rows().len(), 2);
+        assert_eq!(
+            matrix.outcome_for("de-facto").unwrap().exit_value(),
+            Some(5)
+        );
+        assert_ne!(matrix.rows()[1].outcome.exit_value(), Some(5));
+    }
+
+    #[test]
+    fn the_symbolic_engine_joins_the_default_matrix() {
+        let program = Session::default().elaborate(DR260).unwrap();
+        let matrix = DifferentialRunner::all_named().run(&program);
+        // The DR260 example splits concrete, de facto, GCC-like *and*
+        // symbolic: under the symbolic engine the memcmp guard fails (the
+        // one-past pointer is byte-distinguishable from &y), so nothing is
+        // printed.
+        assert_eq!(
+            matrix.outcome_for("symbolic").and_then(RunOutcome::stdout),
+            Some("")
+        );
+        assert_ne!(
+            matrix.outcome_for("symbolic"),
+            matrix.outcome_for("concrete")
+        );
+        assert_ne!(
+            matrix.outcome_for("symbolic"),
+            matrix.outcome_for("de-facto")
+        );
     }
 }

@@ -11,10 +11,15 @@
 //! tool-emulation profiles.
 //!
 //! The front end is exposed as a staged [`pipeline::Session`] producing
-//! reusable artifacts (`Parsed → Desugared → Elaborated`); an
-//! [`pipeline::Elaborated`] program can be executed any number of times under
-//! different models, and [`differential::DifferentialRunner`] runs one
-//! artifact across a whole model list, returning the §3-style outcome matrix.
+//! reusable artifacts (`Parsed → Desugared → Elaborated`) and memoising
+//! elaboration per source; an [`pipeline::Elaborated`] program can be
+//! executed any number of times under different models, and
+//! [`differential::DifferentialRunner`] runs one artifact across a whole
+//! model list **in parallel** (rows chunked over the available cores,
+//! deterministically equal to the sequential path), returning the §3-style
+//! outcome matrix. The named model list mixes both in-tree engines — the
+//! concrete byte-representation engine and the symbolic provenance engine
+//! (`cerberus_memory::symbolic`).
 //!
 //! # Quick start
 //!

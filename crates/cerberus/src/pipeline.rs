@@ -6,9 +6,12 @@
 //! program, and [`Desugared::elaborate`] an [`Elaborated`] Core program — a
 //! cheaply clonable, shareable (`Arc`) value that can be executed any number
 //! of times under different memory models and exploration modes without
-//! re-running the front end. Front-end failures are reported as a typed
-//! [`PipelineError`] carrying the structured diagnostic (kind, message, ISO
-//! clause, source span) rather than a flattened string.
+//! re-running the front end. The session additionally **memoises**
+//! elaboration: a source seen before resolves to its cached artifact by hash
+//! lookup ([`Session::elaborate`] vs [`Session::elaborate_uncached`]).
+//! Front-end failures are reported as a typed [`PipelineError`] carrying the
+//! structured diagnostic (kind, message, ISO clause, source span) rather than
+//! a flattened string.
 //!
 //! ```
 //! use cerberus::pipeline::Session;
@@ -26,7 +29,8 @@
 //! For running one artifact across a whole *set* of models and comparing the
 //! outcomes, see [`crate::differential::DifferentialRunner`].
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use cerberus_ail::ail::AilProgram;
 use cerberus_ail::desugar::{desugar_translation_unit, FrontendError};
@@ -37,7 +41,7 @@ use cerberus_core::program::CoreProgram;
 use cerberus_elab::elaborate_program;
 use cerberus_exec::driver::{Driver, ExecMode, ProgramOutcome};
 use cerberus_memory::config::ModelConfig;
-use cerberus_memory::model::{ConcreteEngine, MemoryModel};
+use cerberus_memory::model::{AnyEngine, MemoryModel};
 use cerberus_parser::cabs::TranslationUnit;
 use cerberus_parser::parse_translation_unit;
 use cerberus_parser::parser::ParseError;
@@ -219,17 +223,39 @@ impl RunOutcome {
 
 // ----- the staged session ----------------------------------------------------
 
-/// A pipeline session: fixes the configuration and exposes the front end as
-/// explicit stages producing reusable artifacts.
+/// A pipeline session: fixes the configuration, exposes the front end as
+/// explicit stages producing reusable artifacts, and memoises elaboration.
+///
+/// The session keeps an internal source → [`Elaborated`] cache, so repeated
+/// elaboration of identical sources (same seed re-run, a benchmark loop, the
+/// same litmus test under many models) is a hash lookup instead of a
+/// parse/desugar/elaborate pass. The cache is shared by clones of the session
+/// and is thread-safe, which is what lets `cerberus-gen` batch seeds across
+/// threads over one session.
+///
+/// ```
+/// use cerberus::pipeline::Session;
+///
+/// let session = Session::default();
+/// let first = session.elaborate("int main(void) { return 42; }").unwrap();
+/// let second = session.elaborate("int main(void) { return 42; }").unwrap();
+/// // The second call hit the cache: both artifacts share one Core program.
+/// assert!(std::sync::Arc::ptr_eq(&first.share(), &second.share()));
+/// assert_eq!(session.cached_artifacts(), 1);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Session {
     config: Config,
+    cache: Arc<Mutex<HashMap<String, Elaborated>>>,
 }
 
 impl Session {
     /// A session with the given configuration.
     pub fn new(config: Config) -> Self {
-        Session { config }
+        Session {
+            config,
+            cache: Arc::default(),
+        }
     }
 
     /// A session whose default execution model is `model`.
@@ -259,12 +285,51 @@ impl Session {
     /// Stages 1–3: parse, desugar/type-check and elaborate into Core. The
     /// returned [`Elaborated`] artifact can be executed repeatedly without
     /// re-running any front-end stage.
+    ///
+    /// Results are memoised per source: elaborating the same source again
+    /// returns a clone of the cached artifact (cheap — the Core program is
+    /// behind an `Arc`). Front-end failures are not cached. The memo is
+    /// bounded ([`Session::CACHE_CAPACITY`] entries): a stream of distinct
+    /// sources — e.g. a long fuzz run over fresh seeds — rolls the cache over
+    /// generationally instead of retaining every artifact for the run's
+    /// lifetime. Artifacts held by callers stay alive regardless.
     pub fn elaborate(&self, source: &str) -> Result<Elaborated, PipelineError> {
+        if let Some(hit) = self.cache.lock().expect("artifact cache").get(source) {
+            return Ok(hit.clone());
+        }
+        let program = self.elaborate_uncached(source)?;
+        let mut cache = self.cache.lock().expect("artifact cache");
+        if cache.len() >= Self::CACHE_CAPACITY {
+            cache.clear();
+        }
+        cache.insert(source.to_owned(), program.clone());
+        Ok(program)
+    }
+
+    /// Upper bound on memoised artifacts: once full, the next insert clears
+    /// the memo (a cheap generational eviction — hot sources re-enter on
+    /// their next elaboration).
+    pub const CACHE_CAPACITY: usize = 512;
+
+    /// Stages 1–3 bypassing (and not populating) the artifact cache — the
+    /// pre-memoisation behaviour, kept as the benchmark baseline.
+    pub fn elaborate_uncached(&self, source: &str) -> Result<Elaborated, PipelineError> {
         Ok(self.desugar(source)?.elaborate())
     }
 
+    /// The number of elaborated artifacts currently memoised.
+    pub fn cached_artifacts(&self) -> usize {
+        self.cache.lock().expect("artifact cache").len()
+    }
+
+    /// Drop every memoised artifact (the artifacts themselves stay alive as
+    /// long as callers hold clones).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("artifact cache").clear();
+    }
+
     /// Build an execution driver for a program under this session's model.
-    pub fn driver(&self, source: &str) -> Result<Driver<ConcreteEngine>, PipelineError> {
+    pub fn driver(&self, source: &str) -> Result<Driver<AnyEngine>, PipelineError> {
         let program = self.elaborate(source)?;
         Ok(program
             .driver(&self.config.model)
@@ -354,9 +419,9 @@ impl Elaborated {
         &self.impl_env
     }
 
-    /// A driver executing this program under a [`ConcreteEngine`] configured
-    /// by `model`.
-    pub fn driver(&self, model: &ModelConfig) -> Driver<ConcreteEngine> {
+    /// A driver executing this program under the engine `model` selects
+    /// (concrete or symbolic, per [`cerberus_memory::config::EngineKind`]).
+    pub fn driver(&self, model: &ModelConfig) -> Driver<AnyEngine> {
         self.driver_with(model.instantiate(self.impl_env.clone(), self.core.tags.clone()))
     }
 
@@ -376,6 +441,20 @@ impl Elaborated {
 
     /// Execute under `model` with the default single-path mode and step
     /// budget.
+    ///
+    /// One elaboration serves any number of executions — including under the
+    /// symbolic engine, whose configuration is named like any other:
+    ///
+    /// ```
+    /// use cerberus::memory::config::ModelConfig;
+    /// use cerberus::pipeline::Session;
+    ///
+    /// let program = Session::default()
+    ///     .elaborate("int main(void) { int x = 40; int *p = &x; return *p + 2; }")
+    ///     .unwrap();
+    /// assert_eq!(program.run_under(&ModelConfig::de_facto()).exit_value(), Some(42));
+    /// assert_eq!(program.run_under(&ModelConfig::symbolic()).exit_value(), Some(42));
+    /// ```
     pub fn run_under(&self, model: &ModelConfig) -> RunOutcome {
         let defaults = Config::default();
         self.execute(model, defaults.mode, defaults.step_limit)
@@ -900,6 +979,64 @@ mod tests {
                 model.name
             );
         }
+    }
+
+    #[test]
+    fn elaboration_is_memoised_per_source() {
+        let session = Session::default();
+        let src_a = "int main(void) { return 1; }";
+        let src_b = "int main(void) { return 2; }";
+        let first = session.elaborate(src_a).unwrap();
+        let again = session.elaborate(src_a).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&first.share(), &again.share()));
+        let other = session.elaborate(src_b).unwrap();
+        assert!(!std::sync::Arc::ptr_eq(&first.share(), &other.share()));
+        assert_eq!(session.cached_artifacts(), 2);
+        // Clones share the cache; clearing empties it for both.
+        let clone = session.clone();
+        assert_eq!(clone.cached_artifacts(), 2);
+        clone.clear_cache();
+        assert_eq!(session.cached_artifacts(), 0);
+    }
+
+    #[test]
+    fn uncached_elaboration_bypasses_the_memo() {
+        let session = Session::default();
+        let src = "int main(void) { return 3; }";
+        let a = session.elaborate_uncached(src).unwrap();
+        let b = session.elaborate_uncached(src).unwrap();
+        assert!(!std::sync::Arc::ptr_eq(&a.share(), &b.share()));
+        assert_eq!(session.cached_artifacts(), 0);
+        // Both artifacts nonetheless behave identically.
+        assert_eq!(
+            a.run_under(&ModelConfig::de_facto()).exit_value(),
+            b.run_under(&ModelConfig::de_facto()).exit_value()
+        );
+    }
+
+    #[test]
+    fn the_memo_cache_is_bounded() {
+        // A stream of distinct sources (the fuzzing shape) must roll the
+        // cache over instead of growing it without bound.
+        let session = Session::default();
+        for i in 0..Session::CACHE_CAPACITY + 3 {
+            let source = format!("int main(void) {{ return {i} % 128; }}");
+            session.elaborate(&source).unwrap();
+            assert!(
+                session.cached_artifacts() <= Session::CACHE_CAPACITY,
+                "cache exceeded its bound at iteration {i}"
+            );
+        }
+        // The generational clear fired: only the post-rollover entries remain.
+        assert_eq!(session.cached_artifacts(), 3);
+    }
+
+    #[test]
+    fn front_end_failures_are_not_cached() {
+        let session = Session::default();
+        let bad = "int main(void) { return 0 }";
+        assert!(session.elaborate(bad).is_err());
+        assert_eq!(session.cached_artifacts(), 0);
     }
 
     #[test]

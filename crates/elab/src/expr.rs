@@ -2,7 +2,7 @@
 //! `unseq`/weak sequencing, integer promotions and conversions via explicit
 //! builtins over mathematical integers, and explicit `undef(...)` tests for
 //! every arithmetic undefined behaviour — the Fig. 3 left-shift clause is
-//! reproduced structurally by [`Elaborator::specified_shift`].
+//! reproduced structurally by `Elaborator::specified_shift`.
 
 use cerberus_ail::ail::{AilExpr, AilExprKind, BinOp, IdentKind, UnOp};
 use cerberus_ast::ctype::{Ctype, IntegerType};

@@ -482,11 +482,17 @@ pub struct DiffSummary {
     pub total: usize,
 }
 
-/// Differentially test one generated program.
+/// Differentially test one generated program with a throwaway session.
 pub fn diff_one(p: &GenProgram, step_limit: u64) -> DiffOutcome {
+    diff_one_in(&Session::with_model(ModelConfig::concrete()), p, step_limit)
+}
+
+/// Differentially test one generated program through an existing session,
+/// reusing its memoised `Elaborated` artifacts: re-testing a seed already
+/// elaborated (by any thread sharing the session) skips the whole front end.
+pub fn diff_one_in(session: &Session, p: &GenProgram, step_limit: u64) -> DiffOutcome {
     let reference = reference_eval(p);
     let source = to_c_source(p);
-    let session = Session::with_model(ModelConfig::concrete());
     let program = match session.elaborate(&source) {
         Ok(program) => program,
         Err(e) => return DiffOutcome::Failure(e.to_string()),
@@ -514,21 +520,83 @@ pub fn diff_one(p: &GenProgram, step_limit: u64) -> DiffOutcome {
     }
 }
 
+fn tally(summary: &mut DiffSummary, outcome: DiffOutcome) {
+    match outcome {
+        DiffOutcome::Agree => summary.agree += 1,
+        DiffOutcome::Disagree { .. } => summary.disagree += 1,
+        DiffOutcome::Timeout => summary.timeout += 1,
+        DiffOutcome::Failure(_) => summary.failed += 1,
+    }
+}
+
 /// Run the differential harness over `count` programs generated from
-/// consecutive seeds.
+/// consecutive seeds, on the calling thread.
 pub fn run_differential(count: usize, config: GenConfig, step_limit: u64) -> DiffSummary {
+    let session = Session::with_model(ModelConfig::concrete());
     let mut summary = DiffSummary {
         total: count,
         ..DiffSummary::default()
     };
     for seed in 0..count as u64 {
         let program = generate(seed, config);
-        match diff_one(&program, step_limit) {
-            DiffOutcome::Agree => summary.agree += 1,
-            DiffOutcome::Disagree { .. } => summary.disagree += 1,
-            DiffOutcome::Timeout => summary.timeout += 1,
-            DiffOutcome::Failure(_) => summary.failed += 1,
+        tally(&mut summary, diff_one_in(&session, &program, step_limit));
+    }
+    summary
+}
+
+/// Run the differential harness over `count` programs generated from
+/// consecutive seeds, batching the seeds across up to `threads` worker
+/// threads (capped at the machine's available parallelism — a single-core
+/// host degrades to one worker rather than paying spawn overhead).
+///
+/// All workers share one [`Session`], so its memoised `Elaborated` artifacts
+/// are shared across seeds and threads (the memoisation-of-shared-subgoals
+/// idea); generation, elaboration and both evaluations of each seed happen
+/// entirely on its worker. The summary is a sum of per-seed tallies, so the
+/// result equals [`run_differential`]'s regardless of scheduling.
+pub fn run_differential_parallel(
+    count: usize,
+    config: GenConfig,
+    step_limit: u64,
+    threads: usize,
+) -> DiffSummary {
+    let threads = threads
+        .max(1)
+        .min(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .min(count.max(1));
+    if threads <= 1 {
+        // One worker: run inline rather than paying a spawn/park round trip.
+        return run_differential(count, config, step_limit);
+    }
+    let session = Session::with_model(ModelConfig::concrete());
+    let mut partials: Vec<DiffSummary> = vec![DiffSummary::default(); threads];
+    std::thread::scope(|scope| {
+        for (worker, partial) in partials.iter_mut().enumerate() {
+            let session = &session;
+            scope.spawn(move || {
+                // Seeds are dealt round-robin: worker w takes w, w+T, w+2T, …
+                let mut seed = worker as u64;
+                while seed < count as u64 {
+                    let program = generate(seed, config);
+                    tally(partial, diff_one_in(session, &program, step_limit));
+                    seed += threads as u64;
+                }
+            });
         }
+    });
+    let mut summary = DiffSummary {
+        total: count,
+        ..DiffSummary::default()
+    };
+    for partial in partials {
+        summary.agree += partial.agree;
+        summary.disagree += partial.disagree;
+        summary.timeout += partial.timeout;
+        summary.failed += partial.failed;
     }
     summary
 }
@@ -590,5 +658,25 @@ mod tests {
     fn reference_eval_is_pure() {
         let p = generate(5, GenConfig::small());
         assert_eq!(reference_eval(&p), reference_eval(&p));
+    }
+
+    #[test]
+    fn parallel_batching_matches_the_sequential_summary() {
+        let sequential = run_differential(12, GenConfig::small(), 2_000_000);
+        for threads in [1, 3, 8] {
+            let parallel = run_differential_parallel(12, GenConfig::small(), 2_000_000, threads);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn a_shared_session_memoises_repeated_seeds() {
+        let session = Session::with_model(ModelConfig::concrete());
+        let p = generate(2, GenConfig::small());
+        assert_eq!(diff_one_in(&session, &p, 2_000_000), DiffOutcome::Agree);
+        assert_eq!(session.cached_artifacts(), 1);
+        // The second run of the same seed is a cache hit, not a new artifact.
+        assert_eq!(diff_one_in(&session, &p, 2_000_000), DiffOutcome::Agree);
+        assert_eq!(session.cached_artifacts(), 1);
     }
 }

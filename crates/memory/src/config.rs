@@ -55,6 +55,20 @@ pub enum RelationalSemantics {
     Undefined,
 }
 
+/// Which engine implementation a [`ModelConfig`] instantiates (the two
+/// [`crate::model::MemoryModel`] implementations shipped in-tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// The concrete byte-representation engine ([`crate::state::MemState`]):
+    /// one flat address space, eager access checks over representation bytes.
+    #[default]
+    Concrete,
+    /// The symbolic provenance engine
+    /// ([`crate::symbolic::SymbolicEngine`]): per-allocation address regions,
+    /// typed cells, lazy constraint checking.
+    Symbolic,
+}
+
 /// The analysis tools of §3 whose detection envelopes the tool-emulation
 /// configurations approximate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +89,9 @@ pub enum ToolProfile {
 pub struct ModelConfig {
     /// Human-readable name used in reports and benchmarks.
     pub name: &'static str,
+    /// Which engine implementation realises this configuration (see
+    /// [`ModelConfig::instantiate`]).
+    pub engine: EngineKind,
     /// Check every access against the footprint of the allocation identified
     /// by the pointer's provenance (DR260); disabling this gives the fully
     /// concrete semantics.
@@ -122,6 +139,7 @@ impl ModelConfig {
     pub fn concrete() -> Self {
         ModelConfig {
             name: "concrete",
+            engine: EngineKind::Concrete,
             provenance_checking: false,
             allow_oob_pointer_arith: true,
             relational: RelationalSemantics::ByAddress,
@@ -143,6 +161,7 @@ impl ModelConfig {
     pub fn de_facto() -> Self {
         ModelConfig {
             name: "de-facto",
+            engine: EngineKind::Concrete,
             provenance_checking: true,
             allow_oob_pointer_arith: true,
             relational: RelationalSemantics::ByAddress,
@@ -164,6 +183,7 @@ impl ModelConfig {
     pub fn strict_iso() -> Self {
         ModelConfig {
             name: "strict-iso",
+            engine: EngineKind::Concrete,
             provenance_checking: true,
             allow_oob_pointer_arith: false,
             relational: RelationalSemantics::Undefined,
@@ -195,6 +215,7 @@ impl ModelConfig {
     pub fn block() -> Self {
         ModelConfig {
             name: "block",
+            engine: EngineKind::Concrete,
             provenance_checking: true,
             allow_oob_pointer_arith: false,
             relational: RelationalSemantics::Undefined,
@@ -214,6 +235,7 @@ impl ModelConfig {
     pub fn cheri() -> Self {
         ModelConfig {
             name: "cheri",
+            engine: EngineKind::Concrete,
             provenance_checking: true,
             allow_oob_pointer_arith: true,
             relational: RelationalSemantics::ByAddress,
@@ -236,6 +258,7 @@ impl ModelConfig {
             // only gross spatial violations are flagged.
             ToolProfile::Sanitizer => ModelConfig {
                 name: "sanitizer",
+                engine: EngineKind::Concrete,
                 provenance_checking: false,
                 allow_oob_pointer_arith: true,
                 relational: RelationalSemantics::ByAddress,
@@ -252,6 +275,7 @@ impl ModelConfig {
             // unspecified-value tests and representation games.
             ToolProfile::TisInterpreter => ModelConfig {
                 name: "tis-interpreter",
+                engine: EngineKind::Concrete,
                 provenance_checking: true,
                 allow_oob_pointer_arith: false,
                 relational: RelationalSemantics::Undefined,
@@ -269,6 +293,7 @@ impl ModelConfig {
             // effective types forbid".
             ToolProfile::Kcc => ModelConfig {
                 name: "kcc",
+                engine: EngineKind::Concrete,
                 provenance_checking: true,
                 allow_oob_pointer_arith: false,
                 relational: RelationalSemantics::Undefined,
@@ -281,6 +306,32 @@ impl ModelConfig {
                 cheri: false,
                 provenance_optimising_stores: false,
             },
+        }
+    }
+
+    /// The symbolic provenance model: realised by
+    /// [`crate::symbolic::SymbolicEngine`] rather than by a configuration of
+    /// the concrete engine. Allocations live in disjoint symbolic address
+    /// regions (so one-past pointers never alias a neighbour), storage is
+    /// typed cells rather than representation bytes, and footprint/lifetime
+    /// constraints are checked lazily at use. The flags below record the
+    /// semantics the engine realises; only `uninit`, `int_to_ptr` and
+    /// `allow_oob_pointer_arith` are consulted at runtime.
+    pub fn symbolic() -> Self {
+        ModelConfig {
+            name: "symbolic",
+            engine: EngineKind::Symbolic,
+            provenance_checking: true,
+            allow_oob_pointer_arith: true,
+            relational: RelationalSemantics::Undefined,
+            equality_uses_provenance: true,
+            uninit: UninitSemantics::StableUnspecified,
+            padding: PaddingSemantics::Preserved,
+            effective_types: false,
+            int_to_ptr: IntToPtrSemantics::TrackedProvenance,
+            dangling_use_is_ub: true,
+            cheri: false,
+            provenance_optimising_stores: false,
         }
     }
 
@@ -297,7 +348,16 @@ impl ModelConfig {
             ModelConfig::tool(ToolProfile::Sanitizer),
             ModelConfig::tool(ToolProfile::TisInterpreter),
             ModelConfig::tool(ToolProfile::Kcc),
+            ModelConfig::symbolic(),
         ]
+    }
+
+    /// Look up a named configuration (the names of [`ModelConfig::all_named`],
+    /// e.g. for a command-line `--models concrete,symbolic` selection).
+    pub fn by_name(name: &str) -> Option<ModelConfig> {
+        ModelConfig::all_named()
+            .into_iter()
+            .find(|m| m.name == name)
     }
 }
 
@@ -318,7 +378,25 @@ mod tests {
         let before = names.len();
         names.dedup();
         assert_eq!(before, names.len());
-        assert_eq!(before, 9);
+        assert_eq!(before, 10);
+    }
+
+    #[test]
+    fn by_name_round_trips_every_preset() {
+        for config in ModelConfig::all_named() {
+            assert_eq!(ModelConfig::by_name(config.name), Some(config.clone()));
+        }
+        assert_eq!(ModelConfig::by_name("no-such-model"), None);
+    }
+
+    #[test]
+    fn symbolic_is_the_only_non_concrete_engine() {
+        let engines: Vec<_> = ModelConfig::all_named()
+            .into_iter()
+            .filter(|m| m.engine == EngineKind::Symbolic)
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(engines, vec!["symbolic"]);
     }
 
     #[test]

@@ -19,12 +19,24 @@
 //!   implementing object creation/kill, typed loads and stores over
 //!   representation bytes, padding semantics, effective types, and the
 //!   pointer operations (`ptrop`s);
+//! * a second, genuinely different implementation: the **symbolic provenance
+//!   engine** ([`symbolic::SymbolicEngine`]), which places each allocation in
+//!   its own symbolic address region, stores typed cells instead of
+//!   representation bytes, and checks footprint/lifetime constraints lazily
+//!   at use (twin-allocation-style resolution of one-past pointers and
+//!   intptr round trips);
+//! * closed-world dispatch between the two ([`model::AnyEngine`], what
+//!   [`config::ModelConfig::instantiate`] returns);
 //! * a family of model configurations ([`config::ModelConfig`]): the concrete
 //!   (provenance-erasing) model, the candidate de facto provenance model, a
 //!   strict-ISO model, a GCC-like provenance-optimising model, a CompCert-style
-//!   block model, a CHERI capability model, and tool-emulation profiles for
-//!   the §3 comparison (sanitisers, tis-interpreter, KCC);
+//!   block model, a CHERI capability model, tool-emulation profiles for
+//!   the §3 comparison (sanitisers, tis-interpreter, KCC), and the symbolic
+//!   model;
 //! * CHERI capability semantics ([`cheri`]) reproducing the §4 findings.
+//!
+//! How to implement and register a further model is documented in
+//! `docs/MEMORY_MODELS.md`.
 //!
 //! # Example
 //!
@@ -48,12 +60,14 @@ pub mod cheri;
 pub mod config;
 pub mod model;
 pub mod state;
+pub mod symbolic;
 pub mod value;
 
 pub use config::{
-    IntToPtrSemantics, ModelConfig, PaddingSemantics, RelationalSemantics, ToolProfile,
+    EngineKind, IntToPtrSemantics, ModelConfig, PaddingSemantics, RelationalSemantics, ToolProfile,
     UninitSemantics,
 };
-pub use model::{ConcreteEngine, MemoryModel, ModelResult};
+pub use model::{AnyEngine, ConcreteEngine, MemoryModel, ModelResult};
 pub use state::{AllocKind, Allocation, MemError, MemState};
+pub use symbolic::SymbolicEngine;
 pub use value::{AllocId, IntegerValue, MemValue, PointerValue, Provenance};

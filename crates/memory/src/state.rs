@@ -114,7 +114,8 @@ pub struct MemError {
 }
 
 impl MemError {
-    fn new(ub: UbKind, detail: impl Into<String>) -> Self {
+    /// A memory error reporting the given undefined behaviour.
+    pub fn new(ub: UbKind, detail: impl Into<String>) -> Self {
         MemError {
             ub,
             detail: detail.into(),

@@ -167,7 +167,7 @@ pub fn percentages(question: &SurveyQuestion) -> Vec<(&'static str, u32)> {
 }
 
 /// Aggregate statistics used by experiment E3 (from
-/// [`cerberus_ast::questions`]-style classification): re-exported constants
+/// `cerberus_ast::questions`-style classification): re-exported constants
 /// of the paper's headline claims about the question catalogue.
 pub mod aggregates {
     /// Total number of design-space questions.

@@ -44,7 +44,8 @@ int main(void) { return &a < &b || &a > &b; }
 
 fn show(title: &str, source: &str) {
     println!("== {title} ==");
-    // One front-end pass; five executions off the shared artifact.
+    // One front-end pass; six executions off the shared artifact (the last
+    // row runs the symbolic provenance engine, not the concrete one).
     let program = Session::default()
         .elaborate(source)
         .expect("well-formed program");
@@ -54,9 +55,10 @@ fn show(title: &str, source: &str) {
         ModelConfig::gcc_like(),
         ModelConfig::strict_iso(),
         ModelConfig::block(),
+        ModelConfig::symbolic(),
     ])
     .run(&program);
-    for row in &matrix.rows {
+    for row in matrix.rows() {
         let first = &row.outcome.outcomes[0];
         let stdout = if first.stdout.is_empty() {
             String::new()

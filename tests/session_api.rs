@@ -33,13 +33,13 @@ fn provenance_litmus_programs_split_the_model_panel_as_recorded() {
         let program = cerberus_litmus::elaborate(test);
         let shared = program.share();
         let matrix = DifferentialRunner::new(panel()).run(&program);
-        assert_eq!(matrix.rows.len(), 3);
+        assert_eq!(matrix.rows().len(), 3);
         assert!(
             std::sync::Arc::ptr_eq(&shared, &program.share()),
             "the artifact must be shared, not rebuilt"
         );
         // Every recorded expectation in the panel holds.
-        for row in &matrix.rows {
+        for row in matrix.rows() {
             assert_eq!(
                 check_outcome(test, row.model, &row.outcome),
                 match test.expectation_for(row.model) {
