@@ -1399,6 +1399,56 @@ impl<'a> Desugarer<'a> {
             declarations: self.decls,
         })
     }
+
+    /// Like [`Desugarer::run`], but recovers at external-declaration
+    /// granularity: a violation inside one function or file-scope declaration
+    /// is recorded and desugaring resumes at the next external declaration, so
+    /// a single pass can report every independently diagnosable violation.
+    fn run_all(mut self, tu: &TranslationUnit) -> Result<AilProgram, Vec<ConstraintViolation>> {
+        let mut violations = Vec::new();
+        for decl in &tu.declarations {
+            let result = match decl {
+                cabs::ExternalDeclaration::FunctionDefinition(def) => {
+                    self.desugar_function_definition(def)
+                }
+                cabs::ExternalDeclaration::Declaration(d) => {
+                    debug_assert!(self.at_file_scope());
+                    self.desugar_file_scope_declaration(d)
+                }
+            };
+            if let Err(violation) = result {
+                // A failed function definition may have left inner scopes
+                // open; drop back to file scope before continuing.
+                self.reset_to_file_scope();
+                violations.push(violation);
+            }
+        }
+        if violations.is_empty() {
+            Ok(AilProgram {
+                tags: self.tags,
+                globals: self.globals,
+                functions: self.func_defs,
+                declarations: self.decls,
+            })
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Pop any scopes a mid-declaration failure left open, restoring the
+    /// file-scope invariant `run_all` relies on between external declarations.
+    fn reset_to_file_scope(&mut self) {
+        while self.objects.len() > 1 {
+            self.objects.pop();
+        }
+        while self.typedefs.len() > 1 {
+            self.typedefs.pop();
+        }
+        while self.enum_consts.len() > 1 {
+            self.enum_consts.pop();
+        }
+        self.current_fn = None;
+    }
 }
 
 fn convert_binop(op: cabs::BinaryOp) -> BinOp {
@@ -1438,6 +1488,26 @@ pub fn desugar_translation_unit(
     Desugarer::new(env).run(tu)
 }
 
+/// Desugar and type-check a parsed translation unit, collecting **all**
+/// independently diagnosable constraint violations instead of stopping at the
+/// first.
+///
+/// Recovery is at external-declaration granularity: a violation inside one
+/// function or file-scope declaration abandons that declaration and resumes
+/// at the next, so one pass reports one violation per broken declaration (in
+/// source order). On a well-formed unit this is equivalent to
+/// [`desugar_translation_unit`].
+///
+/// # Errors
+///
+/// Returns the non-empty list of violations, in source order.
+pub fn desugar_translation_unit_all(
+    tu: &TranslationUnit,
+    env: &ImplEnv,
+) -> Result<AilProgram, Vec<ConstraintViolation>> {
+    Desugarer::new(env).run_all(tu)
+}
+
 /// Parse, desugar and type-check C source text in one call.
 ///
 /// # Errors
@@ -1465,6 +1535,33 @@ mod tests {
         let p = run("int main(void) { return 0; }");
         assert!(p.has_main());
         assert_eq!(p.functions[0].return_ty, Ctype::integer(IntegerType::Int));
+    }
+
+    #[test]
+    fn collect_all_reports_every_broken_declaration() {
+        let src = "int f(void) { return aa; }\n\
+                   int ok(void) { return 1; }\n\
+                   int g(void) { return bb; }\n\
+                   int main(void) { return ok(); }";
+        let tu = cerberus_parser::parse_translation_unit(src).unwrap();
+        let violations = desugar_translation_unit_all(&tu, &ImplEnv::lp64()).unwrap_err();
+        assert_eq!(violations.len(), 2, "violations: {violations:?}");
+        assert!(violations[0].message().contains("aa"));
+        assert!(violations[1].message().contains("bb"));
+        // In source order.
+        assert!(
+            violations[0].diagnostic.span.start.line <= violations[1].diagnostic.span.start.line
+        );
+    }
+
+    #[test]
+    fn collect_all_agrees_with_first_error_mode_on_well_formed_units() {
+        let src = "int main(void) { int x = 40; return x + 2; }";
+        let tu = cerberus_parser::parse_translation_unit(src).unwrap();
+        let all = desugar_translation_unit_all(&tu, &ImplEnv::lp64()).unwrap();
+        let first = desugar_translation_unit(&tu, &ImplEnv::lp64()).unwrap();
+        assert_eq!(all.functions.len(), first.functions.len());
+        assert_eq!(all.globals.len(), first.globals.len());
     }
 
     #[test]

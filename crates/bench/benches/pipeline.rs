@@ -48,7 +48,7 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("end_to_end_reused_artifact", |b| {
         let program = session.elaborate(QUICKSORT).unwrap();
         let config = session.config();
-        b.iter(|| program.execute(&config.model, config.mode, config.step_limit))
+        b.iter(|| program.execute_bounded(&config.model, config.mode, &config.limits))
     });
     group.finish();
 }

@@ -4,18 +4,24 @@
 //! reimplementation.
 //!
 //! Usage: `cargo run -p cerberus-bench --bin reproduce [--quick]
-//! [--models name,name,...]`
+//! [--models name,name,...] [--fuzz N]`
 //!
 //! `--models` restricts the per-model experiments (E11/E17) to the named
 //! configurations of `ModelConfig::all_named()` — e.g.
 //! `--models concrete,symbolic` is the CI smoke run pitting the concrete
 //! byte engine against the symbolic provenance engine.
+//!
+//! `--fuzz N` skips the experiments and instead runs N generated seeds
+//! through the full pipeline under a wall-clock-bounded resource budget (the
+//! CI fuzz smoke job): every seed must end in a structured verdict — agree
+//! or budget exhaustion — and any disagreement, pipeline failure or
+//! contained engine fault makes the run exit nonzero.
 
 use cerberus::core_lang::pretty::expr_to_string;
 use cerberus::pipeline::Session;
 use cerberus::DifferentialRunner;
 use cerberus_ast::questions::{Question, QuestionCategory};
-use cerberus_gen::{run_differential, GenConfig};
+use cerberus_gen::{diff_one_bounded_in, generate, run_differential, DiffOutcome, GenConfig};
 use cerberus_litmus::{catalogue, check, run_suite, Verdict};
 use cerberus_memory::cheri;
 use cerberus_memory::config::{ModelConfig, ToolProfile};
@@ -24,6 +30,20 @@ use cerberus_survey as survey;
 
 fn heading(id: &str, title: &str) {
     println!("\n=== {id}: {title} ===");
+}
+
+/// Render every diagnostic of a front-end failure (the desugarer collects all
+/// independently diagnosable constraint violations, not just the first) and
+/// exit with the usage-error code.
+fn frontend_failure(context: &str, e: &cerberus::PipelineError) -> ! {
+    eprintln!(
+        "error: {context} failed in the front end with {} diagnostic(s):",
+        e.diagnostic_count()
+    );
+    for diagnostic in e.diagnostics() {
+        eprintln!("  {diagnostic}");
+    }
+    std::process::exit(2);
 }
 
 /// The models the per-model experiments run under: all of them by default, or
@@ -70,8 +90,69 @@ fn selected_models(args: &[String]) -> Vec<ModelConfig> {
     models
 }
 
+/// The `--fuzz N` seed count, if the flag is present. A malformed count is a
+/// hard error for the same reason an empty `--models` selection is.
+fn fuzz_count(args: &[String]) -> Option<usize> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = match arg.strip_prefix("--fuzz=") {
+            Some(value) => Some(value.to_owned()),
+            None if arg == "--fuzz" => args.get(i + 1).cloned(),
+            None => continue,
+        };
+        match value.and_then(|v| v.parse::<usize>().ok()) {
+            Some(count) if count > 0 => return Some(count),
+            _ => {
+                eprintln!("error: --fuzz requires a positive seed count");
+                std::process::exit(2);
+            }
+        }
+    }
+    None
+}
+
+/// The CI fuzz smoke run: `count` generated seeds through the full pipeline
+/// under a wall-clock-bounded resource budget. Every seed must end in a
+/// structured verdict; disagreements, pipeline failures and contained engine
+/// faults are reported and make the run exit nonzero.
+fn fuzz_smoke(count: usize) -> ! {
+    use cerberus::pipeline::Config;
+    use cerberus_memory::limits::ResourceLimits;
+
+    let limits = ResourceLimits::default()
+        .with_wall_clock_ms(5_000)
+        .with_heap_bytes(64 << 20)
+        .with_max_live_allocations(1 << 16);
+    let session =
+        Session::new(Config::with_model(ModelConfig::concrete()).with_limits(limits.clone()));
+    let (mut agree, mut timeout, mut bad) = (0usize, 0usize, 0usize);
+    for seed in 0..count as u64 {
+        let program = generate(seed, GenConfig::small());
+        match diff_one_bounded_in(&session, &program, &limits) {
+            DiffOutcome::Agree => agree += 1,
+            DiffOutcome::Timeout => timeout += 1,
+            DiffOutcome::Disagree { expected, observed } => {
+                bad += 1;
+                eprintln!("seed {seed}: DISAGREE expected {expected}, observed {observed}");
+            }
+            DiffOutcome::Failure(e) => {
+                bad += 1;
+                eprintln!("seed {seed}: pipeline failure: {e}");
+            }
+            DiffOutcome::Fault(payload) => {
+                bad += 1;
+                eprintln!("seed {seed}: contained engine fault: {payload}");
+            }
+        }
+    }
+    println!("fuzz smoke: {count} seeds — {agree} agree, {timeout} budget-exhausted, {bad} bad");
+    std::process::exit(if bad > 0 { 1 } else { 0 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(count) = fuzz_count(&args) {
+        fuzz_smoke(count);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let models = selected_models(&args);
 
@@ -168,19 +249,28 @@ fn main() {
         "litmus suite verdicts per memory model / tool profile",
     );
     println!(
-        "  {:<16} {:>8} {:>8} {:>14}",
-        "model", "flagged", "passed", "as-expected"
+        "  {:<16} {:>8} {:>8} {:>14} {:>8}",
+        "model", "flagged", "passed", "as-expected", "faulted"
     );
+    let mut engine_faults = 0usize;
     for model in &models {
         let summary = run_suite(model);
+        engine_faults += summary.faulted;
         println!(
-            "  {:<16} {:>8} {:>8} {:>9}/{:<4}",
+            "  {:<16} {:>8} {:>8} {:>9}/{:<4} {:>8}",
             summary.model,
             summary.flagged,
             summary.passed,
             summary.as_expected,
-            summary.with_expectation
+            summary.with_expectation,
+            summary.faulted
         );
+        if summary.faulted > 0 {
+            println!(
+                "  !! engine fault: {} of {} tests panicked inside model '{}' (contained)",
+                summary.faulted, summary.total, summary.model
+            );
+        }
     }
     println!("  paper (§3): sanitisers flag few unspecified/padding tests; tis-interpreter is strict; KCC mixed");
     let de_facto_expectations = catalogue()
@@ -257,7 +347,7 @@ fn main() {
     heading("E14", "elaboration of e1 << e2 (Fig. 3)");
     let program = Session::default()
         .elaborate("int shift(int a, int b) { return a << b; }")
-        .expect("elaborates");
+        .unwrap_or_else(|e| frontend_failure("the Fig. 3 shift example", &e));
     let body = expr_to_string(&program.core().proc("shift").expect("proc").body);
     let interesting: Vec<&str> = body
         .lines()
@@ -276,8 +366,8 @@ fn main() {
     );
     let small = run_differential(small_n, GenConfig::small(), 2_000_000);
     println!(
-        "  measured: {}/{} agree, {} disagree, {} timeout, {} failed",
-        small.agree, small.total, small.disagree, small.timeout, small.failed
+        "  measured: {}/{} agree, {} disagree, {} timeout, {} failed, {} faulted",
+        small.agree, small.total, small.disagree, small.timeout, small.failed, small.faulted
     );
     heading("E16", "differential validation on larger generated programs (§6: 316 agree, 56 time out, 6 fail of 400)");
     let large = run_differential(
@@ -286,9 +376,10 @@ fn main() {
         if quick { 200_000 } else { 1_000_000 },
     );
     println!(
-        "  measured: {}/{} agree, {} disagree, {} timeout, {} failed",
-        large.agree, large.total, large.disagree, large.timeout, large.failed
+        "  measured: {}/{} agree, {} disagree, {} timeout, {} failed, {} faulted",
+        large.agree, large.total, large.disagree, large.timeout, large.failed, large.faulted
     );
+    engine_faults += small.faulted + large.faulted;
 
     // E18 — translation validation.
     heading("E18", "tvc translation validation of trivial programs (§6)");
@@ -309,8 +400,17 @@ fn main() {
     }
     println!("  {validated} validated, {unsupported} outside the supported fragment (paper: tvc supports only extremely simple single-function programs)");
 
-    println!("\nAll experiments regenerated. See EXPERIMENTS.md for the recorded comparison.");
     // Reference the tool profiles so the dependency is exercised even in
     // quick mode.
     let _ = ModelConfig::tool(ToolProfile::Kcc);
+
+    if engine_faults > 0 {
+        println!(
+            "\n{engine_faults} contained engine fault(s) across the experiments — the runs \
+             completed, but at least one memory model panicked. See the per-suite fault \
+             counts above."
+        );
+        std::process::exit(1);
+    }
+    println!("\nAll experiments regenerated. See EXPERIMENTS.md for the recorded comparison.");
 }

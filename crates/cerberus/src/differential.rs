@@ -18,12 +18,33 @@
 //! registered in [`ModelConfig::all_named`], the default matrix now mixes
 //! two genuinely different [`cerberus_memory::MemoryModel`] implementations,
 //! not just configurations of one.
+//!
+//! Rows are also *fault-isolated*: each row runs behind
+//! [`std::panic::catch_unwind`], so a panicking memory-model implementation
+//! (an engine defect, not a program verdict) becomes an
+//! [`ExecResult::EngineFault`] row carrying the captured payload while every
+//! other row completes normally. A retry-once policy
+//! ([`DifferentialRunner::with_fault_retry`]) re-runs a faulted row before
+//! recording the fault, for engines with transient defects.
 
-use cerberus_exec::driver::ExecMode;
+use cerberus_exec::driver::{ExecMode, ExecResult, ProgramOutcome};
 use cerberus_memory::config::ModelConfig;
+use cerberus_memory::limits::ResourceLimits;
 use std::collections::HashMap;
 
 use crate::pipeline::{Config, Elaborated, RunOutcome};
+
+/// Render a payload captured by [`std::panic::catch_unwind`] as text (the
+/// common `String`/`&str` payloads verbatim, anything else a fixed marker).
+pub fn panic_payload(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Runs one elaborated program under a list of memory models.
 ///
@@ -45,18 +66,20 @@ use crate::pipeline::{Config, Elaborated, RunOutcome};
 pub struct DifferentialRunner {
     models: Vec<ModelConfig>,
     mode: ExecMode,
-    step_limit: u64,
+    limits: ResourceLimits,
+    retry_faults: bool,
 }
 
 impl DifferentialRunner {
     /// A runner over the given models, with the default single-path mode and
-    /// step budget.
+    /// resource budget.
     pub fn new(models: Vec<ModelConfig>) -> Self {
         let defaults = Config::default();
         DifferentialRunner {
             models,
             mode: defaults.mode,
-            step_limit: defaults.step_limit,
+            limits: defaults.limits,
+            retry_faults: false,
         }
     }
 
@@ -72,15 +95,68 @@ impl DifferentialRunner {
         self
     }
 
-    /// Use the given per-execution step budget.
+    /// Use the given per-execution step budget (keeping the rest of the
+    /// resource budget).
     pub fn with_step_limit(mut self, step_limit: u64) -> Self {
-        self.step_limit = step_limit;
+        self.limits.steps = step_limit;
         self
+    }
+
+    /// Use the given full per-execution resource budget.
+    pub fn with_limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Retry a row exactly once before recording it as an
+    /// [`ExecResult::EngineFault`] (for engines with transient defects;
+    /// default: off, faults are recorded immediately).
+    pub fn with_fault_retry(mut self, retry: bool) -> Self {
+        self.retry_faults = retry;
+        self
+    }
+
+    /// The resource budget every row runs under.
+    pub fn limits(&self) -> &ResourceLimits {
+        &self.limits
     }
 
     /// The models this runner executes under, in order.
     pub fn models(&self) -> &[ModelConfig] {
         &self.models
+    }
+
+    /// Execute one row with panic containment: an unwinding engine becomes an
+    /// [`ExecResult::EngineFault`] row instead of tearing down the run. The
+    /// interpreter borrows no external state across the unwind boundary
+    /// (program and model are shared immutably, all mutable state is created
+    /// inside the closure), so `AssertUnwindSafe` is sound here.
+    fn run_row(&self, program: &Elaborated, model: &ModelConfig) -> ModelRun {
+        let attempt = || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                program.execute_bounded(model, self.mode, &self.limits)
+            }))
+        };
+        let mut result = attempt();
+        if result.is_err() && self.retry_faults {
+            result = attempt();
+        }
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(panic) => RunOutcome {
+                outcomes: vec![ProgramOutcome {
+                    result: ExecResult::EngineFault {
+                        model: model.name.to_owned(),
+                        payload: panic_payload(&*panic),
+                    },
+                    stdout: String::new(),
+                }],
+            },
+        };
+        ModelRun {
+            model: model.name,
+            outcome,
+        }
     }
 
     /// Execute `program` under every model, spreading the rows across the
@@ -107,10 +183,9 @@ impl DifferentialRunner {
             for (slots, models) in rows.chunks_mut(chunk).zip(self.models.chunks(chunk)) {
                 scope.spawn(move || {
                     for (slot, model) in slots.iter_mut().zip(models.iter()) {
-                        *slot = Some(ModelRun {
-                            model: model.name,
-                            outcome: program.execute(model, self.mode, self.step_limit),
-                        });
+                        // run_row contains engine panics, so every slot is
+                        // filled even when a model faults.
+                        *slot = Some(self.run_row(program, model));
                     }
                 });
             }
@@ -129,10 +204,7 @@ impl DifferentialRunner {
         OutcomeMatrix::new(
             self.models
                 .iter()
-                .map(|model| ModelRun {
-                    model: model.name,
-                    outcome: program.execute(model, self.mode, self.step_limit),
-                })
+                .map(|model| self.run_row(program, model))
                 .collect(),
         )
     }
@@ -145,6 +217,28 @@ pub struct ModelRun {
     pub model: &'static str,
     /// The observed outcome(s).
     pub outcome: RunOutcome,
+}
+
+impl ModelRun {
+    /// Whether this row is a contained engine panic rather than a verdict
+    /// about the program.
+    pub fn is_fault(&self) -> bool {
+        self.outcome.is_fault()
+    }
+}
+
+/// One agreement class of a matrix: the models that produced one distinct
+/// outcome set, in first-seen order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgreementClass<'a> {
+    /// The models in this class, in row order.
+    pub models: Vec<&'static str>,
+    /// The outcome set they share.
+    pub outcome: &'a RunOutcome,
+    /// Whether this class is a contained engine fault rather than a program
+    /// verdict. Fault outcomes embed the faulting model's name and payload,
+    /// so each faulted model forms its own singleton class.
+    pub faulted: bool,
 }
 
 /// The §3-style comparison matrix: per-model outcomes of one program.
@@ -192,19 +286,24 @@ impl OutcomeMatrix {
         self.rows.windows(2).all(|w| w[0].outcome == w[1].outcome)
     }
 
-    /// Group the models into agreement classes: each class is the list of
+    /// Group the models into [`AgreementClass`]es: each class is the list of
     /// model names that produced one distinct outcome set, in first-seen
     /// order. A defined-everywhere deterministic program yields one class;
-    /// the DR260 example yields one class per semantic camp.
-    pub fn agreement_classes(&self) -> Vec<(Vec<&'static str>, &RunOutcome)> {
-        let mut classes: Vec<(Vec<&'static str>, &RunOutcome)> = Vec::new();
+    /// the DR260 example yields one class per semantic camp; a faulted model
+    /// yields a singleton class with [`AgreementClass::faulted`] set.
+    pub fn agreement_classes(&self) -> Vec<AgreementClass<'_>> {
+        let mut classes: Vec<AgreementClass<'_>> = Vec::new();
         for row in &self.rows {
             match classes
                 .iter_mut()
-                .find(|(_, outcome)| **outcome == row.outcome)
+                .find(|class| *class.outcome == row.outcome)
             {
-                Some((models, _)) => models.push(row.model),
-                None => classes.push((vec![row.model], &row.outcome)),
+                Some(class) => class.models.push(row.model),
+                None => classes.push(AgreementClass {
+                    models: vec![row.model],
+                    outcome: &row.outcome,
+                    faulted: row.is_fault(),
+                }),
             }
         }
         classes
@@ -221,6 +320,20 @@ impl OutcomeMatrix {
                 .collect(),
             None => Vec::new(),
         }
+    }
+
+    /// The models whose row is a contained engine fault, in row order.
+    pub fn faulted_models(&self) -> Vec<&'static str> {
+        self.rows
+            .iter()
+            .filter(|r| r.is_fault())
+            .map(|r| r.model)
+            .collect()
+    }
+
+    /// Whether any row is a contained engine fault.
+    pub fn any_fault(&self) -> bool {
+        self.rows.iter().any(ModelRun::is_fault)
     }
 }
 
@@ -324,6 +437,67 @@ mod tests {
             Some(5)
         );
         assert_ne!(matrix.rows()[1].outcome.exit_value(), Some(5));
+    }
+
+    #[test]
+    fn a_panicking_model_is_contained_to_its_row() {
+        use cerberus_exec::driver::ExecResult;
+        use cerberus_memory::fault::FAULT_MESSAGE;
+
+        let program = Session::default().elaborate(DR260).unwrap();
+        let with_fault = DifferentialRunner::new(vec![
+            ModelConfig::concrete(),
+            ModelConfig::panicking(),
+            ModelConfig::de_facto(),
+        ])
+        .run(&program);
+        // Exactly the injected model's row faulted...
+        assert!(with_fault.any_fault());
+        assert_eq!(with_fault.faulted_models(), vec!["panicking"]);
+        let row = with_fault.outcome_for("panicking").unwrap();
+        assert!(row.is_fault());
+        match &row.outcomes[0].result {
+            ExecResult::EngineFault { model, payload } => {
+                assert_eq!(model, "panicking");
+                assert_eq!(payload, FAULT_MESSAGE);
+            }
+            other => panic!("expected an engine fault, got {other}"),
+        }
+        // ...every other row is identical to a run without the faulty model...
+        let without =
+            DifferentialRunner::new(vec![ModelConfig::concrete(), ModelConfig::de_facto()])
+                .run(&program);
+        assert_eq!(
+            with_fault.outcome_for("concrete"),
+            without.outcome_for("concrete")
+        );
+        assert_eq!(
+            with_fault.outcome_for("de-facto"),
+            without.outcome_for("de-facto")
+        );
+        // ...and the fault forms its own agreement class, flagged as such.
+        let classes = with_fault.agreement_classes();
+        let fault_classes: Vec<_> = classes.iter().filter(|c| c.faulted).collect();
+        assert_eq!(fault_classes.len(), 1);
+        assert_eq!(fault_classes[0].models, vec!["panicking"]);
+    }
+
+    #[test]
+    fn fault_containment_is_identical_in_both_execution_paths() {
+        let program = Session::default()
+            .elaborate("int main(void) { return 1; }")
+            .unwrap();
+        let runner = DifferentialRunner::new(vec![
+            ModelConfig::de_facto(),
+            ModelConfig::panicking(),
+            ModelConfig::symbolic(),
+        ]);
+        assert_eq!(runner.run(&program), runner.run_sequential(&program));
+        // The retry-once policy re-runs the row; a deterministic fault still
+        // ends as a fault row.
+        let retrying = runner.clone().with_fault_retry(true);
+        let matrix = retrying.run(&program);
+        assert_eq!(matrix.faulted_models(), vec!["panicking"]);
     }
 
     #[test]

@@ -56,7 +56,9 @@ pub use cerberus_exec as exec;
 pub use cerberus_memory as memory;
 pub use cerberus_parser as parser;
 
-pub use differential::{DifferentialRunner, ModelRun, OutcomeMatrix};
+pub use differential::{
+    panic_payload, AgreementClass, DifferentialRunner, ModelRun, OutcomeMatrix,
+};
 pub use pipeline::{
     run, run_with_model, Config, Desugared, Elaborated, Parsed, PipelineError, PipelineErrorKind,
     RunOutcome, Session,

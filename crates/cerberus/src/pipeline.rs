@@ -33,7 +33,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use cerberus_ail::ail::AilProgram;
-use cerberus_ail::desugar::{desugar_translation_unit, FrontendError};
+use cerberus_ail::desugar::{desugar_translation_unit_all, FrontendError};
 use cerberus_ast::diag::{ConstraintViolation, Diagnostic};
 use cerberus_ast::env::ImplEnv;
 use cerberus_ast::loc::Span;
@@ -41,14 +41,15 @@ use cerberus_core::program::CoreProgram;
 use cerberus_elab::elaborate_program;
 use cerberus_exec::driver::{Driver, ExecMode, ProgramOutcome};
 use cerberus_memory::config::ModelConfig;
+use cerberus_memory::limits::ResourceLimits;
 use cerberus_memory::model::{AnyEngine, MemoryModel};
 use cerberus_parser::cabs::TranslationUnit;
 use cerberus_parser::parse_translation_unit;
 use cerberus_parser::parser::ParseError;
 
 /// Pipeline configuration: the memory object model, the
-/// implementation-defined environment, the exploration mode, and the step
-/// budget.
+/// implementation-defined environment, the exploration mode, and the
+/// per-execution resource budget.
 #[derive(Debug, Clone)]
 pub struct Config {
     /// The memory object model configuration (default: the candidate de facto
@@ -58,8 +59,9 @@ pub struct Config {
     pub impl_env: ImplEnv,
     /// The exploration mode (default: pseudorandom single path, seed 0).
     pub mode: ExecMode,
-    /// The per-execution step budget.
-    pub step_limit: u64,
+    /// The per-execution resource budget: steps, optional wall-clock
+    /// watchdog, optional allocation bounds, call depth.
+    pub limits: ResourceLimits,
 }
 
 impl Default for Config {
@@ -68,7 +70,7 @@ impl Default for Config {
             model: ModelConfig::de_facto(),
             impl_env: ImplEnv::lp64(),
             mode: ExecMode::Random { seed: 0 },
-            step_limit: 2_000_000,
+            limits: ResourceLimits::default(),
         }
     }
 }
@@ -88,6 +90,12 @@ impl Config {
         self.mode = ExecMode::Exhaustive { max_executions };
         self
     }
+
+    /// Replace the per-execution resource budget.
+    pub fn with_limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
+        self
+    }
 }
 
 /// What kind of front-end failure a [`PipelineError`] reports.
@@ -99,15 +107,23 @@ pub enum PipelineErrorKind {
     Constraint,
 }
 
-/// A typed front-end error carrying the structured diagnostic, not just a
-/// rendered string: the kind, the message, the source span, and (for
-/// constraint violations) the ISO C11 clause that was violated.
+/// A typed front-end error carrying the structured diagnostics, not just a
+/// rendered string: the kind, the messages, the source spans, and (for
+/// constraint violations) the ISO C11 clauses that were violated.
+///
+/// The constraint variant carries **every** violation the desugaring pass
+/// could independently diagnose (one per broken external declaration, in
+/// source order) — the first is the *primary* one reported by the scalar
+/// accessors ([`PipelineError::span`], [`PipelineError::message`],
+/// [`PipelineError::diagnostic`]); [`PipelineError::diagnostics`] renders
+/// them all.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PipelineError {
     /// A syntax error from the preprocessor, lexer or parser.
     Syntax(ParseError),
-    /// A constraint violation from the desugaring/type-checking pass.
-    Constraint(ConstraintViolation),
+    /// The constraint violations from the desugaring/type-checking pass
+    /// (non-empty; the first is the primary one).
+    Constraint(Vec<ConstraintViolation>),
 }
 
 impl PipelineError {
@@ -119,11 +135,18 @@ impl PipelineError {
         }
     }
 
-    /// The source span the error points at.
+    /// For a constraint error, the primary (first-in-source) violation.
+    fn primary(violations: &[ConstraintViolation]) -> &ConstraintViolation {
+        violations
+            .first()
+            .expect("a constraint PipelineError carries at least one violation")
+    }
+
+    /// The source span the (primary) error points at.
     pub fn span(&self) -> Span {
         match self {
             PipelineError::Syntax(e) => e.span,
-            PipelineError::Constraint(e) => e.diagnostic.span,
+            PipelineError::Constraint(es) => Self::primary(es).diagnostic.span,
         }
     }
 
@@ -133,22 +156,45 @@ impl PipelineError {
         (span != Span::synthetic()).then_some(span.start.line)
     }
 
-    /// The human-readable message (without location or clause decoration).
+    /// The human-readable message of the primary error (without location or
+    /// clause decoration).
     pub fn message(&self) -> &str {
         match self {
             PipelineError::Syntax(e) => &e.message,
-            PipelineError::Constraint(e) => e.message(),
+            PipelineError::Constraint(es) => Self::primary(es).message(),
         }
     }
 
-    /// The error as a [`Diagnostic`]; syntax errors are given the standard's
-    /// general syntax clause.
+    /// How many distinct problems this error reports (1 for syntax errors,
+    /// the violation count for constraint errors).
+    pub fn diagnostic_count(&self) -> usize {
+        match self {
+            PipelineError::Syntax(_) => 1,
+            PipelineError::Constraint(es) => es.len(),
+        }
+    }
+
+    /// The primary error as a [`Diagnostic`]; syntax errors are given the
+    /// standard's general syntax clause.
     pub fn diagnostic(&self) -> Diagnostic {
+        self.diagnostics()
+            .into_iter()
+            .next()
+            .expect("diagnostics() is non-empty")
+    }
+
+    /// Every diagnosed problem as a [`Diagnostic`], in source order. Always
+    /// non-empty; a syntax error yields exactly one entry.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
         match self {
             PipelineError::Syntax(e) => {
-                Diagnostic::error(e.message.clone(), "6.7-6.9 (syntax)", e.span)
+                vec![Diagnostic::error(
+                    e.message.clone(),
+                    "6.7-6.9 (syntax)",
+                    e.span,
+                )]
             }
-            PipelineError::Constraint(e) => e.diagnostic.clone(),
+            PipelineError::Constraint(es) => es.iter().map(|e| e.diagnostic.clone()).collect(),
         }
     }
 }
@@ -157,7 +203,15 @@ impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PipelineError::Syntax(e) => write!(f, "{e}"),
-            PipelineError::Constraint(e) => write!(f, "{e}"),
+            PipelineError::Constraint(es) => {
+                write!(f, "{}", Self::primary(es))?;
+                if es.len() > 1 {
+                    let more = es.len() - 1;
+                    let plural = if more == 1 { "" } else { "s" };
+                    write!(f, " (and {more} more constraint violation{plural})")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -172,7 +226,14 @@ impl From<ParseError> for PipelineError {
 
 impl From<ConstraintViolation> for PipelineError {
     fn from(e: ConstraintViolation) -> Self {
-        PipelineError::Constraint(e)
+        PipelineError::Constraint(vec![e])
+    }
+}
+
+impl From<Vec<ConstraintViolation>> for PipelineError {
+    fn from(es: Vec<ConstraintViolation>) -> Self {
+        debug_assert!(!es.is_empty(), "an empty violation list is not an error");
+        PipelineError::Constraint(es)
     }
 }
 
@@ -180,7 +241,7 @@ impl From<FrontendError> for PipelineError {
     fn from(e: FrontendError) -> Self {
         match e {
             FrontendError::Parse(e) => PipelineError::Syntax(e),
-            FrontendError::Constraint(e) => PipelineError::Constraint(e),
+            FrontendError::Constraint(e) => PipelineError::Constraint(vec![e]),
         }
     }
 }
@@ -218,6 +279,21 @@ impl RunOutcome {
     /// daemonic reading: the program is then erroneous, §2.1).
     pub fn any_undef(&self) -> bool {
         self.outcomes.iter().any(ProgramOutcome::is_undef)
+    }
+
+    /// Whether any outcome is a contained engine panic
+    /// ([`cerberus_exec::driver::ExecResult::EngineFault`]) — a defect in the
+    /// memory model, not a verdict about the program.
+    pub fn is_fault(&self) -> bool {
+        self.outcomes.iter().any(|o| o.result.is_fault())
+    }
+
+    /// Whether any outcome ran out of a time or resource budget rather than
+    /// reaching a verdict about the program.
+    pub fn any_budget_exhaustion(&self) -> bool {
+        self.outcomes
+            .iter()
+            .any(|o| o.result.is_budget_exhaustion())
     }
 }
 
@@ -333,13 +409,13 @@ impl Session {
         let program = self.elaborate(source)?;
         Ok(program
             .driver(&self.config.model)
-            .with_step_limit(self.config.step_limit))
+            .with_limits(self.config.limits.clone()))
     }
 
     /// Run a program from source, returning the distinct observable outcomes.
     pub fn run_source(&self, source: &str) -> Result<RunOutcome, PipelineError> {
         let program = self.elaborate(source)?;
-        Ok(program.execute(&self.config.model, self.config.mode, self.config.step_limit))
+        Ok(program.execute_bounded(&self.config.model, self.config.mode, &self.config.limits))
     }
 }
 
@@ -356,9 +432,11 @@ impl Parsed {
         &self.tu
     }
 
-    /// Stage 2: desugar and type-check into Ail.
+    /// Stage 2: desugar and type-check into Ail. On failure the error
+    /// carries **all** independently diagnosable constraint violations, not
+    /// just the first (see [`PipelineError::diagnostics`]).
     pub fn desugar(&self) -> Result<Desugared, PipelineError> {
-        let ail = desugar_translation_unit(&self.tu, &self.impl_env)?;
+        let ail = desugar_translation_unit_all(&self.tu, &self.impl_env)?;
         Ok(Desugared {
             ail,
             impl_env: self.impl_env.clone(),
@@ -431,11 +509,41 @@ impl Elaborated {
         Driver::new(self.share(), model)
     }
 
-    /// Execute under `model` with an explicit mode and step budget.
+    /// Execute under `model` with an explicit mode and step budget (a
+    /// shorthand for [`Elaborated::execute_bounded`] with a steps-only
+    /// [`ResourceLimits`]).
     pub fn execute(&self, model: &ModelConfig, mode: ExecMode, step_limit: u64) -> RunOutcome {
-        let driver = self.driver(model).with_step_limit(step_limit);
-        RunOutcome {
-            outcomes: driver.run(mode),
+        self.execute_bounded(model, mode, &ResourceLimits::with_steps(step_limit))
+    }
+
+    /// Execute under `model` with an explicit mode and full resource budget
+    /// (steps, wall-clock watchdog, allocation bounds, call depth).
+    pub fn execute_bounded(
+        &self,
+        model: &ModelConfig,
+        mode: ExecMode,
+        limits: &ResourceLimits,
+    ) -> RunOutcome {
+        // The interpreter recurses on the host stack, so the call-depth
+        // budget only protects the process if the executing stack is sized
+        // for it: run the driver on a worker thread with
+        // `limits.host_stack_bytes()` of stack. An engine panic unwinds the
+        // worker; rethrow it here so fault-isolating callers (the
+        // differential runner, the litmus suite) observe the original
+        // payload.
+        let result = std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name(format!("cerberus-exec-{}", model.name))
+                .stack_size(limits.host_stack_bytes())
+                .spawn_scoped(scope, || {
+                    self.driver(model).with_limits(limits.clone()).run(mode)
+                })
+                .expect("spawning an execution worker thread")
+                .join()
+        });
+        match result {
+            Ok(outcomes) => RunOutcome { outcomes },
+            Err(panic) => std::panic::resume_unwind(panic),
         }
     }
 
@@ -457,7 +565,7 @@ impl Elaborated {
     /// ```
     pub fn run_under(&self, model: &ModelConfig) -> RunOutcome {
         let defaults = Config::default();
-        self.execute(model, defaults.mode, defaults.step_limit)
+        self.execute_bounded(model, defaults.mode, &defaults.limits)
     }
 }
 
@@ -964,6 +1072,58 @@ mod tests {
         assert_eq!(constraint.kind(), PipelineErrorKind::Constraint);
         let syntax = run("int main(void) { return 0 }").unwrap_err();
         assert_eq!(syntax.kind(), PipelineErrorKind::Syntax);
+    }
+
+    #[test]
+    fn constraint_errors_collect_every_violation() {
+        let err = run("int f(void) { return aa; }\n\
+                       int g(void) { return bb; }\n\
+                       int main(void) { return 0; }")
+        .unwrap_err();
+        assert_eq!(err.kind(), PipelineErrorKind::Constraint);
+        assert_eq!(err.diagnostic_count(), 2);
+        let diags = err.diagnostics();
+        assert_eq!(diags.len(), 2);
+        // The scalar accessors report the primary (first) violation...
+        assert!(err.message().contains("aa"), "message: {}", err.message());
+        assert_eq!(err.diagnostic().span, diags[0].span);
+        // ...and Display mentions the rest.
+        assert!(err.to_string().contains("and 1 more"), "display: {err}");
+        // A single violation renders without the suffix.
+        let single = run("int main(void) { return zz; }").unwrap_err();
+        assert_eq!(single.diagnostic_count(), 1);
+        assert!(!single.to_string().contains("more constraint"));
+    }
+
+    #[test]
+    fn sessions_carry_a_full_resource_budget() {
+        use cerberus_memory::limits::{ResourceKind, TimeoutKind};
+
+        // A steps-only budget still surfaces as the §6-style timeout.
+        let session = Session::new(Config::default().with_limits(ResourceLimits::with_steps(64)));
+        let out = session
+            .run_source("int main(void) { int i = 0; while (i < 100000) i++; return 0; }")
+            .unwrap();
+        assert_eq!(
+            out.outcomes[0].result,
+            ExecResult::Timeout(TimeoutKind::StepBudget)
+        );
+        assert!(out.any_budget_exhaustion());
+        assert!(!out.is_fault());
+        // A heap-bytes budget stops allocation-heavy programs with a
+        // structured resource verdict.
+        let limits = ResourceLimits::default().with_heap_bytes(1024);
+        let session = Session::new(Config::default().with_limits(limits));
+        let out = session
+            .run_source(
+                "#include <stdlib.h>\n\
+                 int main(void) { for (int i = 0; i < 100; i++) malloc(64); return 0; }",
+            )
+            .unwrap();
+        assert_eq!(
+            out.outcomes[0].result,
+            ExecResult::ResourceExhausted(ResourceKind::HeapBytes)
+        );
     }
 
     #[test]

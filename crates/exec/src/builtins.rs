@@ -68,7 +68,7 @@ fn assert_builtin(args: &[Value]) -> Result<Value, Stop> {
 fn malloc<M: MemoryModel>(interp: &mut Interp<'_, M>, args: &[Value]) -> Result<Value, Stop> {
     let size = arg_int(args, 0).max(0) as u64;
     let align = interp.mem.env().max_align;
-    specified_ptr(interp.mem.alloc(size, align))
+    specified_ptr(interp.mem.alloc(size, align).map_err(Stop::from)?)
 }
 
 fn calloc<M: MemoryModel>(interp: &mut Interp<'_, M>, args: &[Value]) -> Result<Value, Stop> {
@@ -76,7 +76,7 @@ fn calloc<M: MemoryModel>(interp: &mut Interp<'_, M>, args: &[Value]) -> Result<
     let size = arg_int(args, 1).max(0) as u64;
     let total = n.saturating_mul(size);
     let align = interp.mem.env().max_align;
-    let ptr = interp.mem.alloc(total, align);
+    let ptr = interp.mem.alloc(total, align).map_err(Stop::from)?;
     interp.mem.set_bytes(&ptr, 0, total).map_err(Stop::from)?;
     specified_ptr(ptr)
 }

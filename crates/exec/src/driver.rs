@@ -16,6 +16,7 @@ use rand::{Rng, SeedableRng};
 
 use cerberus_ast::ub::UbKind;
 use cerberus_core::program::CoreProgram;
+use cerberus_memory::limits::{ResourceKind, ResourceLimits, TimeoutKind};
 use cerberus_memory::model::MemoryModel;
 
 use crate::eval::{Interp, Stop};
@@ -93,9 +94,20 @@ pub enum ExecResult {
     Undef(UbKind, String),
     /// A dynamic error (unsupported construct, failed assertion, `abort`).
     Error(String),
-    /// The step budget was exhausted (treated as a timeout in §6's
-    /// validation).
-    Timeout,
+    /// A time budget was exhausted: the deterministic step budget (treated as
+    /// a timeout in §6's validation) or the wall-clock watchdog.
+    Timeout(TimeoutKind),
+    /// A [`ResourceLimits`] allocation/recursion budget was exhausted.
+    ResourceExhausted(ResourceKind),
+    /// The memory model panicked; the panic was contained by the harness and
+    /// the payload captured. Produced only by fault-isolating runners (the
+    /// differential and fuzz harnesses), never by [`Driver`] itself.
+    EngineFault {
+        /// The name of the model whose engine faulted.
+        model: String,
+        /// The panic payload, rendered as text.
+        payload: String,
+    },
 }
 
 impl ExecResult {
@@ -111,6 +123,20 @@ impl ExecResult {
             _ => None,
         }
     }
+
+    /// Whether the execution ended in a contained engine panic.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, ExecResult::EngineFault { .. })
+    }
+
+    /// Whether the execution ran out of a budget (time or resource) rather
+    /// than reaching a verdict about the program.
+    pub fn is_budget_exhaustion(&self) -> bool {
+        matches!(
+            self,
+            ExecResult::Timeout(_) | ExecResult::ResourceExhausted(_)
+        )
+    }
 }
 
 impl std::fmt::Display for ExecResult {
@@ -120,7 +146,11 @@ impl std::fmt::Display for ExecResult {
             ExecResult::Exit(v) => write!(f, "exit({v})"),
             ExecResult::Undef(ub, detail) => write!(f, "undefined behaviour: {ub} ({detail})"),
             ExecResult::Error(msg) => write!(f, "error: {msg}"),
-            ExecResult::Timeout => write!(f, "timeout"),
+            ExecResult::Timeout(kind) => write!(f, "timeout ({kind})"),
+            ExecResult::ResourceExhausted(kind) => write!(f, "resource exhausted ({kind})"),
+            ExecResult::EngineFault { model, payload } => {
+                write!(f, "engine fault in {model}: {payload}")
+            }
         }
     }
 }
@@ -169,24 +199,36 @@ pub enum ExecMode {
 pub struct Driver<M: MemoryModel> {
     program: Arc<CoreProgram>,
     model: M,
-    step_limit: u64,
+    limits: ResourceLimits,
 }
 
 impl<M: MemoryModel> Driver<M> {
     /// Build a driver executing `program` against `model`, with the default
-    /// step limit.
+    /// resource budget.
     pub fn new(program: Arc<CoreProgram>, model: M) -> Self {
         Driver {
             program,
             model,
-            step_limit: 2_000_000,
+            limits: ResourceLimits::default(),
         }
     }
 
     /// Override the step budget (used to emulate the §6 timeouts).
     pub fn with_step_limit(mut self, limit: u64) -> Self {
-        self.step_limit = limit;
+        self.limits.steps = limit;
         self
+    }
+
+    /// Override the whole resource budget (steps, wall clock, allocation
+    /// bounds, call depth).
+    pub fn with_limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The resource budget every execution runs under.
+    pub fn limits(&self) -> &ResourceLimits {
+        &self.limits
     }
 
     /// The elaborated program.
@@ -200,8 +242,9 @@ impl<M: MemoryModel> Driver<M> {
     }
 
     fn run_with(&self, oracle: &mut dyn ChoiceOracle) -> ProgramOutcome {
-        let mem = self.model.fresh();
-        let mut interp = Interp::new(&self.program, mem, oracle, self.step_limit);
+        let mut mem = self.model.fresh();
+        mem.set_limits(self.limits.clone());
+        let mut interp = Interp::new(&self.program, mem, oracle, self.limits.clone());
         let result = (|| -> Result<i128, Stop> {
             interp.setup()?;
             if self.program.main.is_none() {
@@ -216,7 +259,8 @@ impl<M: MemoryModel> Driver<M> {
             Err(Stop::Exit(code)) => ExecResult::Exit(code),
             Err(Stop::Undef { ub, detail }) => ExecResult::Undef(ub, detail),
             Err(Stop::Error(msg)) => ExecResult::Error(msg),
-            Err(Stop::Limit) => ExecResult::Timeout,
+            Err(Stop::Limit(kind)) => ExecResult::Timeout(kind),
+            Err(Stop::Resource(kind)) => ExecResult::ResourceExhausted(kind),
         };
         ProgramOutcome { result, stdout }
     }

@@ -8,8 +8,9 @@ use cerberus_ast::ident::Ident;
 use cerberus_ast::ub::UbKind;
 use cerberus_core::program::CoreProgram;
 use cerberus_core::syntax::{Binop, BuiltinFn, Expr, MemAction, PExpr, Pattern, PtrOp};
+use cerberus_memory::limits::{ResourceKind, ResourceLimits, TimeoutKind};
 use cerberus_memory::model::MemoryModel;
-use cerberus_memory::state::{AllocKind, MemError};
+use cerberus_memory::state::{AllocKind, MemError, MemErrorKind};
 use cerberus_memory::value::{IntegerValue, PointerValue};
 
 use crate::builtins;
@@ -32,16 +33,22 @@ pub enum Stop {
     Error(String),
     /// The program called `exit(code)`.
     Exit(i128),
-    /// The step budget was exhausted (used to bound exhaustive exploration
-    /// and to detect non-termination in differential testing, §6).
-    Limit,
+    /// A time budget was exhausted: the deterministic step budget (used to
+    /// bound exhaustive exploration and to detect non-termination in
+    /// differential testing, §6) or the wall-clock watchdog.
+    Limit(TimeoutKind),
+    /// A [`ResourceLimits`] allocation/recursion budget was exhausted.
+    Resource(ResourceKind),
 }
 
 impl From<MemError> for Stop {
     fn from(e: MemError) -> Self {
-        Stop::Undef {
-            ub: e.ub,
-            detail: e.detail,
+        match e.kind {
+            MemErrorKind::Undef(ub) => Stop::Undef {
+                ub,
+                detail: e.detail,
+            },
+            MemErrorKind::Resource(kind) => Stop::Resource(kind),
         }
     }
 }
@@ -96,19 +103,26 @@ pub struct Interp<'a, M: MemoryModel> {
     pub stdout: Vec<u8>,
     oracle: &'a mut dyn ChoiceOracle,
     steps: u64,
-    step_limit: u64,
+    limits: ResourceLimits,
+    /// Wall-clock deadline derived from [`ResourceLimits::wall_clock_ms`]
+    /// at construction, checked periodically by [`Interp::tick`].
+    deadline: Option<std::time::Instant>,
     call_depth: usize,
     footprints: Vec<Vec<Access>>,
 }
 
 impl<'a, M: MemoryModel> Interp<'a, M> {
-    /// Build an interpreter for one execution of `program` against `mem`.
+    /// Build an interpreter for one execution of `program` against `mem`,
+    /// bounded by `limits`.
     pub fn new(
         program: &'a CoreProgram,
         mem: M,
         oracle: &'a mut dyn ChoiceOracle,
-        step_limit: u64,
+        limits: ResourceLimits,
     ) -> Self {
+        let deadline = limits
+            .wall_clock_ms
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
         Interp {
             program,
             mem,
@@ -116,7 +130,8 @@ impl<'a, M: MemoryModel> Interp<'a, M> {
             stdout: Vec::new(),
             oracle,
             steps: 0,
-            step_limit,
+            limits,
+            deadline,
             call_depth: 0,
             footprints: Vec::new(),
         }
@@ -127,7 +142,7 @@ impl<'a, M: MemoryModel> Interp<'a, M> {
     /// declaration order.
     pub fn setup(&mut self) -> Result<(), Stop> {
         for (name, bytes) in &self.program.string_literals {
-            let ptr = self.mem.create_string_literal(bytes);
+            let ptr = self.mem.create_string_literal(bytes).map_err(Stop::from)?;
             self.globals
                 .insert(name.as_str().to_owned(), Value::Pointer(ptr));
         }
@@ -168,8 +183,8 @@ impl<'a, M: MemoryModel> Interp<'a, M> {
             .proc(name)
             .ok_or_else(|| Stop::Error(format!("call to undefined function {name}")))?
             .clone();
-        if self.call_depth > 256 {
-            return Err(Stop::Error("call depth limit exceeded".into()));
+        if self.call_depth > self.limits.call_depth {
+            return Err(Stop::Resource(ResourceKind::CallDepth));
         }
         self.call_depth += 1;
         let mut env = Env::new();
@@ -198,11 +213,19 @@ impl<'a, M: MemoryModel> Interp<'a, M> {
 
     fn tick(&mut self) -> Result<(), Stop> {
         self.steps += 1;
-        if self.steps > self.step_limit {
-            Err(Stop::Limit)
-        } else {
-            Ok(())
+        if self.steps > self.limits.steps {
+            return Err(Stop::Limit(TimeoutKind::StepBudget));
         }
+        // Consult the wall clock only every 4096 steps: `Instant::now` is
+        // orders of magnitude more expensive than a step.
+        if self.steps & 0xFFF == 0 {
+            if let Some(deadline) = self.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(Stop::Limit(TimeoutKind::WallClock));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn record_access(&mut self, addr: u64, len: u64, write: bool, negative: bool) {
@@ -656,7 +679,8 @@ impl<'a, M: MemoryModel> Interp<'a, M> {
             MemAction::Alloc { align, size } => {
                 let align = self.eval_pexpr(env, align)?.as_int().unwrap_or(16) as u64;
                 let size = self.eval_pexpr(env, size)?.as_int().unwrap_or(0) as u64;
-                Ok(Flow::Value(Value::Pointer(self.mem.alloc(size, align))))
+                let ptr = self.mem.alloc(size, align).map_err(Stop::from)?;
+                Ok(Flow::Value(Value::Pointer(ptr)))
             }
             MemAction::Kill(ptr) => {
                 let p = self.eval_pexpr(env, ptr)?;

@@ -20,6 +20,7 @@ use rand::{Rng, SeedableRng};
 
 use cerberus::exec::driver::ExecResult;
 use cerberus::memory::config::ModelConfig;
+use cerberus::memory::limits::ResourceLimits;
 use cerberus::pipeline::Session;
 
 /// Binary operators of the generated fragment (all defined at `unsigned
@@ -461,10 +462,13 @@ pub enum DiffOutcome {
         /// What the pipeline produced.
         observed: String,
     },
-    /// The pipeline exceeded its step budget (a §6-style timeout).
+    /// The pipeline exhausted a resource budget — the step or wall-clock
+    /// timeout, or an allocation/call-depth bound (the §6-style timeout).
     Timeout,
     /// The pipeline rejected or failed on the program.
     Failure(String),
+    /// The engine panicked; the panic was contained and its payload captured.
+    Fault(String),
 }
 
 /// Aggregate results of a differential run (the §6 validation table shape).
@@ -478,6 +482,8 @@ pub struct DiffSummary {
     pub timeout: usize,
     /// Programs the pipeline failed on.
     pub failed: usize,
+    /// Programs on which the engine panicked (the panic was contained).
+    pub faulted: usize,
     /// Total number of programs.
     pub total: usize,
 }
@@ -491,6 +497,19 @@ pub fn diff_one(p: &GenProgram, step_limit: u64) -> DiffOutcome {
 /// reusing its memoised `Elaborated` artifacts: re-testing a seed already
 /// elaborated (by any thread sharing the session) skips the whole front end.
 pub fn diff_one_in(session: &Session, p: &GenProgram, step_limit: u64) -> DiffOutcome {
+    diff_one_bounded_in(session, p, &ResourceLimits::with_steps(step_limit))
+}
+
+/// Differentially test one generated program under a full [`ResourceLimits`]
+/// budget (steps, wall-clock watchdog, allocation bounds, call depth) — the
+/// shape a fuzz worker runs: any budget exhaustion tallies as
+/// [`DiffOutcome::Timeout`], a contained engine panic as
+/// [`DiffOutcome::Fault`].
+pub fn diff_one_bounded_in(
+    session: &Session,
+    p: &GenProgram,
+    limits: &ResourceLimits,
+) -> DiffOutcome {
     let reference = reference_eval(p);
     let source = to_c_source(p);
     let program = match session.elaborate(&source) {
@@ -498,8 +517,15 @@ pub fn diff_one_in(session: &Session, p: &GenProgram, step_limit: u64) -> DiffOu
         Err(e) => return DiffOutcome::Failure(e.to_string()),
     };
     let config = session.config();
-    // `step_limit` is the §6-style timeout budget.
-    let outcome = program.execute(&config.model, config.mode, step_limit);
+    // The execution runs behind an unwind boundary so an engine defect
+    // becomes a `Fault` tally for this program, not an abort of the whole
+    // fuzz batch.
+    let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        program.execute_bounded(&config.model, config.mode, limits)
+    })) {
+        Ok(outcome) => outcome,
+        Err(panic) => return DiffOutcome::Fault(cerberus::panic_payload(&*panic)),
+    };
     let Some(first) = outcome.outcomes.first() else {
         return DiffOutcome::Failure("no outcome produced".into());
     };
@@ -515,7 +541,7 @@ pub fn diff_one_in(session: &Session, p: &GenProgram, step_limit: u64) -> DiffOu
                 }
             }
         }
-        ExecResult::Timeout => DiffOutcome::Timeout,
+        ExecResult::Timeout(_) | ExecResult::ResourceExhausted(_) => DiffOutcome::Timeout,
         other => DiffOutcome::Failure(other.to_string()),
     }
 }
@@ -526,6 +552,7 @@ fn tally(summary: &mut DiffSummary, outcome: DiffOutcome) {
         DiffOutcome::Disagree { .. } => summary.disagree += 1,
         DiffOutcome::Timeout => summary.timeout += 1,
         DiffOutcome::Failure(_) => summary.failed += 1,
+        DiffOutcome::Fault(_) => summary.faulted += 1,
     }
 }
 
@@ -597,6 +624,7 @@ pub fn run_differential_parallel(
         summary.disagree += partial.disagree;
         summary.timeout += partial.timeout;
         summary.failed += partial.failed;
+        summary.faulted += partial.faulted;
     }
     summary
 }
@@ -641,7 +669,7 @@ mod tests {
         let summary = run_differential(6, GenConfig::small(), 2_000_000);
         assert_eq!(summary.total, 6);
         assert_eq!(
-            summary.agree + summary.disagree + summary.timeout + summary.failed,
+            summary.agree + summary.disagree + summary.timeout + summary.failed + summary.faulted,
             summary.total
         );
         assert!(summary.agree >= summary.total - 1, "{summary:?}");

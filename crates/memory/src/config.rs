@@ -67,6 +67,10 @@ pub enum EngineKind {
     /// ([`crate::symbolic::SymbolicEngine`]): per-allocation address regions,
     /// typed cells, lazy constraint checking.
     Symbolic,
+    /// The fault-injection engine ([`crate::fault::PanickingEngine`]): every
+    /// execution panics. Used to drill the harness's panic containment; never
+    /// part of [`ModelConfig::all_named`].
+    Panicking,
 }
 
 /// The analysis tools of §3 whose detection envelopes the tool-emulation
@@ -335,6 +339,19 @@ impl ModelConfig {
         }
     }
 
+    /// The always-panicking fault-injection model
+    /// ([`crate::fault::PanickingEngine`]): every execution under it panics,
+    /// exercising the differential harness's panic containment. Deliberately
+    /// *not* part of [`ModelConfig::all_named`] — it only enters a matrix
+    /// when injected explicitly by a test or a fault drill.
+    pub fn panicking() -> Self {
+        ModelConfig {
+            name: "panicking",
+            engine: EngineKind::Panicking,
+            ..ModelConfig::de_facto()
+        }
+    }
+
     /// All the named model configurations, in a stable order (used by the
     /// experiment harness).
     pub fn all_named() -> Vec<ModelConfig> {
@@ -397,6 +414,12 @@ mod tests {
             .map(|m| m.name)
             .collect();
         assert_eq!(engines, vec!["symbolic"]);
+    }
+
+    #[test]
+    fn the_panicking_model_is_never_named() {
+        assert_eq!(ModelConfig::panicking().engine, EngineKind::Panicking);
+        assert_eq!(ModelConfig::by_name("panicking"), None);
     }
 
     #[test]

@@ -33,7 +33,11 @@
 //!   block model, a CHERI capability model, tool-emulation profiles for
 //!   the §3 comparison (sanitisers, tis-interpreter, KCC), and the symbolic
 //!   model;
-//! * CHERI capability semantics ([`cheri`]) reproducing the §4 findings.
+//! * CHERI capability semantics ([`cheri`]) reproducing the §4 findings;
+//! * resource budgets ([`limits::ResourceLimits`]) enforced by both engines
+//!   at allocation time, and a fault-injection model
+//!   ([`fault::PanickingEngine`]) for drilling the differential harness's
+//!   panic containment.
 //!
 //! How to implement and register a further model is documented in
 //! `docs/MEMORY_MODELS.md`.
@@ -58,6 +62,8 @@
 
 pub mod cheri;
 pub mod config;
+pub mod fault;
+pub mod limits;
 pub mod model;
 pub mod state;
 pub mod symbolic;
@@ -67,7 +73,9 @@ pub use config::{
     EngineKind, IntToPtrSemantics, ModelConfig, PaddingSemantics, RelationalSemantics, ToolProfile,
     UninitSemantics,
 };
+pub use fault::PanickingEngine;
+pub use limits::{ResourceKind, ResourceLimits, TimeoutKind};
 pub use model::{AnyEngine, ConcreteEngine, MemoryModel, ModelResult};
-pub use state::{AllocKind, Allocation, MemError, MemState};
+pub use state::{AllocKind, Allocation, MemError, MemErrorKind, MemState};
 pub use symbolic::SymbolicEngine;
 pub use value::{AllocId, IntegerValue, MemValue, PointerValue, Provenance};

@@ -27,6 +27,8 @@ use cerberus_ast::ident::Ident;
 use cerberus_ast::layout::TagRegistry;
 
 use crate::config::{EngineKind, ModelConfig};
+use crate::fault::PanickingEngine;
+use crate::limits::ResourceLimits;
 use crate::state::{AllocKind, MemError, MemState};
 use crate::symbolic::SymbolicEngine;
 use crate::value::{IntegerValue, MemValue, PointerValue};
@@ -57,11 +59,19 @@ pub trait MemoryModel {
     /// The struct/union registry in force.
     fn tags(&self) -> &TagRegistry;
 
-    /// A pristine state with the same configuration, environment and tag
-    /// registry, ready for a new execution.
+    /// A pristine state with the same configuration, environment, tag
+    /// registry and resource budget, ready for a new execution.
     fn fresh(&self) -> Self
     where
         Self: Sized;
+
+    /// Install the resource budget this model enforces on allocation (the
+    /// driver sets it once per execution; see `docs/MEMORY_MODELS.md`,
+    /// "Resource and fault obligations").
+    fn set_limits(&mut self, limits: ResourceLimits);
+
+    /// The resource budget in force.
+    fn limits(&self) -> &ResourceLimits;
 
     // ----- layout --------------------------------------------------------
 
@@ -82,10 +92,12 @@ pub trait MemoryModel {
     ) -> ModelResult<PointerValue>;
 
     /// Allocate a dynamic region (the Core `alloc` action, i.e. `malloc`).
-    fn alloc(&mut self, size: u64, align: u64) -> PointerValue;
+    /// Fails when a [`ResourceLimits`] allocation budget is exhausted.
+    fn alloc(&mut self, size: u64, align: u64) -> ModelResult<PointerValue>;
 
     /// Create a read-only string-literal object holding `bytes` plus NUL.
-    fn create_string_literal(&mut self, bytes: &[u8]) -> PointerValue;
+    /// Fails when a [`ResourceLimits`] allocation budget is exhausted.
+    fn create_string_literal(&mut self, bytes: &[u8]) -> ModelResult<PointerValue>;
 
     /// Register a C function, giving it a synthetic address.
     fn register_function(&mut self, name: &Ident) -> PointerValue;
@@ -177,11 +189,21 @@ impl MemoryModel for ConcreteEngine {
     }
 
     fn fresh(&self) -> Self {
-        MemState::new(
+        let mut fresh = MemState::new(
             self.config().clone(),
             MemState::env(self).clone(),
             MemState::tags(self).clone(),
-        )
+        );
+        fresh.set_limits(MemState::limits(self).clone());
+        fresh
+    }
+
+    fn set_limits(&mut self, limits: ResourceLimits) {
+        MemState::set_limits(self, limits)
+    }
+
+    fn limits(&self) -> &ResourceLimits {
+        MemState::limits(self)
     }
 
     fn size_of(&self, ty: &Ctype) -> ModelResult<u64> {
@@ -201,11 +223,11 @@ impl MemoryModel for ConcreteEngine {
         MemState::create(self, ty, kind, name)
     }
 
-    fn alloc(&mut self, size: u64, align: u64) -> PointerValue {
+    fn alloc(&mut self, size: u64, align: u64) -> ModelResult<PointerValue> {
         MemState::alloc(self, size, align)
     }
 
-    fn create_string_literal(&mut self, bytes: &[u8]) -> PointerValue {
+    fn create_string_literal(&mut self, bytes: &[u8]) -> ModelResult<PointerValue> {
         MemState::create_string_literal(self, bytes)
     }
 
@@ -307,6 +329,9 @@ pub enum AnyEngine {
     Concrete(ConcreteEngine),
     /// A symbolic provenance engine.
     Symbolic(SymbolicEngine),
+    /// The always-panicking fault-injection engine (tests and fault drills
+    /// only — see [`crate::fault`]).
+    Panicking(PanickingEngine),
 }
 
 /// Delegate one `MemoryModel` method to whichever engine is inside.
@@ -315,6 +340,7 @@ macro_rules! delegate {
         match $self {
             AnyEngine::Concrete(engine) => engine.$method($($arg),*),
             AnyEngine::Symbolic(engine) => engine.$method($($arg),*),
+            AnyEngine::Panicking(engine) => engine.$method($($arg),*),
         }
     };
 }
@@ -336,7 +362,16 @@ impl MemoryModel for AnyEngine {
         match self {
             AnyEngine::Concrete(engine) => AnyEngine::Concrete(MemoryModel::fresh(engine)),
             AnyEngine::Symbolic(engine) => AnyEngine::Symbolic(engine.fresh()),
+            AnyEngine::Panicking(engine) => AnyEngine::Panicking(engine.fresh()),
         }
+    }
+
+    fn set_limits(&mut self, limits: ResourceLimits) {
+        delegate!(self.set_limits(limits))
+    }
+
+    fn limits(&self) -> &ResourceLimits {
+        delegate!(self.limits())
     }
 
     fn size_of(&self, ty: &Ctype) -> ModelResult<u64> {
@@ -356,11 +391,11 @@ impl MemoryModel for AnyEngine {
         delegate!(self.create(ty, kind, name))
     }
 
-    fn alloc(&mut self, size: u64, align: u64) -> PointerValue {
+    fn alloc(&mut self, size: u64, align: u64) -> ModelResult<PointerValue> {
         delegate!(self.alloc(size, align))
     }
 
-    fn create_string_literal(&mut self, bytes: &[u8]) -> PointerValue {
+    fn create_string_literal(&mut self, bytes: &[u8]) -> ModelResult<PointerValue> {
         delegate!(self.create_string_literal(bytes))
     }
 
@@ -458,6 +493,9 @@ impl ModelConfig {
             EngineKind::Concrete => AnyEngine::Concrete(MemState::new(self.clone(), env, tags)),
             EngineKind::Symbolic => {
                 AnyEngine::Symbolic(SymbolicEngine::new(self.clone(), env, tags))
+            }
+            EngineKind::Panicking => {
+                AnyEngine::Panicking(PanickingEngine::new(self.clone(), env, tags))
             }
         }
     }

@@ -21,6 +21,7 @@ use cerberus_ast::ub::UbKind;
 use crate::config::{
     IntToPtrSemantics, ModelConfig, PaddingSemantics, RelationalSemantics, UninitSemantics,
 };
+use crate::limits::{ResourceKind, ResourceLimits};
 use crate::value::{AllocId, CapMeta, IntegerValue, MemValue, PointerValue, Provenance};
 
 /// The storage duration / origin of an allocation.
@@ -103,12 +104,23 @@ impl Allocation {
     }
 }
 
-/// A memory error: the undefined behaviour detected and a human-readable
-/// explanation.
+/// What a [`MemError`] reports: detected undefined behaviour, or exhaustion
+/// of one of the engine-enforced resource budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemErrorKind {
+    /// The access or operation is undefined behaviour.
+    Undef(UbKind),
+    /// A [`ResourceLimits`] budget was exhausted (not UB — the program may be
+    /// perfectly defined, the *run* ran out of budget).
+    Resource(ResourceKind),
+}
+
+/// A memory error: the undefined behaviour detected (or the budget
+/// exhausted) and a human-readable explanation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemError {
-    /// The undefined behaviour.
-    pub ub: UbKind,
+    /// What went wrong.
+    pub kind: MemErrorKind,
     /// What happened.
     pub detail: String,
 }
@@ -117,15 +129,35 @@ impl MemError {
     /// A memory error reporting the given undefined behaviour.
     pub fn new(ub: UbKind, detail: impl Into<String>) -> Self {
         MemError {
-            ub,
+            kind: MemErrorKind::Undef(ub),
             detail: detail.into(),
+        }
+    }
+
+    /// A memory error reporting resource-budget exhaustion.
+    pub fn resource(kind: ResourceKind, detail: impl Into<String>) -> Self {
+        MemError {
+            kind: MemErrorKind::Resource(kind),
+            detail: detail.into(),
+        }
+    }
+
+    /// The undefined behaviour this error reports, if it reports one (rather
+    /// than a resource-budget exhaustion).
+    pub fn ub(&self) -> Option<UbKind> {
+        match self.kind {
+            MemErrorKind::Undef(ub) => Some(ub),
+            MemErrorKind::Resource(_) => None,
         }
     }
 }
 
 impl std::fmt::Display for MemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: {}", self.ub, self.detail)
+        match self.kind {
+            MemErrorKind::Undef(ub) => write!(f, "{}: {}", ub, self.detail),
+            MemErrorKind::Resource(kind) => write!(f, "{} exhausted: {}", kind, self.detail),
+        }
     }
 }
 
@@ -152,6 +184,12 @@ pub struct MemState {
     /// Shadow stores used by the GCC-like provenance-optimising semantics
     /// (see [`ModelConfig::provenance_optimising_stores`]): address → bytes.
     shadow: HashMap<u64, Vec<AbsByte>>,
+    /// The resource budget in force (see [`MemState::set_limits`]).
+    limits: ResourceLimits,
+    /// Cumulative bytes allocated over this execution.
+    allocated_bytes: u64,
+    /// Allocations currently within their lifetime.
+    live_allocation_count: usize,
 }
 
 impl MemState {
@@ -166,7 +204,60 @@ impl MemState {
             function_addrs: HashMap::new(),
             functions_by_addr: HashMap::new(),
             shadow: HashMap::new(),
+            limits: ResourceLimits::default(),
+            allocated_bytes: 0,
+            live_allocation_count: 0,
         }
+    }
+
+    /// Install the resource budget this state enforces on allocation (the
+    /// driver sets it on the per-execution state obtained from
+    /// [`crate::model::MemoryModel::fresh`]).
+    pub fn set_limits(&mut self, limits: ResourceLimits) {
+        self.limits = limits;
+    }
+
+    /// The resource budget in force.
+    pub fn limits(&self) -> &ResourceLimits {
+        &self.limits
+    }
+
+    /// Cumulative bytes allocated over this execution (never refunded by
+    /// `kill`/`free` — the budget bounds total allocation work, not peak
+    /// residency).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    /// The number of allocations currently within their lifetime.
+    pub fn live_allocation_count(&self) -> usize {
+        self.live_allocation_count
+    }
+
+    /// Check the allocation budgets before admitting `size` more bytes and
+    /// one more live allocation.
+    fn charge_allocation(&self, size: u64) -> MResult<()> {
+        if let Some(budget) = self.limits.heap_bytes {
+            let total = self.allocated_bytes.saturating_add(size);
+            if total > budget {
+                return Err(MemError::resource(
+                    ResourceKind::HeapBytes,
+                    format!("{total} bytes allocated exceeds the budget of {budget}"),
+                ));
+            }
+        }
+        if let Some(budget) = self.limits.max_live_allocations {
+            if self.live_allocation_count + 1 > budget {
+                return Err(MemError::resource(
+                    ResourceKind::LiveAllocations,
+                    format!(
+                        "{} live allocations exceeds the budget of {budget}",
+                        self.live_allocation_count + 1
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The model configuration in force.
@@ -218,7 +309,10 @@ impl MemState {
         declared_ty: Option<Ctype>,
         name: Option<&str>,
         readonly: bool,
-    ) -> PointerValue {
+    ) -> MResult<PointerValue> {
+        self.charge_allocation(size)?;
+        self.allocated_bytes = self.allocated_bytes.saturating_add(size);
+        self.live_allocation_count += 1;
         let id = self.allocations.len() as AllocId;
         let base = layout::align_up(self.next_addr, align.max(1));
         let init_byte = match kind {
@@ -249,12 +343,12 @@ impl MemState {
         } else {
             None
         };
-        PointerValue {
+        Ok(PointerValue {
             prov: Provenance::Alloc(id),
             addr: base,
             cap,
             function: None,
-        }
+        })
     }
 
     /// Create an object of declared type `ty` (the Core `create` action).
@@ -266,12 +360,13 @@ impl MemState {
     ) -> MResult<PointerValue> {
         let size = self.size_of(ty)?;
         let align = self.align_of(ty)?;
-        Ok(self.push_allocation(size, align, kind, Some(ty.clone()), name, false))
+        self.push_allocation(size, align, kind, Some(ty.clone()), name, false)
     }
 
     /// Allocate a dynamic region of `size` bytes (the Core `alloc` action,
-    /// i.e. `malloc`).
-    pub fn alloc(&mut self, size: u64, align: u64) -> PointerValue {
+    /// i.e. `malloc`). Fails only when a [`ResourceLimits`] allocation budget
+    /// is exhausted.
+    pub fn alloc(&mut self, size: u64, align: u64) -> MResult<PointerValue> {
         self.push_allocation(
             size.max(1),
             align.max(1),
@@ -284,7 +379,7 @@ impl MemState {
 
     /// Create a read-only string-literal object holding `bytes` plus a
     /// terminating NUL.
-    pub fn create_string_literal(&mut self, bytes: &[u8]) -> PointerValue {
+    pub fn create_string_literal(&mut self, bytes: &[u8]) -> MResult<PointerValue> {
         let mut contents = bytes.to_vec();
         contents.push(0);
         let ptr = self.push_allocation(
@@ -297,7 +392,7 @@ impl MemState {
             )),
             None,
             true,
-        );
+        )?;
         let id = ptr
             .prov
             .alloc_id()
@@ -309,7 +404,7 @@ impl MemState {
                 value: Some(*b),
             };
         }
-        ptr
+        Ok(ptr)
     }
 
     /// Register a C function, giving it a synthetic address so function
@@ -368,6 +463,7 @@ impl MemState {
             }
         }
         alloc.alive = false;
+        self.live_allocation_count = self.live_allocation_count.saturating_sub(1);
         Ok(())
     }
 
@@ -751,7 +847,7 @@ impl MemState {
         let id = match self.check_access(ptr, len, true) {
             Ok(id) => id,
             Err(e)
-                if e.ub == UbKind::OutOfBoundsAccess
+                if e.ub() == Some(UbKind::OutOfBoundsAccess)
                     && self.config.provenance_optimising_stores
                     && self.is_one_past_store(ptr, len) =>
             {
@@ -1155,7 +1251,7 @@ mod tests {
             .create(&int_ty(), AllocKind::Automatic, None)
             .unwrap();
         let err = strict.load(&int_ty(), &q).unwrap_err();
-        assert_eq!(err.ub, UbKind::IndeterminateValueUse);
+        assert_eq!(err.ub(), Some(UbKind::IndeterminateValueUse));
     }
 
     #[test]
@@ -1176,7 +1272,7 @@ mod tests {
         let err = mem
             .store(&int_ty(), &one_past, &MemValue::int(IntegerType::Int, 11))
             .unwrap_err();
-        assert_eq!(err.ub, UbKind::OutOfBoundsAccess);
+        assert_eq!(err.ub(), Some(UbKind::OutOfBoundsAccess));
     }
 
     #[test]
@@ -1239,8 +1335,8 @@ mod tests {
         let a = iso.create(&int_ty(), AllocKind::Static, None).unwrap();
         let b = iso.create(&int_ty(), AllocKind::Static, None).unwrap();
         assert_eq!(
-            iso.ptr_rel(&a, &b).unwrap_err().ub,
-            UbKind::RelationalCompareDifferentObjects
+            iso.ptr_rel(&a, &b).unwrap_err().ub(),
+            Some(UbKind::RelationalCompareDifferentObjects)
         );
     }
 
@@ -1261,8 +1357,8 @@ mod tests {
             .create(&Ctype::array(int_ty(), 4), AllocKind::Automatic, None)
             .unwrap();
         assert_eq!(
-            iso.array_shift(&a, &int_ty(), 10).unwrap_err().ub,
-            UbKind::OutOfBoundsPointerArithmetic
+            iso.array_shift(&a, &int_ty(), 10).unwrap_err().ub(),
+            Some(UbKind::OutOfBoundsPointerArithmetic)
         );
         // One-past is always permitted.
         assert!(iso.array_shift(&a, &int_ty(), 4).is_ok());
@@ -1287,8 +1383,8 @@ mod tests {
         let i = blk.int_from_ptr(&p);
         let q = blk.ptr_from_int(&i);
         assert_eq!(
-            blk.load(&int_ty(), &q).unwrap_err().ub,
-            UbKind::AccessWithoutProvenance
+            blk.load(&int_ty(), &q).unwrap_err().ub(),
+            Some(UbKind::AccessWithoutProvenance)
         );
     }
 
@@ -1320,19 +1416,25 @@ mod tests {
         let p = mem.create(&int_ty(), AllocKind::Automatic, None).unwrap();
         mem.kill(&p, false).unwrap();
         assert_eq!(
-            mem.load(&int_ty(), &p).unwrap_err().ub,
-            UbKind::AccessOutsideLifetime
+            mem.load(&int_ty(), &p).unwrap_err().ub(),
+            Some(UbKind::AccessOutsideLifetime)
         );
     }
 
     #[test]
     fn free_errors() {
         let mut mem = new_state(ModelConfig::de_facto());
-        let p = mem.alloc(16, 16);
+        let p = mem.alloc(16, 16).unwrap();
         mem.kill(&p, true).unwrap();
-        assert_eq!(mem.kill(&p, true).unwrap_err().ub, UbKind::InvalidFree);
+        assert_eq!(
+            mem.kill(&p, true).unwrap_err().ub(),
+            Some(UbKind::InvalidFree)
+        );
         let q = mem.create(&int_ty(), AllocKind::Automatic, None).unwrap();
-        assert_eq!(mem.kill(&q, true).unwrap_err().ub, UbKind::InvalidFree);
+        assert_eq!(
+            mem.kill(&q, true).unwrap_err().ub(),
+            Some(UbKind::InvalidFree)
+        );
         // free(NULL) is fine.
         mem.kill(&PointerValue::null(), true).unwrap();
     }
@@ -1340,7 +1442,7 @@ mod tests {
     #[test]
     fn string_literals_are_read_only() {
         let mut mem = new_state(ModelConfig::de_facto());
-        let s = mem.create_string_literal(b"hi");
+        let s = mem.create_string_literal(b"hi").unwrap();
         assert_eq!(mem.read_c_string(&s).unwrap(), b"hi".to_vec());
         let err = mem
             .store(
@@ -1349,7 +1451,7 @@ mod tests {
                 &MemValue::int(IntegerType::Char, 65),
             )
             .unwrap_err();
-        assert_eq!(err.ub, UbKind::StringLiteralModification);
+        assert_eq!(err.ub(), Some(UbKind::StringLiteralModification));
     }
 
     #[test]
@@ -1408,8 +1510,8 @@ mod tests {
         // Access at an incompatible non-character type: UB under strict ISO.
         let short_ty = Ctype::integer(IntegerType::Short);
         assert_eq!(
-            iso.load(&short_ty, &p).unwrap_err().ub,
-            UbKind::EffectiveTypeViolation
+            iso.load(&short_ty, &p).unwrap_err().ub(),
+            Some(UbKind::EffectiveTypeViolation)
         );
         // Character-typed access is always permitted.
         let char_ty = Ctype::integer(IntegerType::UChar);
@@ -1436,8 +1538,8 @@ mod tests {
         assert_eq!(
             iso.store(&int_ty(), &p, &MemValue::int(IntegerType::Int, 3))
                 .unwrap_err()
-                .ub,
-            UbKind::EffectiveTypeViolation
+                .ub(),
+            Some(UbKind::EffectiveTypeViolation)
         );
     }
 
@@ -1449,8 +1551,8 @@ mod tests {
         assert!(p.cap.is_some());
         let oob = mem.array_shift(&p, &int_ty(), 5).unwrap();
         assert_eq!(
-            mem.load(&int_ty(), &oob).unwrap_err().ub,
-            UbKind::OutOfBoundsAccess
+            mem.load(&int_ty(), &oob).unwrap_err().ub(),
+            Some(UbKind::OutOfBoundsAccess)
         );
     }
 
@@ -1458,7 +1560,7 @@ mod tests {
     fn null_dereference_is_detected() {
         let mut mem = new_state(ModelConfig::de_facto());
         let err = mem.load(&int_ty(), &PointerValue::null()).unwrap_err();
-        assert_eq!(err.ub, UbKind::NullPointerDeref);
+        assert_eq!(err.ub(), Some(UbKind::NullPointerDeref));
     }
 
     #[test]
@@ -1502,8 +1604,8 @@ mod tests {
         assert_eq!(mem.ptr_diff(&a3, &a, 4).unwrap().value, 3);
         let other = mem.create(&arr, AllocKind::Automatic, None).unwrap();
         assert_eq!(
-            mem.ptr_diff(&other, &a, 4).unwrap_err().ub,
-            UbKind::PointerSubtractionDifferentObjects
+            mem.ptr_diff(&other, &a, 4).unwrap_err().ub(),
+            Some(UbKind::PointerSubtractionDifferentObjects)
         );
     }
 }

@@ -48,6 +48,7 @@ use cerberus_ast::layout::{self, TagRegistry};
 use cerberus_ast::ub::UbKind;
 
 use crate::config::{IntToPtrSemantics, ModelConfig, UninitSemantics};
+use crate::limits::{ResourceKind, ResourceLimits};
 use crate::model::{MemoryModel, ModelResult};
 use crate::state::{AllocKind, MemError};
 use crate::value::{AllocId, IntegerValue, MemValue, PointerValue, Provenance};
@@ -113,6 +114,12 @@ pub struct SymbolicEngine {
     functions_by_addr: HashMap<u64, Ident>,
     /// Trail of the lazy constraint resolutions performed so far (bounded).
     trail: RefCell<Vec<String>>,
+    /// The resource budget in force (see [`MemoryModel::set_limits`]).
+    limits: ResourceLimits,
+    /// Cumulative bytes allocated over this execution.
+    allocated_bytes: u64,
+    /// Allocations currently within their lifetime.
+    live_allocation_count: usize,
 }
 
 impl SymbolicEngine {
@@ -126,7 +133,42 @@ impl SymbolicEngine {
             function_addrs: HashMap::new(),
             functions_by_addr: HashMap::new(),
             trail: RefCell::new(Vec::new()),
+            limits: ResourceLimits::default(),
+            allocated_bytes: 0,
+            live_allocation_count: 0,
         }
+    }
+
+    /// Cumulative bytes allocated over this execution (`kill` does not
+    /// refund — the budget bounds total allocation work).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    /// Check the allocation budgets before admitting `size` more bytes and
+    /// one more live allocation.
+    fn charge_allocation(&self, size: u64) -> ModelResult<()> {
+        if let Some(budget) = self.limits.heap_bytes {
+            let total = self.allocated_bytes.saturating_add(size);
+            if total > budget {
+                return Err(MemError::resource(
+                    ResourceKind::HeapBytes,
+                    format!("{total} bytes allocated exceeds the budget of {budget}"),
+                ));
+            }
+        }
+        if let Some(budget) = self.limits.max_live_allocations {
+            if self.live_allocation_count + 1 > budget {
+                return Err(MemError::resource(
+                    ResourceKind::LiveAllocations,
+                    format!(
+                        "{} live allocations exceeds the budget of {budget}",
+                        self.live_allocation_count + 1
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The model configuration in force.
@@ -162,7 +204,10 @@ impl SymbolicEngine {
         kind: AllocKind,
         name: Option<&str>,
         readonly: bool,
-    ) -> PointerValue {
+    ) -> ModelResult<PointerValue> {
+        self.charge_allocation(size)?;
+        self.allocated_bytes = self.allocated_bytes.saturating_add(size);
+        self.live_allocation_count += 1;
         let id = self.allocs.len() as AllocId;
         self.allocs.push(SymAlloc {
             size,
@@ -172,7 +217,7 @@ impl SymbolicEngine {
             name: name.map(str::to_owned),
             cells: BTreeMap::new(),
         });
-        PointerValue::object(Provenance::Alloc(id), region_base(id))
+        Ok(PointerValue::object(Provenance::Alloc(id), region_base(id)))
     }
 
     fn describe(&self, id: AllocId) -> String {
@@ -559,7 +604,18 @@ impl MemoryModel for SymbolicEngine {
     }
 
     fn fresh(&self) -> Self {
-        SymbolicEngine::new(self.config.clone(), self.env.clone(), self.tags.clone())
+        let mut fresh =
+            SymbolicEngine::new(self.config.clone(), self.env.clone(), self.tags.clone());
+        fresh.limits = self.limits.clone();
+        fresh
+    }
+
+    fn set_limits(&mut self, limits: ResourceLimits) {
+        self.limits = limits;
+    }
+
+    fn limits(&self) -> &ResourceLimits {
+        &self.limits
     }
 
     fn size_of(&self, ty: &Ctype) -> ModelResult<u64> {
@@ -579,17 +635,18 @@ impl MemoryModel for SymbolicEngine {
         name: Option<&str>,
     ) -> ModelResult<PointerValue> {
         let size = self.size_of(ty)?;
-        Ok(self.push_allocation(size, kind, name, false))
+        self.push_allocation(size, kind, name, false)
     }
 
-    fn alloc(&mut self, size: u64, _align: u64) -> PointerValue {
+    fn alloc(&mut self, size: u64, _align: u64) -> ModelResult<PointerValue> {
         self.push_allocation(size.max(1), AllocKind::Dynamic, None, false)
     }
 
-    fn create_string_literal(&mut self, bytes: &[u8]) -> PointerValue {
+    fn create_string_literal(&mut self, bytes: &[u8]) -> ModelResult<PointerValue> {
         let mut contents = bytes.to_vec();
         contents.push(0);
-        let ptr = self.push_allocation(contents.len() as u64, AllocKind::StringLiteral, None, true);
+        let ptr =
+            self.push_allocation(contents.len() as u64, AllocKind::StringLiteral, None, true)?;
         let id = ptr
             .prov
             .alloc_id()
@@ -603,7 +660,7 @@ impl MemoryModel for SymbolicEngine {
                 },
             );
         }
-        ptr
+        Ok(ptr)
     }
 
     fn register_function(&mut self, name: &Ident) -> PointerValue {
@@ -669,6 +726,7 @@ impl MemoryModel for SymbolicEngine {
             }
         }
         alloc.alive = false;
+        self.live_allocation_count = self.live_allocation_count.saturating_sub(1);
         Ok(())
     }
 
@@ -1004,7 +1062,7 @@ mod tests {
         let err = mem
             .store(&int_ty(), &one_past, &MemValue::int(IntegerType::Int, 11))
             .unwrap_err();
-        assert_eq!(err.ub, UbKind::OutOfBoundsAccess);
+        assert_eq!(err.ub(), Some(UbKind::OutOfBoundsAccess));
         assert!(err.detail.starts_with("constraint violated"), "{err}");
     }
 
@@ -1014,8 +1072,8 @@ mod tests {
         let a = mem.create(&int_ty(), AllocKind::Static, None).unwrap();
         let b = mem.create(&int_ty(), AllocKind::Static, None).unwrap();
         assert_eq!(
-            mem.ptr_rel(&a, &b).unwrap_err().ub,
-            UbKind::RelationalCompareDifferentObjects
+            mem.ptr_rel(&a, &b).unwrap_err().ub(),
+            Some(UbKind::RelationalCompareDifferentObjects)
         );
         // Within one object the offsets are ordered as usual.
         let arr = Ctype::array(int_ty(), 4);
@@ -1048,8 +1106,8 @@ mod tests {
         let oob = mem.array_shift(&a, &int_ty(), 10).unwrap();
         // … the constraint is only checked at use.
         assert_eq!(
-            mem.load(&int_ty(), &oob).unwrap_err().ub,
-            UbKind::OutOfBoundsAccess
+            mem.load(&int_ty(), &oob).unwrap_err().ub(),
+            Some(UbKind::OutOfBoundsAccess)
         );
         let back = mem.array_shift(&oob, &int_ty(), -9).unwrap();
         mem.store(&int_ty(), &back, &MemValue::int(IntegerType::Int, 7))
@@ -1170,19 +1228,22 @@ mod tests {
         let p = mem.create(&int_ty(), AllocKind::Automatic, None).unwrap();
         mem.kill(&p, false).unwrap();
         assert_eq!(
-            mem.load(&int_ty(), &p).unwrap_err().ub,
-            UbKind::AccessOutsideLifetime
+            mem.load(&int_ty(), &p).unwrap_err().ub(),
+            Some(UbKind::AccessOutsideLifetime)
         );
-        let d = mem.alloc(16, 16);
+        let d = mem.alloc(16, 16).unwrap();
         mem.kill(&d, true).unwrap();
-        assert_eq!(mem.kill(&d, true).unwrap_err().ub, UbKind::InvalidFree);
+        assert_eq!(
+            mem.kill(&d, true).unwrap_err().ub(),
+            Some(UbKind::InvalidFree)
+        );
         mem.kill(&PointerValue::null(), true).unwrap();
     }
 
     #[test]
     fn string_literals_are_readable_and_immutable() {
         let mut mem = engine();
-        let s = mem.create_string_literal(b"hi");
+        let s = mem.create_string_literal(b"hi").unwrap();
         assert_eq!(mem.read_c_string(&s).unwrap(), b"hi".to_vec());
         let err = mem
             .store(
@@ -1191,7 +1252,7 @@ mod tests {
                 &MemValue::int(IntegerType::Char, 65),
             )
             .unwrap_err();
-        assert_eq!(err.ub, UbKind::StringLiteralModification);
+        assert_eq!(err.ub(), Some(UbKind::StringLiteralModification));
     }
 
     #[test]

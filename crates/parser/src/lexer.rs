@@ -172,26 +172,35 @@ impl<'a> Lexer<'a> {
             'x' => {
                 let mut v: u32 = 0;
                 let mut any = false;
-                while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                while let Some(digit) = self.peek().and_then(|c| c.to_digit(16)) {
                     any = true;
-                    v = v * 16 + self.bump().unwrap().to_digit(16).unwrap();
+                    v = v * 16 + digit;
+                    self.bump();
                 }
                 if !any {
                     return Err(self.error("\\x escape with no hex digits"));
                 }
                 (v & 0xff) as u8
             }
-            other if other.is_ascii_digit() => {
-                // Octal escape, up to three digits.
-                let mut v = other.to_digit(8).unwrap();
-                for _ in 0..2 {
-                    if matches!(self.peek(), Some(c) if c.is_digit(8)) {
-                        v = v * 8 + self.bump().unwrap().to_digit(8).unwrap();
+            other => match other.to_digit(8) {
+                // Octal escape, up to three digits. `to_digit(8)` rejects the
+                // digits 8 and 9, so \8 and \9 are diagnosed below instead of
+                // being mis-read (or aborting) as octal.
+                Some(first) => {
+                    let mut v = first;
+                    for _ in 0..2 {
+                        match self.peek().and_then(|c| c.to_digit(8)) {
+                            Some(digit) => {
+                                v = v * 8 + digit;
+                                self.bump();
+                            }
+                            None => break,
+                        }
                     }
+                    (v & 0xff) as u8
                 }
-                (v & 0xff) as u8
-            }
-            other => return Err(self.error(format!("unknown escape sequence \\{other}"))),
+                None => return Err(self.error(format!("unknown escape sequence \\{other}"))),
+            },
         })
     }
 
@@ -240,7 +249,9 @@ impl<'a> Lexer<'a> {
 
     fn lex_punct(&mut self) -> Result<TokenKind, LexError> {
         use Punct::*;
-        let c = self.peek().unwrap();
+        let c = self
+            .peek()
+            .ok_or_else(|| self.error("unexpected end of input"))?;
         let c2 = self.peek2();
         let c3 = self.peek3();
         let (p, len) = match (c, c2, c3) {
@@ -455,6 +466,19 @@ mod tests {
         assert!(lex("int $x;").is_err());
         assert!(lex("char c = 'ab';").is_err());
         assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn malformed_escapes_are_errors_not_aborts() {
+        // \8 and \9 are not octal digits: a structured error, not a panic.
+        assert!(lex(r"char c = '\8';").is_err());
+        assert!(lex(r#"char *s = "\9";"#).is_err());
+        // Valid octal escapes still decode, up to three digits.
+        let ks = kinds(r"'\101' '\7'");
+        assert_eq!(ks[0], TokenKind::CharConst(0o101));
+        assert_eq!(ks[1], TokenKind::CharConst(7));
+        // A string ending in a backslash is unterminated, not an abort.
+        assert!(lex("\"ab\\").is_err());
     }
 
     #[test]

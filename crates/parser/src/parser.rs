@@ -1112,7 +1112,7 @@ mod tests {
     fn expression_precedence_shapes() {
         let tu = parse("int x = 1 + 2 * 3;");
         let ExternalDeclaration::Declaration(d) = &tu.declarations[0] else {
-            panic!()
+            panic!("expected a declaration, got {:?}", tu.declarations[0])
         };
         let Some(Initializer::Expr(Expr::Binary(BinaryOp::Add, _, rhs, _))) =
             &d.declarators[0].initializer
@@ -1131,7 +1131,7 @@ mod tests {
     fn cast_vs_parenthesised_expression() {
         let tu = parse("int y; int x = (y) + 1;");
         let ExternalDeclaration::Declaration(d) = &tu.declarations[1] else {
-            panic!()
+            panic!("expected a declaration, got {:?}", tu.declarations[1])
         };
         assert!(matches!(
             d.declarators[0].initializer,

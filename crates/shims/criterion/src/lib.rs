@@ -7,6 +7,11 @@
 //! warm-up followed by `sample_size` timed iterations and prints the mean
 //! time per iteration. No statistics, no HTML reports — just enough to keep
 //! `cargo bench` runnable and comparable run-over-run without network access.
+//!
+//! Setting the `BENCH_JSON` environment variable to a file path additionally
+//! records every measurement as a machine-readable JSON checkpoint: an array
+//! of `{"group", "bench", "mean_ns", "samples"}` objects, rewritten after
+//! each benchmark so a timed-out run still leaves a valid partial file.
 
 use std::time::Instant;
 
@@ -22,19 +27,21 @@ impl Criterion {
         println!("group: {name}");
         BenchmarkGroup {
             _criterion: self,
+            group: name.to_owned(),
             sample_size: 10,
         }
     }
 
     /// Run a single stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
-        run_one(name, 10, f);
+        run_one(None, name, 10, f);
     }
 }
 
 /// A group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    group: String,
     sample_size: usize,
 }
 
@@ -47,7 +54,7 @@ impl BenchmarkGroup<'_> {
 
     /// Run one benchmark in the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(name, self.sample_size, f);
+        run_one(Some(&self.group), name, self.sample_size, f);
         self
     }
 
@@ -55,7 +62,7 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, name: &str, sample_size: usize, mut f: F) {
     let mut bencher = Bencher {
         iterations: sample_size,
         nanos: 0,
@@ -63,6 +70,68 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
     f(&mut bencher);
     let mean = bencher.nanos / bencher.iterations.max(1) as u128;
     println!("  {name:<40} {mean:>12} ns/iter ({sample_size} samples)");
+    checkpoint::record(group, name, mean, sample_size);
+}
+
+/// The `BENCH_JSON` machine-readable checkpoint.
+mod checkpoint {
+    use std::sync::Mutex;
+
+    struct Record {
+        group: Option<String>,
+        bench: String,
+        mean_ns: u128,
+        samples: usize,
+    }
+
+    static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+    /// Append one measurement and rewrite the checkpoint file, if
+    /// `BENCH_JSON` names one. Rewriting per record keeps the file a valid
+    /// JSON array even when the bench run is killed by a CI timeout.
+    pub fn record(group: Option<&str>, bench: &str, mean_ns: u128, samples: usize) {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        let mut records = RECORDS.lock().unwrap();
+        records.push(Record {
+            group: group.map(str::to_owned),
+            bench: bench.to_owned(),
+            mean_ns,
+            samples,
+        });
+        let body: Vec<String> = records
+            .iter()
+            .map(|r| {
+                let group = match &r.group {
+                    Some(g) => format!("\"{}\"", escape(g)),
+                    None => "null".to_owned(),
+                };
+                format!(
+                    "  {{\"group\": {group}, \"bench\": \"{}\", \"mean_ns\": {}, \"samples\": {}}}",
+                    escape(&r.bench),
+                    r.mean_ns,
+                    r.samples
+                )
+            })
+            .collect();
+        let json = format!("[\n{}\n]\n", body.join(",\n"));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write BENCH_JSON checkpoint {path}: {e}");
+        }
+    }
+
+    fn escape(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                '\n' => vec!['\\', 'n'],
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
 }
 
 /// Passed to the closure of `bench_function`; `iter` times the routine.
@@ -108,4 +177,24 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn checkpoint_files_are_valid_json_arrays() {
+        let path = std::env::temp_dir().join("criterion-shim-checkpoint-test.json");
+        std::env::set_var("BENCH_JSON", &path);
+        super::checkpoint::record(Some("group \"a\""), "bench\none", 1234, 10);
+        super::checkpoint::record(None, "standalone", 56, 3);
+        std::env::remove_var("BENCH_JSON");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(json.starts_with("[\n"), "{json}");
+        assert!(json.ends_with("]\n"), "{json}");
+        assert!(json.contains("\"group\": \"group \\\"a\\\"\""), "{json}");
+        assert!(json.contains("\"bench\": \"bench\\none\""), "{json}");
+        assert!(json.contains("\"mean_ns\": 1234"), "{json}");
+        assert!(json.contains("\"group\": null"), "{json}");
+    }
 }

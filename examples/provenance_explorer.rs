@@ -69,8 +69,8 @@ fn show(title: &str, source: &str) {
     }
     let classes = matrix.agreement_classes();
     println!("  -> {} agreement class(es):", classes.len());
-    for (models, _) in classes {
-        println!("     {{{}}}", models.join(", "));
+    for class in classes {
+        println!("     {{{}}}", class.models.join(", "));
     }
     println!();
 }

@@ -116,3 +116,52 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Totality of the bounded executor: every generated program, under every
+    /// named model and a tight resource budget, yields a structured
+    /// `ExecResult` — no panic escapes the run and no budget overrun aborts
+    /// it. Budget exhaustion must surface as `Timeout`/`ResourceExhausted`,
+    /// and an `EngineFault` can never be produced by the driver itself.
+    #[test]
+    fn every_named_model_is_total_under_tight_budgets(seed in 0u64..500) {
+        use cerberus::pipeline::Session;
+        use cerberus_exec::driver::ExecMode;
+        use cerberus_memory::limits::ResourceLimits;
+
+        let program = generate(seed, GenConfig::small());
+        let source = cerberus_gen::to_c_source(&program);
+        let session = Session::default();
+        let artifact = session
+            .elaborate(&source)
+            .expect("generated programs are well-formed");
+        let limits = ResourceLimits::with_steps(200_000)
+            .with_wall_clock_ms(10_000)
+            .with_heap_bytes(1 << 20)
+            .with_max_live_allocations(4 << 10)
+            .with_call_depth(128);
+        for model in ModelConfig::all_named() {
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                artifact.execute_bounded(&model, ExecMode::Random { seed: 0 }, &limits)
+            }));
+            let outcome = run.unwrap_or_else(|_| {
+                panic!(
+                    "seed {seed}: model {} panicked instead of returning a structured result",
+                    model.name
+                )
+            });
+            prop_assert!(
+                !outcome.outcomes.is_empty(),
+                "seed {seed}: model {} produced no outcome",
+                model.name
+            );
+            prop_assert!(
+                !outcome.is_fault(),
+                "seed {seed}: the driver fabricated an EngineFault under {}",
+                model.name
+            );
+        }
+    }
+}
