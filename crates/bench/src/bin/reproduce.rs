@@ -4,7 +4,7 @@
 //! reimplementation.
 //!
 //! Usage: `cargo run -p cerberus-bench --bin reproduce [--quick]
-//! [--models name,name,...] [--fuzz N]`
+//! [--models name,name,...] [--fuzz N] [--json] [--serve ADDR]`
 //!
 //! `--models` restricts the per-model experiments (E11/E17) to the named
 //! configurations of `ModelConfig::all_named()` — e.g.
@@ -16,16 +16,32 @@
 //! CI fuzz smoke job): every seed must end in a structured verdict — agree
 //! or budget exhaustion — and any disagreement, pipeline failure or
 //! contained engine fault makes the run exit nonzero.
+//!
+//! `--json` emits the executable experiments (E5, E11/E17, E15/E16) as one
+//! JSON document on stdout, using the same encoder the UB-oracle service's
+//! API responses use, plus the job-queue statistics of the run.
+//!
+//! `--serve ADDR` starts the UB-oracle HTTP service on `ADDR` and blocks (a
+//! shorthand for the `cerberus-serve` binary).
+//!
+//! The suite-per-model and differential experiments are routed through the
+//! work-stealing [`cerberus_queue::JobQueue`] — the same worker pool the
+//! service runs on — with tallies bit-identical to the sequential paths.
 
 use cerberus::core_lang::pretty::expr_to_string;
 use cerberus::pipeline::Session;
 use cerberus::DifferentialRunner;
 use cerberus_ast::questions::{Question, QuestionCategory};
-use cerberus_gen::{diff_one_bounded_in, generate, run_differential, DiffOutcome, GenConfig};
-use cerberus_litmus::{catalogue, check, run_suite, Verdict};
+use cerberus_gen::{
+    diff_one_bounded_in, generate, run_differential_queued, DiffOutcome, DiffSummary, GenConfig,
+};
+use cerberus_litmus::{catalogue, check, run_suite_queued, Verdict};
 use cerberus_memory::cheri;
 use cerberus_memory::config::{ModelConfig, ToolProfile};
 use cerberus_memory::value::Provenance;
+use cerberus_queue::JobQueue;
+use cerberus_server::json::Json;
+use cerberus_server::render;
 use cerberus_survey as survey;
 
 fn heading(id: &str, title: &str) {
@@ -148,13 +164,123 @@ fn fuzz_smoke(count: usize) -> ! {
     std::process::exit(if bad > 0 { 1 } else { 0 });
 }
 
+/// The `--serve ADDR` target, if the flag is present.
+fn serve_addr(args: &[String]) -> Option<String> {
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(addr) = arg.strip_prefix("--serve=") {
+            return Some(addr.to_owned());
+        }
+        if arg == "--serve" {
+            match args.get(i + 1) {
+                Some(addr) if !addr.starts_with("--") => return Some(addr.clone()),
+                _ => {
+                    eprintln!("error: --serve requires a HOST:PORT address");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Run the UB-oracle service in the foreground (the `--serve` mode).
+fn serve_forever(addr: &str) -> ! {
+    let server = cerberus_server::serve(addr, cerberus_server::ServerConfig::default())
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot serve on {addr}: {e}");
+            std::process::exit(2);
+        });
+    println!(
+        "reproduce: UB-oracle service on {} ({} workers); POST /api/v0/submit",
+        server.local_addr(),
+        server.queue().worker_count()
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+fn diff_summary_to_json(summary: &DiffSummary) -> Json {
+    Json::obj([
+        ("agree", Json::Int(summary.agree as i128)),
+        ("disagree", Json::Int(summary.disagree as i128)),
+        ("timeout", Json::Int(summary.timeout as i128)),
+        ("failed", Json::Int(summary.failed as i128)),
+        ("faulted", Json::Int(summary.faulted as i128)),
+        ("total", Json::Int(summary.total as i128)),
+    ])
+}
+
+/// The `--json` report: the executable experiments rendered with the same
+/// encoder the service's API uses, plus the queue statistics of this run.
+/// Returns the document and the number of contained engine faults (the
+/// exit-status signal, matching the text mode).
+fn json_report(queue: &JobQueue, models: &[ModelConfig], quick: bool) -> (Json, usize) {
+    let mut engine_faults = 0usize;
+    let suite = catalogue();
+    let dr260 = suite
+        .iter()
+        .find(|t| t.name == "provenance_basic_global_xy")
+        .expect("test exists");
+    let matrix = DifferentialRunner::new(vec![
+        ModelConfig::concrete(),
+        ModelConfig::de_facto(),
+        ModelConfig::gcc_like(),
+    ])
+    .run(&cerberus_litmus::elaborate(dr260));
+
+    let litmus: Vec<Json> = models
+        .iter()
+        .map(|model| {
+            let summary = run_suite_queued(queue, model);
+            engine_faults += summary.faulted;
+            render::suite_summary_to_json(&summary)
+        })
+        .collect();
+
+    let (small_n, large_n) = if quick { (25, 5) } else { (200, 40) };
+    let small = run_differential_queued(queue, small_n, GenConfig::small(), 2_000_000);
+    let large = run_differential_queued(
+        queue,
+        large_n,
+        GenConfig::large(),
+        if quick { 200_000 } else { 1_000_000 },
+    );
+    engine_faults += small.faulted + large.faulted;
+
+    let document = Json::obj([
+        ("e5_dr260", render::matrix_to_json(&matrix)),
+        ("e11_e17_litmus", Json::Arr(litmus)),
+        ("e15_small", diff_summary_to_json(&small)),
+        ("e16_large", diff_summary_to_json(&large)),
+        ("queue", render::queue_stats_to_json(&queue.stats())),
+    ]);
+    (document, engine_faults)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(addr) = serve_addr(&args) {
+        serve_forever(&addr);
+    }
     if let Some(count) = fuzz_count(&args) {
         fuzz_smoke(count);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let models = selected_models(&args);
+    // The worker pool shared by the queued experiments (E11/E17, E15/E16).
+    let queue = JobQueue::start(
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(2),
+    );
+
+    if args.iter().any(|a| a == "--json") {
+        let (document, engine_faults) = json_report(&queue, &models, quick);
+        println!("{}", document.encode());
+        queue.shutdown();
+        std::process::exit(if engine_faults > 0 { 1 } else { 0 });
+    }
 
     // E1 — survey respondent expertise.
     heading("E1", "survey respondent expertise (paper §2 table)");
@@ -254,7 +380,9 @@ fn main() {
     );
     let mut engine_faults = 0usize;
     for model in &models {
-        let summary = run_suite(model);
+        // Fanned out over the shared worker pool; tallies bit-identical to
+        // the sequential `run_suite`.
+        let summary = run_suite_queued(&queue, model);
         engine_faults += summary.faulted;
         println!(
             "  {:<16} {:>8} {:>8} {:>9}/{:<4} {:>8}",
@@ -364,13 +492,14 @@ fn main() {
         "E15",
         "differential validation on small generated programs (§6: 556/561 agree, 5 time out)",
     );
-    let small = run_differential(small_n, GenConfig::small(), 2_000_000);
+    let small = run_differential_queued(&queue, small_n, GenConfig::small(), 2_000_000);
     println!(
         "  measured: {}/{} agree, {} disagree, {} timeout, {} failed, {} faulted",
         small.agree, small.total, small.disagree, small.timeout, small.failed, small.faulted
     );
     heading("E16", "differential validation on larger generated programs (§6: 316 agree, 56 time out, 6 fail of 400)");
-    let large = run_differential(
+    let large = run_differential_queued(
+        &queue,
         large_n,
         GenConfig::large(),
         if quick { 200_000 } else { 1_000_000 },
@@ -404,6 +533,7 @@ fn main() {
     // quick mode.
     let _ = ModelConfig::tool(ToolProfile::Kcc);
 
+    queue.shutdown();
     if engine_faults > 0 {
         println!(
             "\n{engine_faults} contained engine fault(s) across the experiments — the runs \

@@ -30,6 +30,7 @@
 //! outcomes, see [`crate::differential::DifferentialRunner`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cerberus_ail::ail::AilProgram;
@@ -299,6 +300,38 @@ impl RunOutcome {
 
 // ----- the staged session ----------------------------------------------------
 
+/// Hit/miss statistics of a memoising cache (the [`Session`] artifact memo,
+/// and — by shape — the service-level result caches built on top of it).
+///
+/// A *hit* answered a lookup from the cache; a *miss* had to do the work
+/// (for the session memo: run the front end — including lookups whose
+/// elaboration then failed, since failures are not cached). `entries` is the
+/// current population, bounded by the cache's capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to do the underlying work.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups observed (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// The shared hit/miss counters behind [`Session::cache_stats`] (one pair per
+/// cache, shared — like the cache itself — by all clones of a session).
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
 /// A pipeline session: fixes the configuration, exposes the front end as
 /// explicit stages producing reusable artifacts, and memoises elaboration.
 ///
@@ -323,6 +356,7 @@ impl RunOutcome {
 pub struct Session {
     config: Config,
     cache: Arc<Mutex<HashMap<String, Elaborated>>>,
+    counters: Arc<CacheCounters>,
 }
 
 impl Session {
@@ -331,6 +365,7 @@ impl Session {
         Session {
             config,
             cache: Arc::default(),
+            counters: Arc::default(),
         }
     }
 
@@ -371,8 +406,10 @@ impl Session {
     /// lifetime. Artifacts held by callers stay alive regardless.
     pub fn elaborate(&self, source: &str) -> Result<Elaborated, PipelineError> {
         if let Some(hit) = self.cache.lock().expect("artifact cache").get(source) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.clone());
         }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let program = self.elaborate_uncached(source)?;
         let mut cache = self.cache.lock().expect("artifact cache");
         if cache.len() >= Self::CACHE_CAPACITY {
@@ -393,9 +430,25 @@ impl Session {
         Ok(self.desugar(source)?.elaborate())
     }
 
-    /// The number of elaborated artifacts currently memoised.
+    /// The number of elaborated artifacts currently memoised (the `entries`
+    /// field of [`Session::cache_stats`]).
     pub fn cached_artifacts(&self) -> usize {
         self.cache.lock().expect("artifact cache").len()
+    }
+
+    /// Hit/miss statistics of the artifact memo. Hits answered
+    /// [`Session::elaborate`] from the cache; misses ran the front end
+    /// (including calls whose elaboration then failed — failures are counted
+    /// but never cached). Counters are shared by clones of the session, like
+    /// the cache itself, and survive [`Session::clear_cache`] (which resets
+    /// only `entries`). [`Session::elaborate_uncached`] bypasses the cache
+    /// *and* the counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            entries: self.cached_artifacts(),
+        }
     }
 
     /// Drop every memoised artifact (the artifacts themselves stay alive as
@@ -1189,6 +1242,31 @@ mod tests {
         }
         // The generational clear fired: only the post-rollover entries remain.
         assert_eq!(session.cached_artifacts(), 3);
+    }
+
+    #[test]
+    fn cache_stats_count_hits_and_misses() {
+        let session = Session::default();
+        assert_eq!(session.cache_stats(), CacheStats::default());
+        let src = "int main(void) { return 4; }";
+        session.elaborate(src).unwrap();
+        session.elaborate(src).unwrap();
+        session.elaborate("int main(void) { return 5; }").unwrap();
+        let stats = session.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+        assert_eq!(stats.lookups(), 3);
+        // A failed elaboration is a miss but never an entry.
+        assert!(session.elaborate("int main(void) { return 0 }").is_err());
+        assert_eq!(session.cache_stats().misses, 3);
+        assert_eq!(session.cache_stats().entries, 2);
+        // Clones share the counters; clearing the cache resets only entries.
+        let clone = session.clone();
+        clone.clear_cache();
+        let stats = session.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 3, 0));
+        // The uncached path bypasses cache and counters alike.
+        session.elaborate_uncached(src).unwrap();
+        assert_eq!(session.cache_stats().misses, 3);
     }
 
     #[test]

@@ -526,6 +526,16 @@ pub fn diff_one_bounded_in(
         Ok(outcome) => outcome,
         Err(panic) => return DiffOutcome::Fault(cerberus::panic_payload(&*panic)),
     };
+    classify(&reference, &outcome)
+}
+
+/// Compare one observed [`RunOutcome`] against the reference result — the
+/// single [`DiffOutcome`] classifier shared by the in-thread harness and the
+/// queued harness. Contained engine panics arrive here in two shapes: the
+/// in-thread path catches the unwind itself, while the queued path receives
+/// them as [`ExecResult::EngineFault`] rows from the differential runner —
+/// both tally as [`DiffOutcome::Fault`] with the same payload.
+fn classify(reference: &Reference, outcome: &cerberus::RunOutcome) -> DiffOutcome {
     let Some(first) = outcome.outcomes.first() else {
         return DiffOutcome::Failure("no outcome produced".into());
     };
@@ -542,6 +552,7 @@ pub fn diff_one_bounded_in(
             }
         }
         ExecResult::Timeout(_) | ExecResult::ResourceExhausted(_) => DiffOutcome::Timeout,
+        ExecResult::EngineFault { payload, .. } => DiffOutcome::Fault(payload.clone()),
         other => DiffOutcome::Failure(other.to_string()),
     }
 }
@@ -629,6 +640,48 @@ pub fn run_differential_parallel(
     summary
 }
 
+/// Differentially test one generated program as a queued job, and `count`
+/// programs as a fanned-out batch: the §6 fuzz harness routed through a
+/// [`cerberus_queue::JobQueue`] instead of ad-hoc scoped threads.
+///
+/// Each seed becomes one (program × concrete-model) job under exactly the
+/// mode and budget [`diff_one_in`] uses, so the per-seed [`DiffOutcome`]s —
+/// and therefore the [`DiffSummary`] — are bit-identical to
+/// [`run_differential`]'s. Engine panics arrive as contained
+/// [`ExecResult::EngineFault`] rows and tally as [`DiffSummary::faulted`];
+/// front-end rejections (impossible for the generated fragment, possible for
+/// hand-fed programs) tally as [`DiffSummary::failed`].
+pub fn run_differential_queued(
+    queue: &cerberus_queue::JobQueue,
+    count: usize,
+    config: GenConfig,
+    step_limit: u64,
+) -> DiffSummary {
+    use cerberus_queue::{Job, JobOutcome};
+    let programs: Vec<GenProgram> = (0..count as u64).map(|s| generate(s, config)).collect();
+    let ids = queue.submit_batch(programs.iter().map(|p| {
+        Job::new(to_c_source(p), vec![ModelConfig::concrete()])
+            .with_limits(ResourceLimits::with_steps(step_limit))
+    }));
+    let mut summary = DiffSummary {
+        total: count,
+        ..DiffSummary::default()
+    };
+    for (program, outcome) in programs.iter().zip(queue.wait_all(&ids)) {
+        let reference = reference_eval(program);
+        let diff = match outcome {
+            JobOutcome::Matrix(matrix) => {
+                let row = matrix.rows().first().expect("one model per job");
+                classify(&reference, &row.outcome)
+            }
+            JobOutcome::Rejected(e) => DiffOutcome::Failure(e.to_string()),
+            JobOutcome::FrontendFault(payload) => DiffOutcome::Fault(payload),
+        };
+        tally(&mut summary, diff);
+    }
+    summary
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -695,6 +748,23 @@ mod tests {
             let parallel = run_differential_parallel(12, GenConfig::small(), 2_000_000, threads);
             assert_eq!(parallel, sequential, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn queued_batches_match_the_sequential_summary() {
+        let sequential = run_differential(12, GenConfig::small(), 2_000_000);
+        let queue = cerberus_queue::JobQueue::start(4);
+        let queued = run_differential_queued(&queue, 12, GenConfig::small(), 2_000_000);
+        assert_eq!(queued, sequential);
+        // Tiny budgets classify as timeouts through the queue as well.
+        let starved = run_differential_queued(&queue, 4, GenConfig::large(), 50);
+        assert_eq!(
+            starved,
+            run_differential(4, GenConfig::large(), 50),
+            "starved batches must tally identically"
+        );
+        assert!(starved.timeout > 0, "{starved:?}");
+        queue.shutdown();
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! A program-level work-stealing job queue for differential UB exploration.
+//!
+//! The differential runner parallelises the rows of *one* outcome matrix;
+//! real workloads — the litmus catalogue, `cerberus-gen` fuzz corpora, HTTP
+//! submissions from many users — are many *(program × model-set)* pairs. This
+//! crate turns each pair into a [`Job`] and fans whole suites out across a
+//! pool of worker threads pulling from a work-stealing queue
+//! ([`JobQueue::start`]):
+//!
+//! * **one elaboration per source** — workers share one memoising
+//!   [`Session`], so every model row (and every re-submission) of a source
+//!   reuses the same `Arc`-shared `Elaborated` artifact;
+//! * **a bounded result cache** — completed jobs are memoised by
+//!   (source × models × mode × budget), so identical submissions are a
+//!   lookup, not a run ([`JobQueue::stats`] reports the hit/miss counters);
+//! * **fault containment and resource budgets per job** — every row executes
+//!   under the job's [`ResourceLimits`] with engine panics contained to
+//!   [`ExecResult::EngineFault`](cerberus_exec::driver::ExecResult) rows and
+//!   front-end panics contained to [`JobOutcome::FrontendFault`], so a
+//!   hostile submission can never take down the pool;
+//! * **deterministic results** — outcomes are recorded per [`JobId`], so a
+//!   batch read back in submission order is bit-identical to running the
+//!   jobs sequentially, regardless of how stealing interleaved them.
+//!
+//! ```
+//! use cerberus_queue::{Job, JobQueue};
+//!
+//! let queue = JobQueue::start(2);
+//! let id = queue.submit(Job::differential("int main(void) { return 42; }"));
+//! let matrix = queue.wait(id).into_matrix().expect("well-formed program");
+//! assert!(matrix.all_agree());
+//! queue.shutdown();
+//! ```
+//!
+//! The HTTP service in `cerberus-server` exposes this queue over versioned
+//! routes; `cerberus-litmus` (`run_suite_queued`) and `cerberus-gen`
+//! (`run_differential_queued`) re-route the existing suite and fuzz paths
+//! through it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use cerberus::pipeline::{CacheStats, Config, Session};
+use cerberus::{DifferentialRunner, OutcomeMatrix, PipelineError};
+use cerberus_exec::driver::ExecMode;
+use cerberus_memory::config::ModelConfig;
+use cerberus_memory::limits::ResourceLimits;
+
+mod pool;
+mod scheduler;
+
+pub use pool::JobQueue;
+
+/// Identifier of a submitted job, unique within one [`JobQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One unit of work: run one C program under a set of memory models with an
+/// exploration mode and a per-execution resource budget.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The C source to run.
+    pub source: String,
+    /// The memory models to execute under (one matrix row each).
+    pub models: Vec<ModelConfig>,
+    /// The exploration mode for every row.
+    pub mode: ExecMode,
+    /// The per-execution resource budget for every row.
+    pub limits: ResourceLimits,
+}
+
+impl Job {
+    /// A job over the given models, with the default exploration mode and
+    /// resource budget of [`Config::default`] — the same parameters the
+    /// sequential suite and differential paths use, which is what keeps the
+    /// queued paths bit-identical to them.
+    pub fn new(source: impl Into<String>, models: Vec<ModelConfig>) -> Self {
+        let defaults = Config::default();
+        Job {
+            source: source.into(),
+            models,
+            mode: defaults.mode,
+            limits: defaults.limits,
+        }
+    }
+
+    /// A job over every named model ([`ModelConfig::all_named`]).
+    pub fn differential(source: impl Into<String>) -> Self {
+        Job::new(source, ModelConfig::all_named())
+    }
+
+    /// Replace the per-execution resource budget.
+    pub fn with_limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Replace the exploration mode.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The result-cache key: the exact run parameters, so two jobs share a
+    /// cached result only when nothing about them could make the outcomes
+    /// differ. The source string is the same key the [`Session`] elaboration
+    /// memo uses; models contribute their full configuration (not just the
+    /// name), mode and budget their exact values.
+    pub(crate) fn cache_key(&self) -> String {
+        use std::fmt::Write as _;
+        let mut key = String::with_capacity(self.source.len() + 64);
+        key.push_str(&self.source);
+        for model in &self.models {
+            let _ = write!(key, "\u{0}{model:?}");
+        }
+        let _ = write!(key, "\u{0}{:?}\u{0}{:?}", self.mode, self.limits);
+        key
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the queue.
+    Queued,
+    /// Picked up by a worker and executing.
+    Running,
+    /// Finished with an outcome matrix ([`JobOutcome::Matrix`]).
+    Completed,
+    /// Finished without a matrix: the front end rejected the program
+    /// ([`JobOutcome::Rejected`]) or panicked ([`JobOutcome::FrontendFault`]).
+    Failed,
+}
+
+impl JobStatus {
+    /// Whether the job has finished (successfully or not).
+    pub fn is_finished(self) -> bool {
+        matches!(self, JobStatus::Completed | JobStatus::Failed)
+    }
+
+    /// The lowercase wire label used by the HTTP service.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed => "completed",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// The result of a finished job.
+///
+/// Program-level verdicts — undefined behaviour, budget exhaustion, even
+/// contained *engine* panics — all live inside the
+/// [`OutcomeMatrix`] rows of the `Matrix` variant; the other variants are
+/// reserved for programs that never reached execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The program elaborated and every model row executed (row outcomes may
+    /// still be UB verdicts, timeouts, or contained engine faults).
+    Matrix(OutcomeMatrix),
+    /// The front end rejected the program with structured diagnostics.
+    Rejected(PipelineError),
+    /// The front end panicked (a pipeline defect, not a program verdict);
+    /// the panic was contained and its payload captured.
+    FrontendFault(String),
+}
+
+impl JobOutcome {
+    /// The status this outcome implies.
+    pub fn status(&self) -> JobStatus {
+        match self {
+            JobOutcome::Matrix(_) => JobStatus::Completed,
+            JobOutcome::Rejected(_) | JobOutcome::FrontendFault(_) => JobStatus::Failed,
+        }
+    }
+
+    /// The outcome matrix, if the job completed.
+    pub fn into_matrix(self) -> Option<OutcomeMatrix> {
+        match self {
+            JobOutcome::Matrix(matrix) => Some(matrix),
+            _ => None,
+        }
+    }
+
+    /// The outcome matrix, if the job completed (by reference).
+    pub fn matrix(&self) -> Option<&OutcomeMatrix> {
+        match self {
+            JobOutcome::Matrix(matrix) => Some(matrix),
+            _ => None,
+        }
+    }
+}
+
+/// Activity counters of one pool worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker finished (cache hits included).
+    pub executed: u64,
+    /// Jobs this worker stole from another worker's deque.
+    pub stolen: u64,
+}
+
+/// A point-in-time snapshot of the queue, exposed over `GET /api/v0/stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs queued and not yet picked up by a worker.
+    pub depth: usize,
+    /// Jobs ever submitted.
+    pub submitted: u64,
+    /// Jobs ever finished (completed or failed).
+    pub completed: u64,
+    /// The bounded (job → result) cache: identical submissions resolved
+    /// without a run.
+    pub result_cache: CacheStats,
+    /// The shared session's (source → artifact) elaboration memo.
+    pub elaboration_cache: CacheStats,
+    /// Per-worker counters, in worker order.
+    pub workers: Vec<WorkerStats>,
+}
+
+/// The shared mutable state of one job: status plus (eventually) the
+/// outcome. Completion is broadcast on the owning table's condvar.
+#[derive(Debug)]
+pub(crate) struct JobEntry {
+    pub(crate) job: Arc<Job>,
+    pub(crate) status: JobStatus,
+    pub(crate) outcome: Option<JobOutcome>,
+}
+
+/// The (job id → entry) table plus the completion broadcast.
+#[derive(Debug, Default)]
+pub(crate) struct JobTable {
+    pub(crate) entries: Mutex<std::collections::HashMap<JobId, JobEntry>>,
+    pub(crate) finished: Condvar,
+}
+
+/// The bounded result cache. Like the session's elaboration memo it rolls
+/// over generationally once full, so an endless stream of distinct
+/// submissions (a fuzz corpus) stays bounded.
+#[derive(Debug, Default)]
+pub(crate) struct ResultCache {
+    entries: Mutex<std::collections::HashMap<String, JobOutcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Upper bound on memoised results; the next insert past it clears the
+    /// cache (cheap generational eviction, mirroring
+    /// [`Session::CACHE_CAPACITY`]).
+    pub(crate) const CAPACITY: usize = 256;
+
+    pub(crate) fn lookup(&self, key: &str) -> Option<JobOutcome> {
+        let found = self.entries.lock().expect("result cache").get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    pub(crate) fn insert(&self, key: String, outcome: JobOutcome) {
+        let mut entries = self.entries.lock().expect("result cache");
+        if entries.len() >= Self::CAPACITY {
+            entries.clear();
+        }
+        entries.insert(key, outcome);
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("result cache").len(),
+        }
+    }
+}
+
+/// Run one job to its outcome on the calling thread: elaborate through the
+/// shared session (memoised per source), then execute every model row
+/// sequentially — pool parallelism comes from running many *jobs* at once,
+/// and keeping a job's rows on one worker keeps the per-job work footprint
+/// predictable. Front-end panics are contained here; engine panics are
+/// contained per row by the differential runner.
+pub(crate) fn run_job(session: &Session, job: &Job) -> JobOutcome {
+    let elaborated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        session.elaborate(&job.source)
+    }));
+    let elaborated = match elaborated {
+        Ok(Ok(program)) => program,
+        Ok(Err(error)) => return JobOutcome::Rejected(error),
+        Err(panic) => return JobOutcome::FrontendFault(cerberus::panic_payload(&*panic)),
+    };
+    let runner = DifferentialRunner::new(job.models.clone())
+        .with_mode(job.mode)
+        .with_limits(job.limits.clone());
+    JobOutcome::Matrix(runner.run_sequential(&elaborated))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerberus_exec::driver::ExecResult;
+
+    fn return_n(n: u32) -> String {
+        format!("int main(void) {{ return {n}; }}")
+    }
+
+    #[test]
+    fn jobs_carry_the_sequential_defaults() {
+        let job = Job::new(return_n(0), vec![ModelConfig::concrete()]);
+        let defaults = Config::default();
+        assert_eq!(job.mode, defaults.mode);
+        assert_eq!(job.limits, defaults.limits);
+        assert_eq!(Job::differential(return_n(0)).models.len(), 10);
+    }
+
+    #[test]
+    fn cache_keys_separate_every_run_parameter() {
+        let base = Job::new(return_n(1), vec![ModelConfig::concrete()]);
+        assert_eq!(base.cache_key(), base.clone().cache_key());
+        let other_source = Job::new(return_n(2), vec![ModelConfig::concrete()]);
+        let other_models = Job::new(return_n(1), vec![ModelConfig::symbolic()]);
+        let other_mode = base.clone().with_mode(ExecMode::Random { seed: 9 });
+        let other_limits = base.clone().with_limits(ResourceLimits::with_steps(7));
+        for different in [&other_source, &other_models, &other_mode, &other_limits] {
+            assert_ne!(base.cache_key(), different.cache_key());
+        }
+    }
+
+    #[test]
+    fn run_job_produces_a_matrix_in_model_order() {
+        let session = Session::default();
+        let job = Job::new(
+            return_n(42),
+            vec![ModelConfig::concrete(), ModelConfig::symbolic()],
+        );
+        let outcome = run_job(&session, &job);
+        assert_eq!(outcome.status(), JobStatus::Completed);
+        let matrix = outcome.into_matrix().unwrap();
+        let names: Vec<_> = matrix.rows().iter().map(|r| r.model).collect();
+        assert_eq!(names, vec!["concrete", "symbolic"]);
+        assert_eq!(
+            matrix.outcome_for("concrete").unwrap().exit_value(),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn run_job_reports_frontend_rejection_with_diagnostics() {
+        let session = Session::default();
+        let job = Job::new(
+            "int main(void) { return zz; }",
+            vec![ModelConfig::concrete()],
+        );
+        let outcome = run_job(&session, &job);
+        assert_eq!(outcome.status(), JobStatus::Failed);
+        match outcome {
+            JobOutcome::Rejected(error) => assert!(error.diagnostic_count() >= 1),
+            other => panic!("expected a rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_job_contains_engine_panics_as_fault_rows() {
+        let session = Session::default();
+        let job = Job::new(
+            return_n(1),
+            vec![ModelConfig::panicking(), ModelConfig::concrete()],
+        );
+        let outcome = run_job(&session, &job);
+        // An engine fault is still a *completed* job: the matrix carries the
+        // structured fault row next to the healthy rows.
+        assert_eq!(outcome.status(), JobStatus::Completed);
+        let matrix = outcome.into_matrix().unwrap();
+        assert_eq!(matrix.faulted_models(), vec!["panicking"]);
+        assert_eq!(
+            matrix.outcome_for("concrete").unwrap().exit_value(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn run_job_surfaces_budget_exhaustion_as_structured_rows() {
+        let session = Session::default();
+        let job = Job::new(
+            "int main(void) { int i = 0; while (i < 100000) i++; return 0; }",
+            vec![ModelConfig::concrete()],
+        )
+        .with_limits(ResourceLimits::with_steps(64));
+        let matrix = run_job(&session, &job).into_matrix().unwrap();
+        let row = matrix.outcome_for("concrete").unwrap();
+        assert!(matches!(row.outcomes[0].result, ExecResult::Timeout(_)));
+    }
+
+    #[test]
+    fn the_result_cache_is_bounded_and_counts_lookups() {
+        let cache = ResultCache::default();
+        let make = |i: usize| {
+            (
+                format!("key-{i}"),
+                JobOutcome::FrontendFault(format!("payload-{i}")),
+            )
+        };
+        for i in 0..ResultCache::CAPACITY + 3 {
+            let (key, outcome) = make(i);
+            assert!(cache.lookup(&key).is_none());
+            cache.insert(key, outcome);
+            assert!(cache.stats().entries <= ResultCache::CAPACITY);
+        }
+        // The generational clear fired; the survivors are the post-rollover
+        // entries.
+        assert_eq!(cache.stats().entries, 3);
+        let (key, _) = make(ResultCache::CAPACITY + 2);
+        assert!(cache.lookup(&key).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, (ResultCache::CAPACITY + 3) as u64);
+    }
+}

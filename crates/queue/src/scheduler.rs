@@ -1,0 +1,198 @@
+//! The work-stealing scheduler: a global injector plus one deque per worker.
+//!
+//! The shape is crossbeam's (`Injector` + per-worker `Worker`/`Stealer`
+//! deques), implemented std-only: each deque is a `Mutex<VecDeque>` whose
+//! owner pushes and pops at the *back* (LIFO — freshly dealt work stays warm)
+//! while thieves and the injector drain from the *front* (FIFO — the oldest
+//! backlog moves first, which is what keeps a suite draining in roughly
+//! submission order even when one worker is stuck behind a slow job).
+//!
+//! The scheduler is deliberately thread-free: it only moves [`JobId`]s
+//! between queues under short critical sections, so its stealing and
+//! draining semantics are unit-testable without spawning a single thread
+//! (the worker pool in [`crate::pool`] provides the threads).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::JobId;
+
+/// One worker's deque. The owner treats it as a LIFO stack; everyone else
+/// steals the oldest entry.
+#[derive(Debug, Default)]
+struct WorkDeque {
+    jobs: Mutex<VecDeque<JobId>>,
+}
+
+impl WorkDeque {
+    fn push(&self, id: JobId) {
+        self.jobs.lock().expect("worker deque").push_back(id);
+    }
+
+    /// Owner pop: newest first.
+    fn pop(&self) -> Option<JobId> {
+        self.jobs.lock().expect("worker deque").pop_back()
+    }
+
+    /// Thief pop: oldest first.
+    fn steal(&self) -> Option<JobId> {
+        self.jobs.lock().expect("worker deque").pop_front()
+    }
+}
+
+/// Per-worker activity counters, exported through
+/// [`crate::QueueStats::workers`].
+#[derive(Debug, Default)]
+pub(crate) struct WorkerCounters {
+    /// Jobs this worker ran to completion (including result-cache hits).
+    pub(crate) executed: AtomicU64,
+    /// Jobs this worker stole from another worker's deque.
+    pub(crate) stolen: AtomicU64,
+}
+
+/// The queue layer of the job system: a FIFO injector for external
+/// submissions plus one work-stealing deque per worker.
+#[derive(Debug)]
+pub(crate) struct Scheduler {
+    /// External submissions land here (FIFO).
+    injector: Mutex<VecDeque<JobId>>,
+    /// One deque per worker, for pre-dealt batches.
+    deques: Vec<WorkDeque>,
+    /// Round-robin cursor for dealing batches across the deques.
+    deal_cursor: AtomicUsize,
+    /// Jobs queued (injector + deques) and not yet taken by any worker.
+    pending: AtomicUsize,
+    /// Per-worker counters, indexed like `deques`.
+    pub(crate) counters: Vec<WorkerCounters>,
+}
+
+impl Scheduler {
+    pub(crate) fn new(workers: usize) -> Self {
+        Scheduler {
+            injector: Mutex::default(),
+            deques: (0..workers).map(|_| WorkDeque::default()).collect(),
+            deal_cursor: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            counters: (0..workers).map(|_| WorkerCounters::default()).collect(),
+        }
+    }
+
+    /// Number of jobs queued and not yet picked up by a worker.
+    pub(crate) fn depth(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Enqueue one external submission on the shared injector.
+    pub(crate) fn inject(&self, id: JobId) {
+        self.injector.lock().expect("injector").push_back(id);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Deal one job of a batch onto the next worker's deque (round-robin), so
+    /// a suite submission starts out evenly spread and stealing only has to
+    /// correct the imbalance slow jobs introduce.
+    pub(crate) fn deal(&self, id: JobId) {
+        let slot = self.deal_cursor.fetch_add(1, Ordering::Relaxed) % self.deques.len();
+        self.deques[slot].push(id);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Take the next job for `worker`: its own deque first (LIFO), then the
+    /// injector (FIFO), then a steal sweep over the other workers' deques
+    /// starting at its right-hand neighbour (FIFO per victim). Updates the
+    /// steal counter when the job came from a victim.
+    pub(crate) fn take(&self, worker: usize) -> Option<JobId> {
+        let found = self.deques[worker].pop().or_else(|| {
+            self.injector
+                .lock()
+                .expect("injector")
+                .pop_front()
+                .or_else(|| {
+                    let n = self.deques.len();
+                    (1..n)
+                        .map(|offset| (worker + offset) % n)
+                        .find_map(|victim| self.deques[victim].steal())
+                        .inspect(|_| {
+                            self.counters[worker].stolen.fetch_add(1, Ordering::Relaxed);
+                        })
+                })
+        });
+        if found.is_some() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(ids: &[u64]) -> Vec<JobId> {
+        ids.iter().copied().map(JobId).collect()
+    }
+
+    #[test]
+    fn owner_pops_lifo_thieves_steal_fifo() {
+        let s = Scheduler::new(2);
+        for id in ids(&[1, 2, 3]) {
+            s.deques[0].push(id);
+        }
+        s.pending.store(3, Ordering::SeqCst);
+        // Owner sees the newest job first...
+        assert_eq!(s.take(0), Some(JobId(3)));
+        // ...while the thief drains the victim's oldest backlog.
+        assert_eq!(s.take(1), Some(JobId(1)));
+        assert_eq!(s.counters[1].stolen.load(Ordering::Relaxed), 1);
+        assert_eq!(s.counters[0].stolen.load(Ordering::Relaxed), 0);
+        assert_eq!(s.take(0), Some(JobId(2)));
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.take(0), None);
+        assert_eq!(s.take(1), None);
+    }
+
+    #[test]
+    fn injector_serves_all_workers_fifo_without_counting_as_theft() {
+        let s = Scheduler::new(3);
+        for id in ids(&[10, 11, 12]) {
+            s.inject(id);
+        }
+        assert_eq!(s.depth(), 3);
+        assert_eq!(s.take(2), Some(JobId(10)));
+        assert_eq!(s.take(0), Some(JobId(11)));
+        assert_eq!(s.take(1), Some(JobId(12)));
+        for counters in &s.counters {
+            assert_eq!(counters.stolen.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn dealing_spreads_round_robin_and_own_work_wins_over_stealing() {
+        let s = Scheduler::new(2);
+        for id in ids(&[1, 2, 3, 4]) {
+            s.deal(id);
+        }
+        // Round-robin: worker 0 holds {1, 3}, worker 1 holds {2, 4}.
+        assert_eq!(s.depth(), 4);
+        // Each worker prefers its own (newest) job over stealing.
+        assert_eq!(s.take(0), Some(JobId(3)));
+        assert_eq!(s.take(1), Some(JobId(4)));
+        assert_eq!(s.take(0), Some(JobId(1)));
+        assert_eq!(s.take(1), Some(JobId(2)));
+        assert_eq!(s.counters[0].stolen.load(Ordering::Relaxed), 0);
+        assert_eq!(s.counters[1].stolen.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn steal_sweep_starts_at_the_right_hand_neighbour() {
+        let s = Scheduler::new(3);
+        s.deques[1].push(JobId(21));
+        s.deques[2].push(JobId(22));
+        s.pending.store(2, Ordering::SeqCst);
+        // Worker 0 sweeps victims 1 then 2.
+        assert_eq!(s.take(0), Some(JobId(21)));
+        assert_eq!(s.take(0), Some(JobId(22)));
+        assert_eq!(s.counters[0].stolen.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,533 @@
+//! The UB-oracle service: a std-only HTTP/1.1 front door over the
+//! [`cerberus_queue::JobQueue`] worker pool.
+//!
+//! A client POSTs a C translation unit; the service enqueues one
+//! (program × model-set) job on the work-stealing pool, answers immediately
+//! with a job id, and serves the §3-style outcome matrix once the workers
+//! finish. Everything is hand-rolled on `std::net` — the build environment is
+//! offline, so there is no HTTP framework, no async runtime, and no JSON
+//! dependency (see [`json`]).
+//!
+//! # Routes (versioned under `/api/v0`)
+//!
+//! | Route | Effect |
+//! |---|---|
+//! | `POST /api/v0/submit` | Enqueue a job; `202` with `{"job", "status", "poll"}` |
+//! | `GET /api/v0/jobs/{id}` | Job status, plus the result document when finished |
+//! | `GET /api/v0/models` | The named memory object models the service runs |
+//! | `GET /api/v0/stats` | Queue depth, cache hit/miss counters, per-worker activity |
+//!
+//! The submit body is a JSON object: `{"source": "<C source>"}` plus optional
+//! `"models"` (array of model names; defaults to every named model),
+//! `"steps"` (interpreter step budget), `"wall_clock_ms"` (watchdog) and
+//! `"seed"` (random-exploration seed). Engine panics never kill the service:
+//! they surface as `engine-fault` rows in the matrix (contained by the
+//! differential runner), and front-end panics as a `failed` job with the
+//! captured payload.
+//!
+//! ```no_run
+//! let server = cerberus_server::serve("127.0.0.1:0", Default::default()).unwrap();
+//! let addr = server.local_addr();
+//! let (status, body) = cerberus_server::client::http_request(
+//!     &addr.to_string(),
+//!     "POST",
+//!     "/api/v0/submit",
+//!     Some(r#"{"source": "int main(void) { return 42; }"}"#),
+//! )
+//! .unwrap();
+//! assert_eq!(status, 202);
+//! assert!(body.get("poll").is_some());
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod render;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use cerberus_memory::{ModelConfig, ResourceLimits};
+use cerberus_queue::{Job, JobId, JobOutcome, JobQueue, JobStatus};
+
+use http::{read_request, write_response, Request};
+use json::Json;
+
+/// How the service is provisioned.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads in the job pool.
+    pub workers: usize,
+    /// The resource budget applied to submissions that do not override it.
+    pub default_limits: ResourceLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(2),
+            default_limits: ResourceLimits::default(),
+        }
+    }
+}
+
+/// A running service: the bound address, the accept loop, and the pool.
+///
+/// Dropping the handle shuts the service down (idempotently); call
+/// [`Server::shutdown`] to do so explicitly.
+pub struct Server {
+    local_addr: SocketAddr,
+    queue: Arc<JobQueue>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// The address the listener actually bound (resolves `:0` requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The underlying job queue (for in-process inspection in tests).
+    pub fn queue(&self) -> &JobQueue {
+        &self.queue
+    }
+
+    /// Stop accepting connections and drain the pool. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        self.queue.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:8080"`, or port `0` for an ephemeral port)
+/// and serve the API until [`Server::shutdown`].
+pub fn serve(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    // Non-blocking accept so the loop can observe the stop flag promptly.
+    listener.set_nonblocking(true)?;
+    let queue = Arc::new(JobQueue::start(config.workers.max(1)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        let default_limits = config.default_limits.clone();
+        std::thread::Builder::new()
+            .name("cerberus-serve-accept".to_owned())
+            .spawn(move || accept_loop(listener, queue, default_limits, stop))?
+    };
+    Ok(Server {
+        local_addr,
+        queue,
+        stop,
+        accept_thread: Mutex::new(Some(accept_thread)),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    queue: Arc<JobQueue>,
+    default_limits: ResourceLimits,
+    stop: Arc<AtomicBool>,
+) {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let queue = Arc::clone(&queue);
+                let limits = default_limits.clone();
+                let handle = std::thread::Builder::new()
+                    .name("cerberus-serve-conn".to_owned())
+                    .spawn(move || handle_connection(stream, &queue, &limits));
+                match handle {
+                    Ok(handle) => connections.push(handle),
+                    Err(_) => continue, // thread spawn failed; drop the connection
+                }
+                connections.retain(|c| !c.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    for connection in connections {
+        let _ = connection.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, queue: &JobQueue, limits: &ResourceLimits) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let (status, body) = match read_request(&mut stream) {
+        Ok(request) => handle_request(queue, limits, &request),
+        Err(failure) => match http::error_status(&failure) {
+            Some((status, _)) => (status, error_body(&format!("{failure:?}"))),
+            None => return, // peer went away before sending a request
+        },
+    };
+    let _ = write_response(
+        &mut stream,
+        status,
+        http::reason_phrase(status),
+        "application/json",
+        body.encode().as_bytes(),
+    );
+}
+
+/// Dispatch one parsed request to its route. Pure apart from the queue —
+/// exercised directly by unit tests without a socket.
+pub fn handle_request(
+    queue: &JobQueue,
+    default_limits: &ResourceLimits,
+    request: &Request,
+) -> (u16, Json) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/api/v0/submit") => submit_route(queue, default_limits, &request.body),
+        ("GET", "/api/v0/models") => models_route(),
+        ("GET", "/api/v0/stats") => (200, render::queue_stats_to_json(&queue.stats())),
+        ("GET", path) if path.starts_with("/api/v0/jobs/") => {
+            job_route(queue, &path["/api/v0/jobs/".len()..])
+        }
+        ("GET", "/" | "/api/v0") => index_route(),
+        (_, "/api/v0/submit" | "/api/v0/models" | "/api/v0/stats") => {
+            (405, error_body("method not allowed"))
+        }
+        _ => (404, error_body("no such route")),
+    }
+}
+
+fn index_route() -> (u16, Json) {
+    let routes = [
+        "POST /api/v0/submit",
+        "GET /api/v0/jobs/{id}",
+        "GET /api/v0/models",
+        "GET /api/v0/stats",
+    ];
+    (
+        200,
+        Json::obj([
+            ("service", Json::str("cerberus ub-oracle")),
+            ("api", Json::str("v0")),
+            (
+                "routes",
+                Json::Arr(routes.iter().map(|r| Json::str(*r)).collect()),
+            ),
+        ]),
+    )
+}
+
+fn models_route() -> (u16, Json) {
+    let names = ModelConfig::all_named()
+        .iter()
+        .map(|m| Json::str(m.name))
+        .collect();
+    (
+        200,
+        Json::obj([
+            ("models", Json::Arr(names)),
+            // Accepted by `submit` for fault-containment drills, but not part
+            // of the default differential set.
+            ("fault_injection", Json::Arr(vec![Json::str("panicking")])),
+        ]),
+    )
+}
+
+/// A model name accepted by the submit route. `panicking` is deliberately
+/// admitted (it is not in [`ModelConfig::all_named`]) so clients can drive
+/// the fault-containment path end to end.
+fn model_by_name(name: &str) -> Option<ModelConfig> {
+    match name {
+        "panicking" => Some(ModelConfig::panicking()),
+        _ => ModelConfig::by_name(name),
+    }
+}
+
+fn submit_route(queue: &JobQueue, default_limits: &ResourceLimits, body: &[u8]) -> (u16, Json) {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return (400, error_body("body is not UTF-8")),
+    };
+    let document = match Json::parse(text) {
+        Ok(document) => document,
+        Err(e) => return (400, error_body(&format!("body is not JSON: {e}"))),
+    };
+    let Some(source) = document.get("source").and_then(Json::as_str) else {
+        return (400, error_body("missing required string member \"source\""));
+    };
+    let models = match document.get("models") {
+        None => ModelConfig::all_named(),
+        Some(Json::Arr(names)) if !names.is_empty() => {
+            let mut models = Vec::with_capacity(names.len());
+            for name in names {
+                let Some(name) = name.as_str() else {
+                    return (400, error_body("\"models\" must be an array of strings"));
+                };
+                match model_by_name(name) {
+                    Some(model) => models.push(model),
+                    None => {
+                        let known: Vec<Json> = ModelConfig::all_named()
+                            .iter()
+                            .map(|m| Json::str(m.name))
+                            .collect();
+                        return (
+                            400,
+                            Json::obj([
+                                ("error", Json::str(format!("unknown model {name:?}"))),
+                                ("known_models", Json::Arr(known)),
+                            ]),
+                        );
+                    }
+                }
+            }
+            models
+        }
+        Some(_) => {
+            return (
+                400,
+                error_body("\"models\" must be a non-empty array of model names"),
+            )
+        }
+    };
+    let mut limits = default_limits.clone();
+    if let Some(steps) = document.get("steps") {
+        match steps.as_int() {
+            Some(steps) if steps > 0 => limits.steps = steps.min(u64::MAX as i128) as u64,
+            _ => return (400, error_body("\"steps\" must be a positive integer")),
+        }
+    }
+    if let Some(ms) = document.get("wall_clock_ms") {
+        match ms.as_int() {
+            Some(ms) if ms > 0 => limits.wall_clock_ms = Some(ms.min(u64::MAX as i128) as u64),
+            _ => {
+                return (
+                    400,
+                    error_body("\"wall_clock_ms\" must be a positive integer"),
+                )
+            }
+        }
+    }
+    let mut job = Job::new(source, models).with_limits(limits);
+    if let Some(seed) = document.get("seed") {
+        match seed.as_int() {
+            Some(seed) if seed >= 0 => {
+                job = job.with_mode(cerberus::exec::ExecMode::Random {
+                    seed: seed.min(u64::MAX as i128) as u64,
+                });
+            }
+            _ => return (400, error_body("\"seed\" must be a non-negative integer")),
+        }
+    }
+    // A submission racing queue shutdown panics in `submit`; contain it and
+    // answer 500 instead of silently dropping the connection.
+    let id = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| queue.submit(job))) {
+        Ok(id) => id,
+        Err(_) => return (500, error_body("service is shutting down")),
+    };
+    (
+        202,
+        Json::obj([
+            ("job", Json::Int(i128::from(id.0))),
+            ("status", Json::str(JobStatus::Queued.label())),
+            ("poll", Json::str(format!("/api/v0/jobs/{id}"))),
+        ]),
+    )
+}
+
+fn job_route(queue: &JobQueue, id_text: &str) -> (u16, Json) {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return (400, error_body("job ids are integers"));
+    };
+    let id = JobId(id);
+    let Some(status) = queue.status(id) else {
+        return (404, error_body(&format!("unknown job {id}")));
+    };
+    let mut members = vec![
+        ("job".to_owned(), Json::Int(i128::from(id.0))),
+        ("status".to_owned(), Json::str(status.label())),
+    ];
+    if let Some(outcome) = queue.outcome(id) {
+        match outcome {
+            JobOutcome::Matrix(matrix) => {
+                members.push(("result".to_owned(), render::matrix_to_json(&matrix)));
+            }
+            JobOutcome::Rejected(error) => {
+                members.push(("reason".to_owned(), Json::str("rejected")));
+                members.push(("error".to_owned(), render::pipeline_error_to_json(&error)));
+            }
+            JobOutcome::FrontendFault(payload) => {
+                members.push(("reason".to_owned(), Json::str("front-end-fault")));
+                members.push(("panic".to_owned(), Json::str(payload)));
+            }
+        }
+    }
+    (200, Json::obj(members))
+}
+
+fn error_body(message: &str) -> Json {
+    Json::obj([("error", Json::str(message))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_owned(),
+            path: path.to_owned(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn routed(queue: &JobQueue, request: &Request) -> (u16, Json) {
+        handle_request(queue, &ResourceLimits::default(), request)
+    }
+
+    #[test]
+    fn submit_poll_and_stats_work_without_a_socket() {
+        let queue = JobQueue::start(2);
+        let (status, body) = routed(
+            &queue,
+            &post(
+                "/api/v0/submit",
+                r#"{"source": "int main(void) { return 42; }", "models": ["concrete", "symbolic"]}"#,
+            ),
+        );
+        assert_eq!(status, 202, "{body:?}");
+        let id = body.get("job").and_then(Json::as_int).unwrap() as u64;
+        let poll = body.get("poll").and_then(Json::as_str).unwrap().to_owned();
+        assert_eq!(poll, format!("/api/v0/jobs/{id}"));
+
+        queue.wait(JobId(id));
+        let (status, body) = routed(&queue, &get(&poll));
+        assert_eq!(status, 200);
+        assert_eq!(body.get("status").and_then(Json::as_str), Some("completed"));
+        let result = body.get("result").unwrap();
+        assert_eq!(result.get("all_agree"), Some(&Json::Bool(true)));
+
+        let (status, stats) = routed(&queue, &get("/api/v0/stats"));
+        assert_eq!(status, 200);
+        assert_eq!(stats.get("submitted").and_then(Json::as_int), Some(1));
+        queue.shutdown();
+    }
+
+    #[test]
+    fn bad_submissions_are_rejected_with_400() {
+        let queue = JobQueue::start(1);
+        for (body, needle) in [
+            ("{not json", "not JSON"),
+            (r#"{"models": ["concrete"]}"#, "source"),
+            (r#"{"source": "int main(void){}", "models": []}"#, "models"),
+            (
+                r#"{"source": "int main(void){}", "models": ["no-such"]}"#,
+                "unknown model",
+            ),
+            (r#"{"source": "int main(void){}", "steps": -3}"#, "steps"),
+            (r#"{"source": "int main(void){}", "seed": -1}"#, "seed"),
+        ] {
+            let (status, response) = routed(&queue, &post("/api/v0/submit", body));
+            assert_eq!(status, 400, "{body}");
+            let error = response.get("error").and_then(Json::as_str).unwrap();
+            assert!(error.contains(needle), "{error} should mention {needle}");
+        }
+        queue.shutdown();
+    }
+
+    #[test]
+    fn unknown_jobs_routes_and_methods_are_mapped() {
+        let queue = JobQueue::start(1);
+        assert_eq!(routed(&queue, &get("/api/v0/jobs/999")).0, 404);
+        assert_eq!(routed(&queue, &get("/api/v0/jobs/xyz")).0, 400);
+        assert_eq!(routed(&queue, &get("/nope")).0, 404);
+        assert_eq!(routed(&queue, &post("/api/v0/models", "")).0, 405);
+        assert_eq!(routed(&queue, &get("/")).0, 200);
+        let (status, body) = routed(&queue, &get("/api/v0/models"));
+        assert_eq!(status, 200);
+        let models = body.get("models").and_then(Json::as_array).unwrap();
+        assert!(models.iter().any(|m| m.as_str() == Some("concrete")));
+        assert!(models.iter().all(|m| m.as_str() != Some("panicking")));
+        queue.shutdown();
+    }
+
+    #[test]
+    fn a_rejected_program_fails_with_structured_diagnostics() {
+        let queue = JobQueue::start(1);
+        let (status, body) = routed(
+            &queue,
+            &post(
+                "/api/v0/submit",
+                r#"{"source": "int main(void) { return 1 +; }"}"#,
+            ),
+        );
+        assert_eq!(status, 202);
+        let id = body.get("job").and_then(Json::as_int).unwrap() as u64;
+        queue.wait(JobId(id));
+        let (_, body) = routed(&queue, &get(&format!("/api/v0/jobs/{id}")));
+        assert_eq!(body.get("status").and_then(Json::as_str), Some("failed"));
+        assert_eq!(body.get("reason").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(
+            body.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("syntax")
+        );
+        queue.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_model_surfaces_as_an_engine_fault_row() {
+        let queue = JobQueue::start(1);
+        let (status, body) = routed(
+            &queue,
+            &post(
+                "/api/v0/submit",
+                r#"{"source": "int main(void) { int x = 1; return x; }", "models": ["panicking", "concrete"]}"#,
+            ),
+        );
+        assert_eq!(status, 202);
+        let id = body.get("job").and_then(Json::as_int).unwrap() as u64;
+        queue.wait(JobId(id));
+        let (_, body) = routed(&queue, &get(&format!("/api/v0/jobs/{id}")));
+        assert_eq!(
+            body.get("status").and_then(Json::as_str),
+            Some("completed"),
+            "a contained engine fault still completes the job"
+        );
+        let result = body.get("result").unwrap();
+        let faulted = result
+            .get("faulted_models")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(faulted.len(), 1);
+        assert_eq!(faulted[0].as_str(), Some("panicking"));
+        // And the service can keep serving afterwards.
+        let (status, _) = routed(&queue, &get("/api/v0/stats"));
+        assert_eq!(status, 200);
+        queue.shutdown();
+    }
+}

@@ -17,6 +17,10 @@
 //!   over the memory model;
 //! * [`cerberus_litmus`] — the de facto semantic test suite;
 //! * [`cerberus_gen`] — the csmith-lite differential-testing harness;
+//! * [`cerberus_queue`] — the work-stealing job queue fanning (program ×
+//!   model-set) jobs across a worker pool;
+//! * [`cerberus_server`] — the std-only HTTP/1.1 UB-oracle service over that
+//!   pool (see `docs/SERVICE.md`);
 //! * [`cerberus_survey`] — the survey datasets and analysis.
 //!
 //! See `ARCHITECTURE.md` at the repository root for the crate map.
@@ -32,4 +36,6 @@ pub use cerberus_gen;
 pub use cerberus_litmus;
 pub use cerberus_memory;
 pub use cerberus_parser;
+pub use cerberus_queue;
+pub use cerberus_server;
 pub use cerberus_survey;

@@ -1,0 +1,181 @@
+//! End-to-end drill of the UB-oracle service: boot a real server on an
+//! ephemeral loopback port, then drive it purely through the wire protocol —
+//! submit, poll to completion, verify the memoisation cache, and confirm that
+//! faulting and over-budget submissions come back as structured rows rather
+//! than taking the service down.
+
+use std::time::Duration;
+
+use cerberus_rs::cerberus_server::client::{http_request, poll_job};
+use cerberus_rs::cerberus_server::json::Json;
+use cerberus_rs::cerberus_server::{serve, Server, ServerConfig};
+
+/// Binding loopback can be forbidden in sandboxed environments; skip (rather
+/// than fail) when the listener cannot come up at all.
+fn try_serve() -> Option<Server> {
+    match serve("127.0.0.1:0", ServerConfig::default()) {
+        Ok(server) => Some(server),
+        Err(error) => {
+            eprintln!("skipping service test: cannot bind loopback: {error}");
+            None
+        }
+    }
+}
+
+const DEADLINE: Duration = Duration::from_secs(60);
+
+fn submit_status(addr: &str, body: &str) -> u16 {
+    let (status, _) = http_request(addr, "POST", "/api/v0/submit", Some(body)).expect("submit");
+    status
+}
+
+/// Submit `body`, expect 202, poll the returned job to completion and return
+/// its final document.
+fn submit_and_wait(addr: &str, body: &str) -> Json {
+    let (status, response) =
+        http_request(addr, "POST", "/api/v0/submit", Some(body)).expect("submit");
+    assert_eq!(
+        status,
+        202,
+        "submit should be accepted: {}",
+        response.encode()
+    );
+    let id = response
+        .get("job")
+        .and_then(Json::as_int)
+        .expect("submit response carries a job id");
+    poll_job(addr, id, DEADLINE).expect("job completes before the deadline")
+}
+
+fn result_rows(document: &Json) -> &[Json] {
+    document
+        .get("result")
+        .and_then(|result| result.get("rows"))
+        .and_then(Json::as_array)
+        .expect("completed job carries result rows")
+}
+
+fn row_kinds(document: &Json) -> Vec<&str> {
+    result_rows(document)
+        .iter()
+        .filter_map(|row| row.get("outcomes").and_then(Json::as_array))
+        .flatten()
+        .filter_map(|outcome| outcome.get("kind").and_then(Json::as_str))
+        .collect()
+}
+
+#[test]
+fn the_service_answers_submissions_memoises_and_contains_faults() {
+    let Some(server) = try_serve() else { return };
+    let addr = server.local_addr().to_string();
+
+    // 1. A well-defined program agrees across models and completes.
+    let body = r#"{"source": "int main(void) { int x = 40; return x + 2; }", "models": ["concrete", "symbolic"]}"#;
+    let document = submit_and_wait(&addr, body);
+    assert_eq!(
+        document.get("status").and_then(Json::as_str),
+        Some("completed")
+    );
+    assert_eq!(
+        document
+            .get("result")
+            .and_then(|r| r.get("all_agree"))
+            .and_then(Json::as_bool),
+        Some(true),
+        "well-defined program should agree across models: {}",
+        document.encode()
+    );
+    assert!(row_kinds(&document).iter().all(|kind| *kind == "return"));
+
+    // 2. An identical resubmission is served from the result cache.
+    let _ = submit_and_wait(&addr, body);
+    let (status, stats) = http_request(&addr, "GET", "/api/v0/stats", None).expect("stats");
+    assert_eq!(status, 200);
+    let hits = stats
+        .get("result_cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_int)
+        .expect("stats carry result-cache hits");
+    assert!(
+        hits >= 1,
+        "identical resubmission should hit the cache: {}",
+        stats.encode()
+    );
+
+    // 3. A panicking engine is contained as a structured engine-fault row.
+    let fault = submit_and_wait(
+        &addr,
+        r#"{"source": "int main(void) { return 0; }", "models": ["concrete", "panicking"]}"#,
+    );
+    assert_eq!(
+        fault.get("status").and_then(Json::as_str),
+        Some("completed")
+    );
+    let kinds = row_kinds(&fault);
+    assert!(
+        kinds.contains(&"engine-fault"),
+        "panicking model should surface as an engine-fault row: {}",
+        fault.encode()
+    );
+    assert!(
+        kinds.contains(&"return"),
+        "healthy model should still complete"
+    );
+
+    // 4. An over-budget submission comes back as a resource-exhausted row.
+    let starved = r#"{"source": "int main(void) { int i; int total = 0; for (i = 0; i < 100000; i = i + 1) { total = total + i; } return 0; }", "models": ["concrete"], "steps": 16}"#;
+    let exhausted = submit_and_wait(&addr, starved);
+    let kinds = row_kinds(&exhausted);
+    assert!(
+        !kinds.is_empty()
+            && kinds
+                .iter()
+                .all(|k| *k == "resource-exhausted" || *k == "timeout"),
+        "a 16-step budget should exhaust, got: {}",
+        exhausted.encode()
+    );
+
+    // 5. A program the front end rejects yields a structured failure, not a 500.
+    let rejected = submit_and_wait(
+        &addr,
+        r#"{"source": "int main(void) { return y; }", "models": ["concrete"]}"#,
+    );
+    assert_eq!(
+        rejected.get("status").and_then(Json::as_str),
+        Some("failed")
+    );
+    assert_eq!(
+        rejected.get("reason").and_then(Json::as_str),
+        Some("rejected")
+    );
+    assert!(
+        rejected.get("error").is_some(),
+        "rejection carries the pipeline error"
+    );
+
+    // 6. Protocol errors are 4xx, and the server survives all of the above.
+    assert_eq!(submit_status(&addr, "{}"), 400, "missing source");
+    assert_eq!(
+        submit_status(
+            &addr,
+            r#"{"source": "int main(void) { return 0; }", "models": ["no-such-model"]}"#
+        ),
+        400,
+        "unknown model"
+    );
+    assert_eq!(
+        submit_status(&addr, "not json at all"),
+        400,
+        "malformed body"
+    );
+    let (status, _) = http_request(&addr, "GET", "/api/v0/jobs/999999", None).expect("unknown job");
+    assert_eq!(status, 404);
+    let (status, models) = http_request(&addr, "GET", "/api/v0/models", None).expect("models");
+    assert_eq!(status, 200);
+    assert!(models
+        .get("models")
+        .and_then(Json::as_array)
+        .is_some_and(|m| !m.is_empty()));
+
+    server.shutdown();
+}
