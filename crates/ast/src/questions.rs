@@ -123,6 +123,45 @@ impl QuestionCategory {
         }
     }
 
+    /// A short, stable, file-friendly identifier — the vocabulary of the
+    /// litmus fixture metadata headers (`// @category: <slug>`) and fixture
+    /// group directories.
+    pub fn slug(self) -> &'static str {
+        use QuestionCategory::*;
+        match self {
+            ProvenanceBasics => "provenance-basics",
+            ProvenanceViaIntegers => "provenance-via-integers",
+            MultipleProvenance => "multiple-provenance",
+            ProvenanceViaRepresentation => "provenance-via-representation",
+            ProvenanceUnionPunning => "provenance-union-punning",
+            ProvenanceViaIo => "provenance-via-io",
+            PointerStability => "pointer-stability",
+            PointerEquality => "pointer-equality",
+            PointerRelational => "pointer-relational",
+            NullPointers => "null-pointers",
+            PointerArithmetic => "pointer-arithmetic",
+            PointerCasts => "pointer-casts",
+            RelatedStructUnion => "related-struct-union",
+            PointerLifetimeEnd => "pointer-lifetime-end",
+            InvalidAccesses => "invalid-accesses",
+            TrapRepresentations => "trap-representations",
+            UnspecifiedValues => "unspecified-values",
+            Padding => "padding",
+            EffectiveTypesBasic => "effective-types-basic",
+            EffectiveTypesCharArrays => "effective-types-char-arrays",
+            EffectiveTypesSubobjects => "effective-types-subobjects",
+            Other => "other",
+        }
+    }
+
+    /// The category for a [`slug`](Self::slug), if any.
+    pub fn from_slug(slug: &str) -> Option<QuestionCategory> {
+        QuestionCategory::all()
+            .iter()
+            .copied()
+            .find(|c| c.slug() == slug)
+    }
+
     /// All categories, in the paper's order.
     pub fn all() -> &'static [QuestionCategory] {
         use QuestionCategory::*;
@@ -387,6 +426,18 @@ mod tests {
             assert!(c.paper_count() > 0);
         }
         assert_eq!(QuestionCategory::all().len(), 22);
+    }
+
+    #[test]
+    fn slugs_are_unique_and_round_trip() {
+        let mut slugs: Vec<_> = QuestionCategory::all().iter().map(|c| c.slug()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), QuestionCategory::all().len());
+        for &c in QuestionCategory::all() {
+            assert_eq!(QuestionCategory::from_slug(c.slug()), Some(c));
+        }
+        assert_eq!(QuestionCategory::from_slug("no-such-category"), None);
     }
 
     #[test]

@@ -175,6 +175,15 @@ impl UbKind {
         )
     }
 
+    /// The undefined behaviour for a [`core_name`](Self::core_name), if any —
+    /// the inverse used when parsing litmus fixture expectation files.
+    pub fn from_core_name(name: &str) -> Option<UbKind> {
+        UbKind::all()
+            .iter()
+            .copied()
+            .find(|u| u.core_name() == name)
+    }
+
     /// All catalogued undefined behaviours.
     pub fn all() -> &'static [UbKind] {
         use UbKind::*;
@@ -225,6 +234,14 @@ mod tests {
             assert!(!ub.iso_reference().is_empty());
             assert!(!ub.core_name().is_empty());
         }
+    }
+
+    #[test]
+    fn core_names_round_trip_through_from_core_name() {
+        for &ub in UbKind::all() {
+            assert_eq!(UbKind::from_core_name(ub.core_name()), Some(ub));
+        }
+        assert_eq!(UbKind::from_core_name("No_such_ub"), None);
     }
 
     #[test]

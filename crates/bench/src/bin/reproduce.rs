@@ -375,8 +375,8 @@ fn main() {
         "litmus suite verdicts per memory model / tool profile",
     );
     println!(
-        "  {:<16} {:>8} {:>8} {:>14} {:>8}",
-        "model", "flagged", "passed", "as-expected", "faulted"
+        "  {:<16} {:>8} {:>8} {:>14} {:>8} {:>8}",
+        "model", "flagged", "passed", "as-expected", "skipped", "faulted"
     );
     let mut engine_faults = 0usize;
     for model in &models {
@@ -385,12 +385,13 @@ fn main() {
         let summary = run_suite_queued(&queue, model);
         engine_faults += summary.faulted;
         println!(
-            "  {:<16} {:>8} {:>8} {:>9}/{:<4} {:>8}",
+            "  {:<16} {:>8} {:>8} {:>9}/{:<4} {:>8} {:>8}",
             summary.model,
             summary.flagged,
             summary.passed,
             summary.as_expected,
             summary.with_expectation,
+            summary.skipped_expectations,
             summary.faulted
         );
         if summary.faulted > 0 {

@@ -42,8 +42,14 @@
 
 pub mod client;
 pub mod http;
-pub mod json;
 pub mod render;
+
+/// The deterministic JSON value, encoder and decoder — re-exported from
+/// [`cerberus_wire`], the shared wire layer that also backs the litmus
+/// fixture expectation files.
+pub mod json {
+    pub use cerberus_wire::json::{Json, JsonError};
+}
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};

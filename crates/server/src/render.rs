@@ -5,56 +5,14 @@
 //! same documents.
 
 use crate::json::Json;
-use cerberus::exec::driver::ExecResult;
-use cerberus::exec::ProgramOutcome;
 use cerberus::{CacheStats, OutcomeMatrix, PipelineError, PipelineErrorKind};
 use cerberus_litmus::SuiteSummary;
 use cerberus_queue::QueueStats;
 
-/// One execution result as a tagged object: `{"kind": ..., ...}`.
-///
-/// The `kind` discriminants are the wire vocabulary: `return`, `exit`,
-/// `undef`, `error`, `timeout`, `resource-exhausted`, `engine-fault`.
-pub fn exec_result_to_json(result: &ExecResult) -> Json {
-    match result {
-        ExecResult::Return(value) => {
-            Json::obj([("kind", Json::str("return")), ("value", Json::Int(*value))])
-        }
-        ExecResult::Exit(value) => {
-            Json::obj([("kind", Json::str("exit")), ("value", Json::Int(*value))])
-        }
-        ExecResult::Undef(ub, detail) => Json::obj([
-            ("kind", Json::str("undef")),
-            ("ub", Json::str(ub.core_name())),
-            ("clause", Json::str(ub.iso_reference())),
-            ("detail", Json::str(detail)),
-        ]),
-        ExecResult::Error(detail) => {
-            Json::obj([("kind", Json::str("error")), ("detail", Json::str(detail))])
-        }
-        ExecResult::Timeout(kind) => Json::obj([
-            ("kind", Json::str("timeout")),
-            ("budget", Json::str(kind.to_string())),
-        ]),
-        ExecResult::ResourceExhausted(kind) => Json::obj([
-            ("kind", Json::str("resource-exhausted")),
-            ("budget", Json::str(kind.to_string())),
-        ]),
-        ExecResult::EngineFault { model, payload } => Json::obj([
-            ("kind", Json::str("engine-fault")),
-            ("model", Json::str(model)),
-            ("payload", Json::str(payload)),
-        ]),
-    }
-}
-
-fn program_outcome_to_json(outcome: &ProgramOutcome) -> Json {
-    let mut object = exec_result_to_json(&outcome.result);
-    if let Json::Obj(fields) = &mut object {
-        fields.insert("stdout".to_owned(), Json::str(&outcome.stdout));
-    }
-    object
-}
+// The per-execution wire shape lives in `cerberus-wire` (the litmus fixture
+// expectation files are built from the same functions); re-exported here so
+// the service keeps one renderer surface.
+pub use cerberus_wire::outcome::{exec_result_to_json, program_outcome_to_json};
 
 /// A §3-style outcome matrix: per-model rows plus the derived agreement
 /// summary.
@@ -141,6 +99,10 @@ pub fn suite_summary_to_json(summary: &SuiteSummary) -> Json {
         (
             "with_expectation",
             Json::Int(summary.with_expectation as i128),
+        ),
+        (
+            "skipped_expectations",
+            Json::Int(summary.skipped_expectations as i128),
         ),
         ("faulted", Json::Int(summary.faulted as i128)),
         ("total", Json::Int(summary.total as i128)),

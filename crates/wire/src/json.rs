@@ -140,6 +140,50 @@ impl Json {
         }
     }
 
+    /// Encode to human-readable JSON text (two-space indent, sorted keys, a
+    /// trailing newline) — the format of committed golden files, chosen so
+    /// `git diff` over a fixture expectation reads one cell per line.
+    pub fn encode_pretty(&self) -> String {
+        let mut out = String::new();
+        self.encode_pretty_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn encode_pretty_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(elements) if !elements.is_empty() => {
+                out.push_str("[\n");
+                for (i, element) in elements.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&"  ".repeat(indent + 1));
+                    element.encode_pretty_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&"  ".repeat(indent + 1));
+                    encode_string(key, out);
+                    out.push_str(": ");
+                    value.encode_pretty_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+            other => other.encode_into(out),
+        }
+    }
+
     /// Decode JSON text. Trailing non-whitespace is an error.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut parser = Parser {
@@ -499,6 +543,22 @@ mod tests {
         assert!(Json::parse(&deep).is_err());
         let ok = "[".repeat(30) + &"]".repeat(30);
         assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn pretty_encoding_round_trips_and_is_line_oriented() {
+        let value = Json::obj([
+            ("matrix", Json::obj([("concrete", Json::Int(1))])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::obj::<String>([])),
+            ("list", Json::Arr(vec![Json::Int(1), Json::str("x")])),
+        ]);
+        let pretty = value.encode_pretty();
+        assert!(pretty.ends_with("}\n"));
+        assert!(pretty.contains("\"concrete\": 1"));
+        assert!(pretty.contains("\"empty_arr\": []"));
+        assert!(pretty.contains("\"empty_obj\": {}"));
+        assert_eq!(Json::parse(&pretty).unwrap(), value);
     }
 
     #[test]

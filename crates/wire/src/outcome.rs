@@ -1,0 +1,109 @@
+//! The wire shape of a single execution result — shared by the HTTP
+//! service's matrix renderer and the litmus fixture expectation files, so a
+//! `.expect` cell and a `/api/v0/jobs/{id}` row are byte-identical for the
+//! same behaviour.
+
+use crate::json::Json;
+use cerberus_exec::driver::{ExecResult, ProgramOutcome};
+
+/// The `kind` discriminant tag an [`ExecResult`] renders under — the wire
+/// vocabulary: `return`, `exit`, `undef`, `error`, `timeout`,
+/// `resource-exhausted`, `engine-fault`.
+pub fn exec_result_kind(result: &ExecResult) -> &'static str {
+    match result {
+        ExecResult::Return(_) => "return",
+        ExecResult::Exit(_) => "exit",
+        ExecResult::Undef(..) => "undef",
+        ExecResult::Error(_) => "error",
+        ExecResult::Timeout(_) => "timeout",
+        ExecResult::ResourceExhausted(_) => "resource-exhausted",
+        ExecResult::EngineFault { .. } => "engine-fault",
+    }
+}
+
+/// One execution result as a tagged object: `{"kind": ..., ...}`.
+pub fn exec_result_to_json(result: &ExecResult) -> Json {
+    let kind = ("kind", Json::str(exec_result_kind(result)));
+    match result {
+        ExecResult::Return(value) | ExecResult::Exit(value) => {
+            Json::obj([kind, ("value", Json::Int(*value))])
+        }
+        ExecResult::Undef(ub, detail) => Json::obj([
+            kind,
+            ("ub", Json::str(ub.core_name())),
+            ("clause", Json::str(ub.iso_reference())),
+            ("detail", Json::str(detail)),
+        ]),
+        ExecResult::Error(detail) => Json::obj([kind, ("detail", Json::str(detail))]),
+        ExecResult::Timeout(budget) => Json::obj([kind, ("budget", Json::str(budget.to_string()))]),
+        ExecResult::ResourceExhausted(budget) => {
+            Json::obj([kind, ("budget", Json::str(budget.to_string()))])
+        }
+        ExecResult::EngineFault { model, payload } => Json::obj([
+            kind,
+            ("model", Json::str(model)),
+            ("payload", Json::str(payload)),
+        ]),
+    }
+}
+
+/// One program outcome: the execution result plus the captured stdout.
+pub fn program_outcome_to_json(outcome: &ProgramOutcome) -> Json {
+    let mut object = exec_result_to_json(&outcome.result);
+    if let Json::Obj(fields) = &mut object {
+        fields.insert("stdout".to_owned(), Json::str(&outcome.stdout));
+    }
+    object
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerberus_ast::ub::UbKind;
+
+    #[test]
+    fn every_kind_tag_matches_its_rendered_object() {
+        let results = [
+            ExecResult::Return(3),
+            ExecResult::Exit(1),
+            ExecResult::Undef(UbKind::NullPointerDeref, "p".into()),
+            ExecResult::Error("unsupported".into()),
+            ExecResult::EngineFault {
+                model: "panicking".into(),
+                payload: "boom".into(),
+            },
+        ];
+        for result in &results {
+            let json = exec_result_to_json(result);
+            assert_eq!(
+                json.get("kind").and_then(Json::as_str),
+                Some(exec_result_kind(result))
+            );
+        }
+    }
+
+    #[test]
+    fn undef_cells_carry_kind_clause_and_detail() {
+        let json = exec_result_to_json(&ExecResult::Undef(
+            UbKind::OutOfBoundsAccess,
+            "alloc 3".into(),
+        ));
+        assert_eq!(
+            json.get("ub").and_then(Json::as_str),
+            Some("Out_of_bounds_access")
+        );
+        assert_eq!(json.get("clause").and_then(Json::as_str), Some("DR260"));
+        assert_eq!(json.get("detail").and_then(Json::as_str), Some("alloc 3"));
+    }
+
+    #[test]
+    fn program_outcomes_append_stdout() {
+        let outcome = ProgramOutcome {
+            result: ExecResult::Return(0),
+            stdout: "hi\n".into(),
+        };
+        let json = program_outcome_to_json(&outcome);
+        assert_eq!(json.get("stdout").and_then(Json::as_str), Some("hi\n"));
+        assert_eq!(json.get("value").and_then(Json::as_int), Some(0));
+    }
+}

@@ -1,0 +1,136 @@
+//! Fixture-migration parity: the golden-file corpus must reproduce the
+//! pre-migration Rust-embedded catalogue exactly.
+//!
+//! `tests/fixtures/_snapshots/pre_migration.json` is a one-time dump of the 23
+//! tests that used to live as Rust constructors inside `cerberus-litmus`,
+//! including their recorded expectations in the legacy shapes
+//! (`returns`/`prints`/`undef`/`some-undef`). This test rebuilds that suite
+//! from the snapshot and checks that running it yields **bit-identical**
+//! [`SuiteSummary`] tallies to running the fixture-loaded catalogue restricted
+//! to the same tests and the same expectation cells — under every named
+//! model. The snapshot is frozen history: it never changes as the corpus
+//! grows.
+
+use cerberus::memory::config::ModelConfig;
+use cerberus_ast::questions::QuestionCategory;
+use cerberus_ast::ub::UbKind;
+use cerberus_litmus::{catalogue, run_suite_on, Expected, LitmusTest};
+use cerberus_wire::json::Json;
+
+fn snapshot_path() -> std::path::PathBuf {
+    cerberus_litmus::fixtures::fixtures_root().join("_snapshots/pre_migration.json")
+}
+
+fn category_from_label(label: &str) -> QuestionCategory {
+    QuestionCategory::all()
+        .iter()
+        .copied()
+        .find(|c| c.label() == label)
+        .unwrap_or_else(|| panic!("snapshot names unknown category label {label:?}"))
+}
+
+fn expected_from_snapshot(cell: &Json) -> (&'static str, Expected) {
+    let model = cell
+        .get("model")
+        .and_then(Json::as_str)
+        .expect("model name");
+    let model = ModelConfig::by_name(model)
+        .unwrap_or_else(|| panic!("snapshot names unknown model {model:?}"))
+        .name;
+    let expected = match cell
+        .get("expect")
+        .and_then(Json::as_str)
+        .expect("expect tag")
+    {
+        "returns" => Expected::Returns(cell.get("value").and_then(Json::as_int).expect("value")),
+        "prints" => Expected::Prints(
+            cell.get("stdout")
+                .and_then(Json::as_str)
+                .expect("stdout")
+                .to_owned(),
+        ),
+        "undef" => {
+            let ub = cell.get("ub").and_then(Json::as_str).expect("ub");
+            Expected::Undef(
+                UbKind::from_core_name(ub)
+                    .unwrap_or_else(|| panic!("snapshot names unknown UB {ub:?}")),
+            )
+        }
+        "some-undef" => Expected::SomeUndef,
+        other => panic!("snapshot uses unknown expectation shape {other:?}"),
+    };
+    (model, expected)
+}
+
+/// The pre-migration catalogue, reconstructed from the snapshot.
+fn snapshot_suite() -> Vec<LitmusTest> {
+    let text = std::fs::read_to_string(snapshot_path())
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", snapshot_path().display()));
+    let document = Json::parse(&text).expect("well-formed snapshot");
+    let Some(Json::Arr(tests)) = document.get("tests") else {
+        panic!("snapshot has no tests array");
+    };
+    tests
+        .iter()
+        .map(|t| LitmusTest {
+            name: t
+                .get("name")
+                .and_then(Json::as_str)
+                .expect("name")
+                .to_owned(),
+            question: t.get("question").and_then(Json::as_int).map(|q| q as u32),
+            category: category_from_label(
+                t.get("category").and_then(Json::as_str).expect("category"),
+            ),
+            source: t
+                .get("source")
+                .and_then(Json::as_str)
+                .expect("source")
+                .to_owned(),
+            expectations: match t.get("expectations") {
+                Some(Json::Arr(cells)) => cells.iter().map(expected_from_snapshot).collect(),
+                _ => Vec::new(),
+            },
+        })
+        .collect()
+}
+
+#[test]
+fn fixture_suite_tallies_are_bit_identical_to_the_pre_migration_catalogue() {
+    let snapshot = snapshot_suite();
+    assert_eq!(snapshot.len(), 23, "the snapshot is frozen history");
+
+    // The fixture catalogue restricted to the snapshot's tests, with each
+    // test's expectations restricted to the models the snapshot recorded
+    // (the corpus has since backfilled the remaining models; parity is about
+    // the migrated cells, sliced out of the richer golden matrix).
+    let fixture_suite: Vec<LitmusTest> = snapshot
+        .iter()
+        .map(|old| {
+            let mut test = catalogue()
+                .into_iter()
+                .find(|t| t.name == old.name)
+                .unwrap_or_else(|| panic!("migrated fixture {} is gone", old.name));
+            let models: Vec<&str> = old.expectations.iter().map(|(m, _)| *m).collect();
+            test.expectations.retain(|(m, _)| models.contains(m));
+            test
+        })
+        .collect();
+
+    for (old, new) in snapshot.iter().zip(&fixture_suite) {
+        assert_eq!(old.question, new.question, "{}", old.name);
+        assert_eq!(old.category, new.category, "{}", old.name);
+        assert_eq!(
+            old.expectations.len(),
+            new.expectations.len(),
+            "{} lost expectation cells in migration",
+            old.name
+        );
+    }
+
+    for model in ModelConfig::all_named() {
+        let old = run_suite_on(&snapshot, &model);
+        let new = run_suite_on(&fixture_suite, &model);
+        assert_eq!(old, new, "summary drift under {}", model.name);
+    }
+}

@@ -31,7 +31,7 @@ fn an_injected_fault_is_invisible_to_every_healthy_row_of_the_catalogue() {
     let session = Session::default();
     for test in cerberus_litmus::catalogue() {
         let program = session
-            .elaborate(test.source)
+            .elaborate(&test.source)
             .unwrap_or_else(|e| panic!("litmus test {} failed in the front end: {e}", test.name));
 
         let with_fault = poisoned.run(&program);

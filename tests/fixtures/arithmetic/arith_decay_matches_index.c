@@ -1,0 +1,6 @@
+// @category: pointer-arithmetic
+int main(void) {
+  int a[4];
+  a[2] = 6;
+  return *(a + 2) == a[2];
+}

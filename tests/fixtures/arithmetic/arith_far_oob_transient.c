@@ -1,0 +1,9 @@
+// @question: 31
+// @category: pointer-arithmetic
+int main(void) {
+  int a[4];
+  a[3] = 9;
+  int *p = a + 64;
+  p = p - 61;
+  return *p;
+}

@@ -1,0 +1,8 @@
+// @question: 32
+// @category: pointer-arithmetic
+int main(void) {
+  int a[4];
+  a[0] = 5;
+  int *p = a + 1;
+  return p[-1];
+}

@@ -1,0 +1,9 @@
+// @question: 31
+// @category: pointer-arithmetic
+int main(void) {
+  int a[2];
+  a[0] = 1;
+  a[1] = 2;
+  int *p = a + 2;
+  return *p;
+}

@@ -1,0 +1,9 @@
+// @question: 31
+// @category: pointer-arithmetic
+int main(void) {
+  int a[4];
+  a[0] = 1;
+  int *p = a + 100;
+  if (p == a) { return 1; }
+  return 0;
+}

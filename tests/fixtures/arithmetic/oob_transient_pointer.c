@@ -1,0 +1,3 @@
+// @question: 31
+// @category: pointer-arithmetic
+int main(void) { int a[4]; a[1] = 7; int *p = a + 10; p = p - 9; return *p; }

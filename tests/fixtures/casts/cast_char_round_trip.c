@@ -1,0 +1,8 @@
+// @question: 20
+// @category: pointer-casts
+int main(void) {
+  int x = 8;
+  char *c = (char *)&x;
+  int *p = (int *)c;
+  return *p;
+}

@@ -1,0 +1,8 @@
+// @question: 20
+// @category: pointer-casts
+int main(void) {
+  int x = 9;
+  void *v = &x;
+  int *p = (int *)v;
+  return *p;
+}

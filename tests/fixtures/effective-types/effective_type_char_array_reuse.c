@@ -1,0 +1,3 @@
+// @question: 75
+// @category: effective-types-char-arrays
+int main(void) { unsigned char buf[16]; int *p = (int*)buf; *p = 3; return *p; }

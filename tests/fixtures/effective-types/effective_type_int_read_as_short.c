@@ -1,0 +1,7 @@
+// @question: 73
+// @category: effective-types-basic
+int main(void) {
+  int x = 0x00010002;
+  short *p = (short *)&x;
+  return (int)*p;
+}

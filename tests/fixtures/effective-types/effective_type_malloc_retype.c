@@ -1,0 +1,12 @@
+// @question: 74
+// @category: effective-types-basic
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(sizeof(long));
+  *p = 3;
+  long *q = (long *)p;
+  *q = 4l;
+  int r = (int)*q;
+  free(p);
+  return r;
+}

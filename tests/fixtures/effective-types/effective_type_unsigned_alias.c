@@ -1,0 +1,7 @@
+// @question: 73
+// @category: effective-types-basic
+int main(void) {
+  int x = 12;
+  unsigned int *p = (unsigned int *)&x;
+  return (int)*p;
+}

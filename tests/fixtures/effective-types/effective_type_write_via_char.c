@@ -1,0 +1,8 @@
+// @question: 75
+// @category: effective-types-char-arrays
+int main(void) {
+  int x = 0;
+  unsigned char *bytes = (unsigned char *)&x;
+  bytes[0] = 3;
+  return x;
+}

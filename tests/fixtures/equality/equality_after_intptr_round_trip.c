@@ -1,0 +1,7 @@
+// @question: 5
+// @category: pointer-equality
+int main(void) {
+  int x = 1;
+  int *p = (int *)(unsigned long)&x;
+  return p == &x;
+}

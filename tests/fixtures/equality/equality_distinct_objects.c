@@ -1,0 +1,4 @@
+// @question: 3
+// @category: pointer-equality
+int x = 1, y = 2;
+int main(void) { return &x == &y; }

@@ -1,0 +1,3 @@
+// @category: pointer-equality
+int x = 1;
+int main(void) { return &x == (int *)0; }

@@ -1,0 +1,8 @@
+// @question: 2
+// @category: pointer-equality
+int main(void) {
+  int a[4];
+  a[0] = 1;
+  int *p = a;
+  return p == a + 0;
+}

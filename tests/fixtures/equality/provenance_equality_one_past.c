@@ -1,0 +1,4 @@
+// @question: 2
+// @category: pointer-equality
+int x = 1, y = 2;
+int main(void) { int *p = &x + 1; int *q = &y; return p == q; }

@@ -1,0 +1,4 @@
+// @question: 9
+// @category: provenance-via-integers
+int x = 1, y = 2;
+int main(void) { unsigned long ax = (unsigned long)&x; unsigned long ay = (unsigned long)&y; int *p = (int*)(ax + (ay - ax)); return *p; }

@@ -1,0 +1,6 @@
+// @question: 6
+// @category: provenance-via-integers
+int main(void) {
+  int x = 1;
+  return ((unsigned long)&x & 1ul) == 0ul;
+}

@@ -1,0 +1,10 @@
+// @question: 5
+// @category: provenance-via-integers
+int main(void) {
+  int x = 3;
+  unsigned long a = (unsigned long)&x;
+  unsigned long b = a;
+  int *p = (int *)b;
+  *p = 4;
+  return x;
+}

@@ -1,0 +1,8 @@
+// @question: 6
+// @category: provenance-via-integers
+int main(void) {
+  int x = 1;
+  unsigned long h = (unsigned long)&x;
+  h = (h >> 4) ^ (h << 3);
+  return (int)(h % 2);
+}

@@ -1,0 +1,9 @@
+// @question: 7
+// @category: provenance-via-integers
+int main(void) {
+  int a[4];
+  a[1] = 8;
+  unsigned long base = (unsigned long)&a[0];
+  int *p = (int *)(base + sizeof(int));
+  return *p;
+}

@@ -1,0 +1,3 @@
+// @question: 5
+// @category: provenance-via-integers
+int main(void) { int x = 7; unsigned long a = (unsigned long)&x; int *p = (int*)a; return *p; }

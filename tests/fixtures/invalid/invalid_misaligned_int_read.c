@@ -1,0 +1,8 @@
+// @category: invalid-accesses
+int main(void) {
+  int a[2];
+  a[0] = 1;
+  a[1] = 2;
+  int *p = (int *)((unsigned char *)a + 1);
+  return *p;
+}

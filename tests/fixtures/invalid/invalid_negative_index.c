@@ -1,0 +1,7 @@
+// @category: invalid-accesses
+int main(void) {
+  int a[2];
+  a[0] = 1;
+  int *p = a;
+  return p[-1];
+}

@@ -1,0 +1,6 @@
+// @category: invalid-accesses
+int main(void) {
+  int a[2];
+  a[2] = 7;
+  return 0;
+}

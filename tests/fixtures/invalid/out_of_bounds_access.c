@@ -1,0 +1,2 @@
+// @category: invalid-accesses
+int main(void) { int a[2]; a[0] = 1; int *p = a; return *(p + 9); }

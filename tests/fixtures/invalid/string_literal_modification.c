@@ -1,0 +1,2 @@
+// @category: invalid-accesses
+int main(void) { char *s = "ab"; s[0] = 'x'; return 0; }

@@ -1,0 +1,8 @@
+// @question: 41
+// @category: pointer-lifetime-end
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(sizeof(int));
+  free(p);
+  return p != (int *)0;
+}

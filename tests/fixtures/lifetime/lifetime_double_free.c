@@ -1,0 +1,9 @@
+// @question: 47
+// @category: pointer-lifetime-end
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(sizeof(int));
+  free(p);
+  free(p);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// @category: pointer-lifetime-end
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(sizeof(int));
+  *p = 3;
+  int v = *p;
+  free(p);
+  return v;
+}

@@ -1,0 +1,10 @@
+// @question: 41
+// @category: pointer-lifetime-end
+int main(void) {
+  int *p;
+  {
+    int y = 5;
+    p = &y;
+  }
+  return *p;
+}

@@ -1,0 +1,4 @@
+// @question: 42
+// @category: pointer-lifetime-end
+#include <stdlib.h>
+int main(void) { int *p = malloc(4); int *q = p; free(p); return p == q; }

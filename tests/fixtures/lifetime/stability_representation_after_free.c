@@ -1,0 +1,10 @@
+// @question: 42
+// @category: pointer-stability
+#include <stdlib.h>
+#include <string.h>
+int main(void) {
+  int *p = malloc(sizeof(int));
+  int *before = p;
+  free(p);
+  return memcmp(&before, &p, sizeof(p)) == 0;
+}

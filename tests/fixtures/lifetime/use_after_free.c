@@ -1,0 +1,4 @@
+// @question: 41
+// @category: pointer-lifetime-end
+#include <stdlib.h>
+int main(void) { int *p = malloc(sizeof(int)); *p = 3; free(p); return *p; }

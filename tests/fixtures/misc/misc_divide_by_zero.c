@@ -1,0 +1,5 @@
+// @category: other
+int main(void) {
+  int zero = 0;
+  return 1 / zero;
+}

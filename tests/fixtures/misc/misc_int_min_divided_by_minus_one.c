@@ -1,0 +1,6 @@
+// @category: other
+int main(void) {
+  int min = -2147483647 - 1;
+  int d = -1;
+  return min / d;
+}

@@ -1,0 +1,6 @@
+// @question: 52
+// @category: other
+int main(void) {
+  int n = -1;
+  return 1 << n;
+}

@@ -1,0 +1,6 @@
+// @question: 52
+// @category: other
+int main(void) {
+  int v = -1;
+  return v << 1;
+}

@@ -1,0 +1,6 @@
+// @category: other
+int main(void) {
+  unsigned int x = 4294967295u;
+  x = x + 1u;
+  return (int)x;
+}

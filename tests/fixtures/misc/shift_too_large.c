@@ -1,0 +1,3 @@
+// @question: 52
+// @category: other
+int main(void) { int n = 40; return 1 << n; }

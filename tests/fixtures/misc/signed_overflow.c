@@ -1,0 +1,2 @@
+// @category: other
+int main(void) { int x = 2147483647; return x + 1; }

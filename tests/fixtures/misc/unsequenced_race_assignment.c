@@ -1,0 +1,2 @@
+// @category: other
+int main(void) { int i = 0; i = i++ + 1; return i; }

@@ -1,0 +1,6 @@
+// @category: null-pointers
+int main(void) {
+  int *p = (int *)0;
+  int *q = (int *)0;
+  return p == q;
+}

@@ -1,0 +1,2 @@
+// @category: null-pointers
+int main(void) { int *p = 0; return *p; }

@@ -1,0 +1,6 @@
+// @category: null-pointers
+int main(void) {
+  int *p = (int *)0;
+  *p = 1;
+  return 0;
+}

@@ -1,0 +1,6 @@
+// @question: 59
+// @category: padding
+struct s { char c; int i; };
+int main(void) {
+  return (int)sizeof(struct s);
+}

@@ -1,0 +1,14 @@
+// @question: 62
+// @category: padding
+#include <string.h>
+struct s { char c; int i; };
+int main(void) {
+  struct s a, b;
+  unsigned char *pa = (unsigned char *)&a;
+  memset(&a, 0xAA, sizeof(a));
+  a.c = 1;
+  a.i = 2;
+  memcpy(&b, &a, sizeof(a));
+  unsigned char *pb = (unsigned char *)&b;
+  return pb[1] == pa[1];
+}

@@ -1,0 +1,12 @@
+// @question: 61
+// @category: padding
+#include <string.h>
+struct s { char c; int i; };
+int main(void) {
+  struct s v;
+  memset(&v, 0xFF, sizeof(v));
+  v.c = 1;
+  v.i = 2;
+  unsigned char *bytes = (unsigned char *)&v;
+  return bytes[1] == 0xFF;
+}

@@ -1,0 +1,10 @@
+// @question: 59
+// @category: padding
+struct s { char c; int i; };
+int main(void) {
+  struct s v;
+  unsigned char *bytes = (unsigned char*)&v;
+  bytes[1] = 0xAA;
+  v.c = 1; v.i = 2;
+  return bytes[1] == 0xAA;
+}

@@ -1,0 +1,4 @@
+// @question: 9
+// @category: multiple-provenance
+int a = 1, b = 2;
+int main(void) { return (int)(&b - &a); }

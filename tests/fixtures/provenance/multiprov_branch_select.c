@@ -1,0 +1,9 @@
+// @question: 10
+// @category: multiple-provenance
+int x = 3, y = 4;
+int main(void) {
+  int flag = 1;
+  int *p;
+  if (flag) { p = &x; } else { p = &y; }
+  return *p;
+}

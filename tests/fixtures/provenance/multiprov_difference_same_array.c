@@ -1,0 +1,7 @@
+// @question: 9
+// @category: multiple-provenance
+int main(void) {
+  int a[8];
+  a[0] = 0;
+  return (int)((a + 5) - (a + 2));
+}

@@ -1,0 +1,9 @@
+// @question: 9
+// @category: multiple-provenance
+int x = 7, y = 9;
+int main(void) {
+  unsigned long both = (unsigned long)&x ^ (unsigned long)&y;
+  unsigned long px = both ^ (unsigned long)&y;
+  int *p = (int *)px;
+  return *p;
+}

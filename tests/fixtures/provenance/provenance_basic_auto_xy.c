@@ -1,0 +1,13 @@
+// @question: 11
+// @category: provenance-basics
+#include <string.h>
+int main(void) {
+  int x = 1, y = 2;
+  int *p = &x + 1;
+  int *q = &y;
+  if (memcmp(&p, &q, sizeof(p)) == 0) {
+    *p = 11;
+    return x + y;
+  }
+  return x + y;
+}

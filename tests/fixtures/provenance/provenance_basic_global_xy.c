@@ -1,0 +1,14 @@
+// @question: 11
+// @category: provenance-basics
+#include <stdio.h>
+#include <string.h>
+int x = 1, y = 2;
+int main() {
+  int *p = &x + 1;
+  int *q = &y;
+  if (memcmp(&p, &q, sizeof(p)) == 0) {
+    *p = 11;
+    printf("x=%d y=%d *p=%d *q=%d\n", x, y, *p, *q);
+  }
+  return 0;
+}

@@ -1,0 +1,6 @@
+// @question: 4
+// @category: provenance-basics
+int main(void) {
+  int *p = (int *)4096;
+  return *p;
+}

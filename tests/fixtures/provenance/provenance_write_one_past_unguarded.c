@@ -1,0 +1,8 @@
+// @question: 11
+// @category: provenance-basics
+int x = 1, y = 2;
+int main(void) {
+  int *p = &x + 1;
+  *p = 11;
+  return y;
+}

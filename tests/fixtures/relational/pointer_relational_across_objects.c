@@ -1,0 +1,4 @@
+// @question: 25
+// @category: pointer-relational
+int a, b;
+int main(void) { return (&a < &b) || (&a > &b); }

@@ -1,0 +1,7 @@
+// @question: 25
+// @category: pointer-relational
+int main(void) {
+  int a[4];
+  a[0] = 1;
+  return a <= a + 4;
+}

@@ -1,0 +1,9 @@
+// @question: 26
+// @category: pointer-relational
+struct pair { int first; int second; };
+int main(void) {
+  struct pair v;
+  v.first = 1;
+  v.second = 2;
+  return (unsigned char *)&v.first < (unsigned char *)&v.second;
+}

@@ -1,0 +1,9 @@
+// @question: 14
+// @category: provenance-via-representation
+int main(void) {
+  int x = 5; int *p = &x; int *q;
+  unsigned char *src = (unsigned char*)&p;
+  unsigned char *dst = (unsigned char*)&q;
+  for (int i = 0; i < (int)sizeof(p); i++) dst[i] = src[i];
+  return *q;
+}

@@ -1,0 +1,4 @@
+// @question: 13
+// @category: provenance-via-representation
+#include <string.h>
+int main(void) { int x = 9; int *p = &x; int *q; memcpy(&q, &p, sizeof(p)); return *q; }

@@ -1,0 +1,10 @@
+// @question: 15
+// @category: provenance-via-representation
+int main(void) {
+  int x = 1;
+  int *p = &x;
+  unsigned char *bytes = (unsigned char *)&p;
+  unsigned total = 0u;
+  for (int i = 0; i < (int)sizeof(p); i++) total += bytes[i];
+  return (int)(total % 7u);
+}

@@ -1,0 +1,9 @@
+// @question: 16
+// @category: provenance-via-representation
+#include <string.h>
+int main(void) {
+  int x = 1;
+  int *p = &x;
+  memset(&p, 0, sizeof(p));
+  return p == (int *)0;
+}

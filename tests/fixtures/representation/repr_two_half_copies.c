@@ -1,0 +1,13 @@
+// @question: 14
+// @category: provenance-via-representation
+int main(void) {
+  int x = 6;
+  int *p = &x;
+  int *q;
+  unsigned char *src = (unsigned char *)&p;
+  unsigned char *dst = (unsigned char *)&q;
+  int half = (int)sizeof(p) / 2;
+  for (int i = 0; i < half; i++) dst[i] = src[i];
+  for (int i = half; i < (int)sizeof(p); i++) dst[i] = src[i];
+  return *q;
+}

@@ -1,0 +1,12 @@
+// @question: 37
+// @category: related-struct-union
+struct outer { int before; int field; };
+int main(void) {
+  struct outer v;
+  v.before = 1;
+  v.field = 2;
+  int *member = &v.field;
+  struct outer *back =
+      (struct outer *)((unsigned char *)member - sizeof(int));
+  return back->before;
+}

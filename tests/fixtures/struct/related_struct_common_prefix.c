@@ -1,0 +1,11 @@
+// @question: 65
+// @category: related-struct-union
+struct a { int tag; int x; };
+struct b { int tag; char y; };
+int main(void) {
+  struct a va;
+  va.tag = 4;
+  va.x = 1;
+  struct b *pb = (struct b *)&va;
+  return pb->tag;
+}

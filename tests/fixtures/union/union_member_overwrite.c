@@ -1,0 +1,9 @@
+// @question: 64
+// @category: provenance-union-punning
+union u { unsigned int i; unsigned char b[4]; };
+int main(void) {
+  union u v;
+  v.i = 0xFFFFFFFFu;
+  v.b[0] = 0;
+  return (int)(v.i & 0xFFu);
+}

@@ -1,0 +1,11 @@
+// @question: 64
+// @category: provenance-union-punning
+union u { unsigned int i; unsigned char b[4]; };
+int main(void) {
+  union u v;
+  v.b[0] = 1;
+  v.b[1] = 0;
+  v.b[2] = 0;
+  v.b[3] = 0;
+  return (int)v.i;
+}

@@ -1,0 +1,10 @@
+// @question: 60
+// @category: provenance-union-punning
+union u { int *p; unsigned long l; };
+int x = 5;
+int main(void) {
+  union u v;
+  v.p = &x;
+  int *q = (int *)v.l;
+  return *q;
+}

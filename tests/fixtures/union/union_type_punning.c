@@ -1,0 +1,4 @@
+// @question: 64
+// @category: provenance-union-punning
+union u { unsigned int i; unsigned char b[4]; };
+int main(void) { union u v; v.i = 0x01020304u; return v.b[0]; }

@@ -1,0 +1,9 @@
+// @question: 44
+// @category: unspecified-values
+#include <stdlib.h>
+int main(void) {
+  int *p = calloc(4, sizeof(int));
+  int v = p[2];
+  free(p);
+  return v;
+}

@@ -1,0 +1,7 @@
+// @question: 48
+// @category: unspecified-values
+int main(void) {
+  int x;
+  if (x == x) { return 1; }
+  return 0;
+}

@@ -1,0 +1,3 @@
+// @question: 50
+// @category: unspecified-values
+int main(void) { int x; if (x) return 1; return 0; }

@@ -1,0 +1,3 @@
+// @question: 43
+// @category: unspecified-values
+int main(void) { int x; int y = x; return 0; }

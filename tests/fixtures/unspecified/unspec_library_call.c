@@ -1,0 +1,4 @@
+// @question: 49
+// @category: unspecified-values
+#include <stdio.h>
+int main(void) { int x; printf("%d\n", x); return 0; }

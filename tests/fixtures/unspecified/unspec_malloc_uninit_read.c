@@ -1,0 +1,9 @@
+// @question: 43
+// @category: unspecified-values
+#include <stdlib.h>
+int main(void) {
+  int *p = malloc(sizeof(int));
+  int v = *p;
+  free(p);
+  return 0;
+}

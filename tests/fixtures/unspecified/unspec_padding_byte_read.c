@@ -1,0 +1,11 @@
+// @question: 53
+// @category: unspecified-values
+struct s { char c; int i; };
+int main(void) {
+  struct s v;
+  v.c = 1;
+  v.i = 2;
+  unsigned char *bytes = (unsigned char *)&v;
+  unsigned b = bytes[1];
+  return 0;
+}

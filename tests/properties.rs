@@ -125,6 +125,54 @@ proptest! {
     /// `ExecResult` — no panic escapes the run and no budget overrun aborts
     /// it. Budget exhaustion must surface as `Timeout`/`ResourceExhausted`,
     /// and an `EngineFault` can never be produced by the driver itself.
+    /// Totality over the fixture corpus: every golden-file litmus program,
+    /// under every named model and the same tight budget, produces a
+    /// structured result — adding a fixture can never smuggle in a program
+    /// that panics the engine or escapes the resource accounting. The seed
+    /// picks which fixture to probe so the whole corpus is covered across
+    /// runs without re-elaborating all of it per case.
+    #[test]
+    fn every_fixture_is_total_under_tight_budgets(seed in 0u64..500) {
+        use cerberus::pipeline::Session;
+        use cerberus_exec::driver::ExecMode;
+        use cerberus_memory::limits::ResourceLimits;
+
+        let suite = cerberus_litmus::catalogue();
+        let test = &suite[(seed as usize) % suite.len()];
+        let session = Session::default();
+        let artifact = session
+            .elaborate(&test.source)
+            .unwrap_or_else(|e| panic!("fixture {} failed in the front end: {e}", test.name));
+        let limits = ResourceLimits::with_steps(200_000)
+            .with_wall_clock_ms(10_000)
+            .with_heap_bytes(1 << 20)
+            .with_max_live_allocations(4 << 10)
+            .with_call_depth(128);
+        for model in ModelConfig::all_named() {
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                artifact.execute_bounded(&model, ExecMode::Random { seed }, &limits)
+            }));
+            let outcome = run.unwrap_or_else(|_| {
+                panic!(
+                    "fixture {}: model {} panicked instead of returning a structured result",
+                    test.name, model.name
+                )
+            });
+            prop_assert!(
+                !outcome.outcomes.is_empty(),
+                "fixture {}: model {} produced no outcome",
+                test.name,
+                model.name
+            );
+            prop_assert!(
+                !outcome.is_fault(),
+                "fixture {}: the driver fabricated an EngineFault under {}",
+                test.name,
+                model.name
+            );
+        }
+    }
+
     #[test]
     fn every_named_model_is_total_under_tight_budgets(seed in 0u64..500) {
         use cerberus::pipeline::Session;
