@@ -1,0 +1,2452 @@
+//! Flow-sensitive abstract interpretation of Core programs.
+//!
+//! The abstract domain mirrors what the dynamic memory object models track
+//! concretely: which allocation a pointer refers to (a finite points-to set
+//! over abstract allocation ids, plus an "unknown provenance" element for
+//! pointers forged from integers), the byte offset within that allocation,
+//! whether the allocation is still live, and whether its bytes have been
+//! initialised. Undefined behaviour surfaces in two ways:
+//!
+//! * **explicitly** — the elaboration compiles C-level UB into guarded
+//!   [`PExpr::Undef`] nodes (arithmetic overflow, division by zero, shift
+//!   ranges, unspecified-value `case` arms). The interpreter explores both
+//!   branches of every condition it cannot decide, so a reachable `Undef`
+//!   becomes a `May` finding and an unconditionally reachable one a `Must`
+//!   finding;
+//! * **implicitly** — memory actions are checked against the abstract state
+//!   (null or dead targets, out-of-bounds offsets, stores to string literals,
+//!   frees of non-heap or already-dead allocations, unsequenced conflicting
+//!   accesses), the checks the models perform at runtime.
+//!
+//! The pass is deliberately a *may*-analysis: when the state cannot exclude a
+//! violation it reports `May` rather than staying silent, because the corpus
+//! contract (see `tests/analysis_soundness.rs`) is one-directional — every
+//! dynamically observed UB kind must be statically reported. Precision is
+//! best-effort; soundness holes that remain are recorded on the reviewed
+//! allowlist.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use cerberus_ast::ctype::{Ctype, IntegerType};
+use cerberus_ast::env::ImplEnv;
+use cerberus_ast::ident::Ident;
+use cerberus_ast::layout;
+use cerberus_ast::loc::Span;
+use cerberus_ast::ub::UbKind;
+use cerberus_core::program::CoreProgram;
+use cerberus_core::syntax::{Binop, BuiltinFn, Expr, MemAction, PExpr, Pattern, Polarity, PtrOp};
+
+use crate::{AnalysisConfig, AnalysisReport, FindingSeverity, StaticFinding};
+
+/// Index into [`State::allocs`].
+type AllocId = usize;
+
+/// Storage class of an abstract allocation, which decides which operations on
+/// it are legal (stores to string literals, frees of non-heap objects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StorageKind {
+    /// An automatic-storage object (`create`).
+    Stack,
+    /// A dynamic allocation (`alloc` / `malloc` / `calloc`).
+    Heap,
+    /// A static-storage object.
+    Static,
+    /// A string-literal object (read-only by 6.4.5p7).
+    StringLit,
+}
+
+/// Abstract lifetime of an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lifetime {
+    Live,
+    Dead,
+    MaybeDead,
+}
+
+impl Lifetime {
+    fn join(self, other: Lifetime) -> Lifetime {
+        if self == other {
+            self
+        } else {
+            Lifetime::MaybeDead
+        }
+    }
+}
+
+/// Abstract initialisation of an allocation's bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InitState {
+    Uninit,
+    Init,
+    MaybeInit,
+}
+
+impl InitState {
+    fn join(self, other: InitState) -> InitState {
+        if self == other {
+            self
+        } else {
+            InitState::MaybeInit
+        }
+    }
+
+    /// Weakened by a store the analyzer cannot prove covers the whole object.
+    fn touched(self) -> InitState {
+        match self {
+            InitState::Init => InitState::Init,
+            _ => InitState::MaybeInit,
+        }
+    }
+}
+
+/// An abstract pointer: a points-to set with an offset, plus escape hatches
+/// for null and for pointers whose provenance the analyzer lost.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct AbsPtr {
+    /// Allocations the pointer may refer to.
+    targets: BTreeSet<AllocId>,
+    /// The pointer may refer to an allocation outside `targets` (unknown
+    /// provenance).
+    any: bool,
+    /// The pointer may be null.
+    null: bool,
+    /// The pointer was (possibly) forged from an integer (`ptrFromInt` with
+    /// no tracked provenance).
+    from_int: bool,
+    /// Byte offset into the target, when there is exactly one and it is
+    /// known.
+    offset: Option<i128>,
+    /// A function designator, for `Ccall` through a pointer value.
+    func: Option<String>,
+}
+
+impl AbsPtr {
+    fn null_ptr() -> AbsPtr {
+        AbsPtr {
+            null: true,
+            ..AbsPtr::default()
+        }
+    }
+
+    fn wild() -> AbsPtr {
+        AbsPtr {
+            any: true,
+            null: true,
+            ..AbsPtr::default()
+        }
+    }
+
+    fn to_target(id: AllocId) -> AbsPtr {
+        AbsPtr {
+            targets: BTreeSet::from([id]),
+            offset: Some(0),
+            ..AbsPtr::default()
+        }
+    }
+
+    fn function(name: &Ident) -> AbsPtr {
+        AbsPtr {
+            func: Some(name.as_str().to_owned()),
+            ..AbsPtr::default()
+        }
+    }
+
+    /// Exactly one known target, nothing else possible.
+    fn single(&self) -> Option<AllocId> {
+        if self.targets.len() == 1 && !self.any && !self.null {
+            self.targets.iter().next().copied()
+        } else {
+            None
+        }
+    }
+
+    fn definitely_null(&self) -> bool {
+        self.null && self.targets.is_empty() && !self.any && self.func.is_none()
+    }
+
+    fn join(&self, other: &AbsPtr) -> AbsPtr {
+        AbsPtr {
+            targets: self.targets.union(&other.targets).copied().collect(),
+            any: self.any || other.any,
+            null: self.null || other.null,
+            from_int: self.from_int || other.from_int,
+            offset: if self.offset == other.offset {
+                self.offset
+            } else {
+                None
+            },
+            func: if self.func == other.func {
+                self.func.clone()
+            } else {
+                None
+            },
+        }
+    }
+
+    fn with_offset(&self, offset: Option<i128>) -> AbsPtr {
+        AbsPtr {
+            offset,
+            ..self.clone()
+        }
+    }
+}
+
+/// Abstract Core values. `Top` is "any value"; loaded values are wrapped in
+/// `Spec`/`Unspec` exactly as the concrete interpreter wraps them in
+/// `Specified`/`Unspecified`.
+#[derive(Debug, Clone, PartialEq)]
+enum AbsValue {
+    Top,
+    Unit,
+    Bool(Option<bool>),
+    Int {
+        val: Option<i128>,
+        /// Provenance carried through `intFromPtr` and arithmetic, so a
+        /// round-tripped pointer keeps its points-to set.
+        prov: Option<AbsPtr>,
+    },
+    Ctype(Ctype),
+    Ptr(AbsPtr),
+    Tuple(Vec<AbsValue>),
+    Spec(Box<AbsValue>),
+    Unspec(Option<Ctype>),
+}
+
+impl AbsValue {
+    fn int(val: i128) -> AbsValue {
+        AbsValue::Int {
+            val: Some(val),
+            prov: None,
+        }
+    }
+
+    fn unknown_int() -> AbsValue {
+        AbsValue::Int {
+            val: None,
+            prov: None,
+        }
+    }
+
+    fn spec(v: AbsValue) -> AbsValue {
+        AbsValue::Spec(Box::new(v))
+    }
+
+    fn join(&self, other: &AbsValue) -> AbsValue {
+        use AbsValue::*;
+        match (self, other) {
+            (a, b) if a == b => a.clone(),
+            (Spec(a), Spec(b)) => AbsValue::spec(a.join(b)),
+            (Bool(_), Bool(_)) => Bool(None),
+            (Int { val: v1, prov: p1 }, Int { val: v2, prov: p2 }) => Int {
+                val: if v1 == v2 { *v1 } else { None },
+                prov: match (p1, p2) {
+                    (None, None) => None,
+                    (Some(a), Some(b)) => Some(a.join(b)),
+                    (Some(a), None) | (None, Some(a)) => Some(AbsPtr {
+                        any: true,
+                        ..a.clone()
+                    }),
+                },
+            },
+            (Ptr(a), Ptr(b)) => Ptr(a.join(b)),
+            (Unspec(_), Unspec(_)) => Unspec(None),
+            (Tuple(xs), Tuple(ys)) if xs.len() == ys.len() => {
+                Tuple(xs.iter().zip(ys).map(|(x, y)| x.join(y)).collect())
+            }
+            _ => Top,
+        }
+    }
+}
+
+/// One abstract allocation.
+#[derive(Debug, Clone, PartialEq)]
+struct AllocInfo {
+    kind: StorageKind,
+    /// Declared C type, when the allocation came from `create` (heap
+    /// allocations have none).
+    ty: Option<Ctype>,
+    /// Size in bytes, when known.
+    size: Option<u64>,
+    life: Lifetime,
+    init: InitState,
+    /// Whole-object value for strong updates; `Top` once imprecise.
+    content: AbsValue,
+    /// The C type of the last store, for effective-type checks on reads
+    /// (union punning, reuse of heap memory at another type).
+    last_store: Option<Ctype>,
+    /// Display name for diagnostics.
+    name: String,
+}
+
+impl AllocInfo {
+    fn join_from(&mut self, other: &AllocInfo) {
+        self.life = self.life.join(other.life);
+        self.init = self.init.join(other.init);
+        self.content = self.content.join(&other.content);
+        if self.last_store != other.last_store {
+            self.last_store = None;
+        }
+    }
+}
+
+/// The abstract memory state: allocations are identified by creation index,
+/// which is deterministic because analysis order is deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct State {
+    allocs: Vec<AllocInfo>,
+}
+
+impl State {
+    fn join_from(&mut self, other: &State) {
+        let shared = self.allocs.len().min(other.allocs.len());
+        for i in 0..shared {
+            self.allocs[i].join_from(&other.allocs[i]);
+        }
+        if other.allocs.len() > self.allocs.len() {
+            self.allocs.extend(other.allocs[shared..].iter().cloned());
+        }
+    }
+}
+
+/// One recorded memory access, for unsequenced-race detection.
+#[derive(Debug, Clone)]
+struct AbsAccess {
+    targets: BTreeSet<AllocId>,
+    any: bool,
+    write: bool,
+    /// From a negative-polarity action (e.g. the store of a postfix
+    /// increment), the only kind weak sequencing leaves unsequenced.
+    negative: bool,
+}
+
+/// Abstract control flow, mirroring the concrete interpreter's `Flow`.
+#[derive(Debug, Clone)]
+enum AFlow {
+    Val(AbsValue),
+    Jump(Ident),
+    Ret,
+}
+
+type Env = HashMap<String, AbsValue>;
+
+/// A pattern-match arm selected for abstract evaluation: the arm index, the
+/// bindings the match would introduce, and whether the match is definite
+/// (`true`) or merely possible (`false`).
+type SelectedArm = (usize, Vec<(String, AbsValue)>, bool);
+
+/// Result of matching a pattern against an abstract value.
+enum MatchQ {
+    Yes(Vec<(String, AbsValue)>),
+    Maybe(Vec<(String, AbsValue)>),
+    No,
+}
+
+struct Interp<'a> {
+    program: &'a CoreProgram,
+    ienv: &'a ImplEnv,
+    config: AnalysisConfig,
+    state: State,
+    globals: HashMap<String, AbsValue>,
+    /// Deduplicated findings: strongest severity per (procedure, kind).
+    findings: BTreeMap<(String, UbKind), (FindingSeverity, String)>,
+    steps: usize,
+    budget_exhausted: bool,
+    cur_proc: String,
+    call_stack: Vec<String>,
+    /// False once evaluation is under a condition the analyzer could not
+    /// decide; findings on such paths are `May` at best.
+    definite: bool,
+    /// State snapshots registered at `run l` sites, consumed by the matching
+    /// `save`/`exit`.
+    jump_states: HashMap<String, State>,
+    /// Footprint frames for unsequenced-race detection.
+    fp_stack: Vec<Vec<AbsAccess>>,
+    /// Accumulated return values of the call being analyzed.
+    ret_stack: Vec<Option<AbsValue>>,
+}
+
+/// Run the abstract interpreter over every procedure of `program`.
+pub(crate) fn run(program: &CoreProgram, env: &ImplEnv, config: AnalysisConfig) -> AnalysisReport {
+    let mut it = Interp {
+        program,
+        ienv: env,
+        config,
+        state: State::default(),
+        globals: HashMap::new(),
+        findings: BTreeMap::new(),
+        steps: 0,
+        budget_exhausted: false,
+        cur_proc: String::new(),
+        call_stack: Vec::new(),
+        definite: true,
+        jump_states: HashMap::new(),
+        fp_stack: Vec::new(),
+        ret_stack: Vec::new(),
+    };
+    it.setup_globals();
+    let base_state = it.state.clone();
+    let mut names: Vec<&String> = program.procs.keys().collect();
+    names.sort();
+    for name in &names {
+        it.state = base_state.clone();
+        it.jump_states.clear();
+        it.definite = true;
+        it.analyze_proc(name);
+    }
+    let findings = it
+        .findings
+        .into_iter()
+        .map(|((proc, ub), (severity, detail))| StaticFinding {
+            ub,
+            severity,
+            span: Span::synthetic(),
+            iso_clause: ub.iso_reference(),
+            proc,
+            detail,
+        })
+        .collect();
+    AnalysisReport {
+        violations: Vec::new(),
+        findings,
+        procs_analyzed: names.len(),
+        steps_used: it.steps,
+        budget_exhausted: it.budget_exhausted,
+        aborted: None,
+    }
+}
+
+impl<'a> Interp<'a> {
+    // ----- findings and budget ---------------------------------------------------
+
+    fn finding(&mut self, ub: UbKind, must_candidate: bool, detail: impl Into<String>) {
+        let severity = if must_candidate && self.definite {
+            FindingSeverity::Must
+        } else {
+            FindingSeverity::May
+        };
+        let key = (self.cur_proc.clone(), ub);
+        match self.findings.get_mut(&key) {
+            Some(existing) => {
+                if severity < existing.0 {
+                    *existing = (severity, detail.into());
+                }
+            }
+            None => {
+                self.findings.insert(key, (severity, detail.into()));
+            }
+        }
+    }
+
+    /// One abstract step; returns true when the budget is exhausted and the
+    /// caller should give up with `Top`.
+    fn tick(&mut self) -> bool {
+        self.steps += 1;
+        if self.steps > self.config.step_budget {
+            self.budget_exhausted = true;
+        }
+        self.budget_exhausted
+    }
+
+    fn size_of_ty(&self, ty: &Ctype) -> Option<u64> {
+        layout::size_of(ty, self.ienv, &self.program.tags).ok()
+    }
+
+    // ----- program setup ---------------------------------------------------------
+
+    fn alloc(
+        &mut self,
+        kind: StorageKind,
+        ty: Option<Ctype>,
+        size: Option<u64>,
+        init: InitState,
+        name: &str,
+    ) -> AllocId {
+        self.state.allocs.push(AllocInfo {
+            kind,
+            ty,
+            size,
+            life: Lifetime::Live,
+            init,
+            content: AbsValue::Top,
+            last_store: None,
+            name: name.to_owned(),
+        });
+        self.state.allocs.len() - 1
+    }
+
+    fn setup_globals(&mut self) {
+        for (name, bytes) in &self.program.string_literals {
+            let ty = Ctype::Array(
+                Box::new(Ctype::integer(IntegerType::Char)),
+                Some(bytes.len() as u64),
+            );
+            let id = self.state.allocs.len();
+            self.state.allocs.push(AllocInfo {
+                kind: StorageKind::StringLit,
+                ty: Some(ty),
+                size: Some(bytes.len() as u64),
+                life: Lifetime::Live,
+                init: InitState::Init,
+                content: AbsValue::Top,
+                last_store: None,
+                name: name.as_str().to_owned(),
+            });
+            self.globals.insert(
+                name.as_str().to_owned(),
+                AbsValue::Ptr(AbsPtr::to_target(id)),
+            );
+        }
+        for g in &self.program.globals {
+            let size = layout::size_of(&g.ty, self.ienv, &self.program.tags).ok();
+            let id = self.state.allocs.len();
+            self.state.allocs.push(AllocInfo {
+                kind: StorageKind::Static,
+                ty: Some(g.ty.clone()),
+                size,
+                life: Lifetime::Live,
+                init: InitState::Uninit,
+                content: AbsValue::Top,
+                last_store: None,
+                name: g.name.as_str().to_owned(),
+            });
+            self.globals.insert(
+                g.name.as_str().to_owned(),
+                AbsValue::Ptr(AbsPtr::to_target(id)),
+            );
+        }
+        self.cur_proc = "<static init>".to_owned();
+        self.ret_stack.push(None);
+        let inits: Vec<Expr> = self
+            .program
+            .globals
+            .iter()
+            .map(|g| g.init.clone())
+            .collect();
+        for init in &inits {
+            let mut env = Env::new();
+            let _ = self.eval_expr(&mut env, init);
+        }
+        self.ret_stack.pop();
+        // Objects with static storage duration are zero-initialised (6.7.9p10)
+        // even without an explicit initialiser.
+        for a in &mut self.state.allocs {
+            if a.kind == StorageKind::Static && a.init == InitState::Uninit {
+                a.init = InitState::Init;
+            }
+        }
+    }
+
+    fn analyze_proc(&mut self, name: &str) {
+        let Some(proc) = self.program.proc(name) else {
+            return;
+        };
+        let params = proc.params.clone();
+        let body = proc.body.clone();
+        self.cur_proc = name.to_owned();
+        let mut env = Env::new();
+        let mut param_ids = Vec::new();
+        for (sym, ty) in &params {
+            let size = self.size_of_ty(ty);
+            // Parameters hold the (unknown) incoming argument, so they are
+            // initialised from the start.
+            let id = self.alloc(
+                StorageKind::Stack,
+                Some(ty.clone()),
+                size,
+                InitState::Init,
+                sym.as_str(),
+            );
+            env.insert(
+                sym.as_str().to_owned(),
+                AbsValue::Ptr(AbsPtr::to_target(id)),
+            );
+            param_ids.push(id);
+        }
+        self.ret_stack.push(None);
+        let _ = self.eval_expr(&mut env, &body);
+        self.ret_stack.pop();
+        for id in param_ids {
+            self.state.allocs[id].life = Lifetime::Dead;
+        }
+    }
+
+    // ----- calls -----------------------------------------------------------------
+
+    fn call_proc(&mut self, name: &str, args: Vec<AbsValue>) -> AbsValue {
+        if let Some(flow) = self.call_builtin(name, &args) {
+            return match flow {
+                AFlow::Val(v) => v,
+                _ => AbsValue::Top,
+            };
+        }
+        let Some(proc) = self.program.proc(name) else {
+            return AbsValue::Top;
+        };
+        if self.call_stack.len() >= self.config.call_depth
+            || self.call_stack.iter().any(|c| c == name)
+            || self.budget_exhausted
+        {
+            // Widened call: the callee may write anything it can reach.
+            self.havoc_memory();
+            return AbsValue::Top;
+        }
+        let params = proc.params.clone();
+        let body = proc.body.clone();
+        let saved_proc = self.cur_proc.clone();
+        let saved_jumps = std::mem::take(&mut self.jump_states);
+        self.call_stack.push(name.to_owned());
+        self.cur_proc = name.to_owned();
+        let mut env = Env::new();
+        let mut param_ids = Vec::new();
+        for ((sym, ty), arg) in params.iter().zip(args) {
+            let size = self.size_of_ty(ty);
+            let id = self.alloc(
+                StorageKind::Stack,
+                Some(ty.clone()),
+                size,
+                InitState::Init,
+                sym.as_str(),
+            );
+            self.state.allocs[id].content = arg;
+            self.state.allocs[id].last_store = Some(ty.clone());
+            env.insert(
+                sym.as_str().to_owned(),
+                AbsValue::Ptr(AbsPtr::to_target(id)),
+            );
+            param_ids.push(id);
+        }
+        self.ret_stack.push(None);
+        let flow = self.eval_expr(&mut env, &body);
+        let returned = self.ret_stack.pop().flatten();
+        for id in param_ids {
+            self.state.allocs[id].life = Lifetime::Dead;
+        }
+        self.call_stack.pop();
+        self.cur_proc = saved_proc;
+        self.jump_states = saved_jumps;
+        let fallthrough = match flow {
+            AFlow::Val(v) => Some(v),
+            _ => None,
+        };
+        match (returned, fallthrough) {
+            (Some(r), Some(v)) => r.join(&v),
+            (Some(r), None) => r,
+            (None, Some(v)) => v,
+            (None, None) => AbsValue::Top,
+        }
+    }
+
+    /// The callee escaped analysis: anything reachable may have been written.
+    fn havoc_memory(&mut self) {
+        for a in &mut self.state.allocs {
+            if a.life != Lifetime::Dead {
+                a.content = AbsValue::Top;
+                a.init = a.init.touched();
+                a.last_store = None;
+            }
+        }
+    }
+
+    // ----- value coercions -------------------------------------------------------
+
+    fn as_ptr(&self, v: &AbsValue) -> AbsPtr {
+        match v {
+            AbsValue::Ptr(p) => p.clone(),
+            AbsValue::Spec(inner) => self.as_ptr(inner),
+            AbsValue::Int { val, prov } => {
+                if let Some(p) = prov {
+                    if *val == Some(0) {
+                        AbsPtr::null_ptr()
+                    } else {
+                        // Arithmetic on the integer form is not tracked, so
+                        // the byte offset into the carried allocation is
+                        // unknown after the round trip.
+                        AbsPtr {
+                            from_int: true,
+                            offset: None,
+                            ..p.clone()
+                        }
+                    }
+                } else {
+                    match val {
+                        Some(0) => AbsPtr::null_ptr(),
+                        Some(_) => AbsPtr {
+                            any: true,
+                            from_int: true,
+                            ..AbsPtr::default()
+                        },
+                        None => AbsPtr {
+                            any: true,
+                            from_int: true,
+                            null: true,
+                            ..AbsPtr::default()
+                        },
+                    }
+                }
+            }
+            _ => AbsPtr::wild(),
+        }
+    }
+
+    fn as_int(&self, v: &AbsValue) -> Option<i128> {
+        match v {
+            AbsValue::Int { val, .. } => *val,
+            AbsValue::Spec(inner) => self.as_int(inner),
+            AbsValue::Bool(Some(b)) => Some(i128::from(*b)),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self, v: &AbsValue) -> Option<bool> {
+        match v {
+            AbsValue::Bool(b) => *b,
+            AbsValue::Int { val, .. } => val.map(|i| i != 0),
+            AbsValue::Spec(inner) => self.as_bool(inner),
+            _ => None,
+        }
+    }
+
+    fn as_ctype(&self, v: &AbsValue) -> Option<Ctype> {
+        match v {
+            AbsValue::Ctype(t) => Some(t.clone()),
+            AbsValue::Spec(inner) => self.as_ctype(inner),
+            _ => None,
+        }
+    }
+
+    // ----- pure expressions ------------------------------------------------------
+
+    fn eval_pexpr(&mut self, env: &mut Env, pe: &PExpr) -> AbsValue {
+        if self.tick() {
+            return AbsValue::Top;
+        }
+        match pe {
+            PExpr::Sym(name) => env
+                .get(name.as_str())
+                .or_else(|| self.globals.get(name.as_str()))
+                .cloned()
+                .unwrap_or(AbsValue::Top),
+            PExpr::Unit => AbsValue::Unit,
+            PExpr::Boolean(b) => AbsValue::Bool(Some(*b)),
+            PExpr::Integer(i) => AbsValue::int(*i),
+            PExpr::CtypeConst(ty) => AbsValue::Ctype(ty.clone()),
+            PExpr::NullPtr(_) => AbsValue::Ptr(AbsPtr::null_ptr()),
+            PExpr::FunctionPtr(f) => AbsValue::Ptr(AbsPtr::function(f)),
+            PExpr::Undef(kind) => {
+                self.finding(*kind, true, "reachable undefined-behaviour node in Core");
+                AbsValue::Top
+            }
+            PExpr::Error(_) => AbsValue::Top,
+            PExpr::Specified(inner) => {
+                let v = self.eval_pexpr(env, inner);
+                AbsValue::spec(v)
+            }
+            PExpr::Unspecified(ty) => AbsValue::Unspec(Some(ty.clone())),
+            PExpr::Tuple(items) => {
+                let vs = items.iter().map(|i| self.eval_pexpr(env, i)).collect();
+                AbsValue::Tuple(vs)
+            }
+            PExpr::ArrayVal(items) => {
+                for i in items {
+                    self.eval_pexpr(env, i);
+                }
+                AbsValue::Top
+            }
+            PExpr::StructVal(_, members) => {
+                for (_, v) in members {
+                    self.eval_pexpr(env, v);
+                }
+                AbsValue::Top
+            }
+            PExpr::UnionVal(_, _, v) => {
+                self.eval_pexpr(env, v);
+                AbsValue::Top
+            }
+            PExpr::Not(inner) => {
+                let v = self.eval_pexpr(env, inner);
+                AbsValue::Bool(self.as_bool(&v).map(|b| !b))
+            }
+            PExpr::Binop(op, a, b) => {
+                let va = self.eval_pexpr(env, a);
+                let vb = self.eval_pexpr(env, b);
+                self.eval_binop(*op, &va, &vb)
+            }
+            PExpr::If(c, t, f) => {
+                let cond = self.eval_pexpr(env, c);
+                match self.as_bool(&cond) {
+                    Some(true) => self.eval_pexpr(env, t),
+                    Some(false) => self.eval_pexpr(env, f),
+                    None => {
+                        // Pure expressions have no memory effects, so only the
+                        // path-definiteness flag needs saving.
+                        let saved = self.definite;
+                        self.definite = false;
+                        let vt = self.eval_pexpr(env, t);
+                        let vf = self.eval_pexpr(env, f);
+                        self.definite = saved;
+                        vt.join(&vf)
+                    }
+                }
+            }
+            PExpr::Case(scrutinee, arms) => {
+                let v = self.eval_pexpr(env, scrutinee);
+                let candidates = self.select_arms(&v, arms.iter().map(|(p, _)| p));
+                match candidates.as_slice() {
+                    [(idx, bindings, true)] => {
+                        let mut env2 = env.clone();
+                        for (n, bv) in bindings {
+                            env2.insert(n.clone(), bv.clone());
+                        }
+                        self.eval_pexpr(&mut env2, &arms[*idx].1)
+                    }
+                    [] => AbsValue::Top,
+                    many => {
+                        let saved = self.definite;
+                        self.definite = false;
+                        let mut joined: Option<AbsValue> = None;
+                        let many = many.to_vec();
+                        for (idx, bindings, _) in many {
+                            let mut env2 = env.clone();
+                            for (n, bv) in bindings {
+                                env2.insert(n, bv);
+                            }
+                            let v = self.eval_pexpr(&mut env2, &arms[idx].1);
+                            joined = Some(match joined {
+                                Some(j) => j.join(&v),
+                                None => v,
+                            });
+                        }
+                        self.definite = saved;
+                        joined.unwrap_or(AbsValue::Top)
+                    }
+                }
+            }
+            PExpr::Let(pat, value, body) => {
+                let v = self.eval_pexpr(env, value);
+                let mut env2 = env.clone();
+                Self::bind(&mut env2, pat, v);
+                self.eval_pexpr(&mut env2, body)
+            }
+            PExpr::Builtin(f, args) => {
+                let vs: Vec<AbsValue> = args.iter().map(|a| self.eval_pexpr(env, a)).collect();
+                self.eval_builtin(*f, &vs)
+            }
+            PExpr::ArrayShift {
+                ptr,
+                elem_ty,
+                index,
+            } => {
+                let pv = self.eval_pexpr(env, ptr);
+                let iv = self.eval_pexpr(env, index);
+                self.array_shift(&pv, elem_ty, self.as_int(&iv))
+            }
+            PExpr::MemberShift { ptr, tag, member } => {
+                let pv = self.eval_pexpr(env, ptr);
+                let p = self.as_ptr(&pv);
+                let delta = layout::offset_of(*tag, member.as_str(), self.ienv, &self.program.tags)
+                    .ok()
+                    .map(i128::from);
+                if let Some(id) = p.single() {
+                    // Shifting into a struct the object does not have is the
+                    // common-prefix / wrong-tag access idiom the strict models
+                    // reject under effective-type rules.
+                    match &self.state.allocs[id].ty {
+                        Some(Ctype::Struct(t2)) | Some(Ctype::Union(t2)) if t2 != tag => {
+                            let name = self.state.allocs[id].name.clone();
+                            self.finding(
+                                UbKind::EffectiveTypeViolation,
+                                false,
+                                format!(
+                                    "member access at a struct/union type `{name}` does not have"
+                                ),
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+                let offset = match (p.offset, delta) {
+                    (Some(o), Some(d)) => Some(o + d),
+                    _ => None,
+                };
+                AbsValue::Ptr(p.with_offset(offset))
+            }
+        }
+    }
+
+    fn array_shift(&mut self, pv: &AbsValue, elem_ty: &Ctype, index: Option<i128>) -> AbsValue {
+        let p = self.as_ptr(pv);
+        let elem_size = self.size_of_ty(elem_ty).map(i128::from);
+        let new_offset = match (p.offset, index, elem_size) {
+            (Some(o), Some(i), Some(s)) => Some(o + i * s),
+            _ => None,
+        };
+        if let Some(id) = p.single() {
+            let (size, name) = {
+                let a = &self.state.allocs[id];
+                (a.size, a.name.clone())
+            };
+            match (new_offset, size) {
+                (Some(off), Some(size)) => {
+                    // One-past (off == size) is allowed by 6.5.6p8.
+                    if off < 0 || off > i128::from(size) {
+                        self.finding(
+                            UbKind::OutOfBoundsPointerArithmetic,
+                            true,
+                            format!("shift to byte {off} of `{name}` ({size} bytes)"),
+                        );
+                    }
+                }
+                _ => {
+                    self.finding(
+                        UbKind::OutOfBoundsPointerArithmetic,
+                        false,
+                        format!("pointer arithmetic on `{name}` the analyzer cannot bound"),
+                    );
+                }
+            }
+        } else if p.any || p.targets.len() > 1 {
+            self.finding(
+                UbKind::OutOfBoundsPointerArithmetic,
+                false,
+                "pointer arithmetic on a pointer with imprecise provenance",
+            );
+        }
+        AbsValue::Ptr(p.with_offset(new_offset))
+    }
+
+    fn eval_binop(&mut self, op: Binop, a: &AbsValue, b: &AbsValue) -> AbsValue {
+        use Binop::*;
+        let prov_of = |v: &AbsValue| match v {
+            AbsValue::Int { prov, .. } => prov.clone(),
+            _ => None,
+        };
+        match op {
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                let (ia, ib) = (self.as_int(a), self.as_int(b));
+                let val = match (ia, ib) {
+                    (Some(x), Some(y)) => Some(match op {
+                        Eq => x == y,
+                        Ne => x != y,
+                        Lt => x < y,
+                        Le => x <= y,
+                        Gt => x > y,
+                        _ => x >= y,
+                    }),
+                    _ => None,
+                };
+                AbsValue::Bool(val)
+            }
+            And | Or => {
+                let (ba, bb) = (self.as_bool(a), self.as_bool(b));
+                let val = match (op, ba, bb) {
+                    (And, Some(false), _) | (And, _, Some(false)) => Some(false),
+                    (And, Some(true), Some(true)) => Some(true),
+                    (Or, Some(true), _) | (Or, _, Some(true)) => Some(true),
+                    (Or, Some(false), Some(false)) => Some(false),
+                    _ => None,
+                };
+                AbsValue::Bool(val)
+            }
+            Add | Sub | Mul | Div | RemT | Exp | BitAnd | BitOr | BitXor => {
+                let (ia, ib) = (self.as_int(a), self.as_int(b));
+                let val = match (ia, ib) {
+                    (Some(x), Some(y)) => match op {
+                        Add => x.checked_add(y),
+                        Sub => x.checked_sub(y),
+                        Mul => x.checked_mul(y),
+                        Div => x.checked_div(y),
+                        RemT => x.checked_rem(y),
+                        Exp => u32::try_from(y).ok().and_then(|e| x.checked_pow(e)),
+                        BitAnd => Some(x & y),
+                        BitOr => Some(x | y),
+                        _ => Some(x ^ y),
+                    },
+                    _ => None,
+                };
+                // Provenance survives add/sub with a pure integer (the
+                // de-facto int-to-pointer round trips); other operators (the
+                // XOR-linked-list trick) lose it.
+                let prov = match (op, prov_of(a), prov_of(b)) {
+                    (Add | Sub, Some(p), None) | (Add, None, Some(p)) => Some(p),
+                    _ => None,
+                };
+                AbsValue::Int { val, prov }
+            }
+        }
+    }
+
+    fn eval_builtin(&mut self, f: BuiltinFn, args: &[AbsValue]) -> AbsValue {
+        let ctype = args.first().and_then(|v| self.as_ctype(v));
+        let int_ty = ctype.as_ref().and_then(|t| match t {
+            Ctype::Integer(it) => Some(*it),
+            _ => None,
+        });
+        match f {
+            BuiltinFn::IntegerPromotion => args.get(1).cloned().unwrap_or(AbsValue::Top),
+            BuiltinFn::ConvInt => {
+                let v = args.get(1).cloned().unwrap_or(AbsValue::Top);
+                let prov = match &v {
+                    AbsValue::Int { prov, .. } => prov.clone(),
+                    _ => None,
+                };
+                let val = match (self.as_int(&v), int_ty) {
+                    (Some(x), Some(it)) => Some(self.ienv.convert_int(x, it)),
+                    _ => None,
+                };
+                AbsValue::Int { val, prov }
+            }
+            BuiltinFn::IsRepresentable => {
+                let v = args.get(1).map(|v| self.as_int(v)).unwrap_or(None);
+                let val = match (v, int_ty) {
+                    (Some(x), Some(it)) => Some(self.ienv.representable(x, it)),
+                    _ => None,
+                };
+                AbsValue::Bool(val)
+            }
+            BuiltinFn::CtypeWidth => match int_ty {
+                Some(it) => AbsValue::int(i128::from(self.ienv.integer_width(it))),
+                None => AbsValue::unknown_int(),
+            },
+            BuiltinFn::Ivmax => match int_ty {
+                Some(it) => AbsValue::int(self.ienv.int_max(it)),
+                None => AbsValue::unknown_int(),
+            },
+            BuiltinFn::Ivmin => match int_ty {
+                Some(it) => AbsValue::int(self.ienv.int_min(it)),
+                None => AbsValue::unknown_int(),
+            },
+            BuiltinFn::SizeOf => match ctype.as_ref().and_then(|t| self.size_of_ty(t)) {
+                Some(s) => AbsValue::int(i128::from(s)),
+                None => AbsValue::unknown_int(),
+            },
+            BuiltinFn::AlignOf => match ctype
+                .as_ref()
+                .and_then(|t| layout::align_of(t, self.ienv, &self.program.tags).ok())
+            {
+                Some(a) => AbsValue::int(i128::from(a)),
+                None => AbsValue::unknown_int(),
+            },
+            BuiltinFn::IsSigned => AbsValue::Bool(int_ty.map(|it| self.ienv.is_signed(it))),
+            BuiltinFn::IsUnsigned => AbsValue::Bool(int_ty.map(|it| !self.ienv.is_signed(it))),
+            BuiltinFn::IsInteger => AbsValue::Bool(ctype.as_ref().map(Ctype::is_integer)),
+            BuiltinFn::IsScalar => AbsValue::Bool(ctype.as_ref().map(Ctype::is_scalar)),
+        }
+    }
+
+    // ----- pattern matching ------------------------------------------------------
+
+    fn bind(env: &mut Env, pat: &Pattern, v: AbsValue) {
+        match pat {
+            Pattern::Wildcard => {}
+            Pattern::Sym(name) => {
+                env.insert(name.as_str().to_owned(), v);
+            }
+            Pattern::Tuple(ps) => match v {
+                AbsValue::Tuple(vs) if vs.len() == ps.len() => {
+                    for (p, item) in ps.iter().zip(vs) {
+                        Self::bind(env, p, item);
+                    }
+                }
+                other if ps.len() == 1 => Self::bind(env, &ps[0], other),
+                _ => {
+                    for p in ps {
+                        Self::bind(env, p, AbsValue::Top);
+                    }
+                }
+            },
+            Pattern::Specified(p) => match v {
+                AbsValue::Spec(inner) => Self::bind(env, p, *inner),
+                other => Self::bind(env, p, other),
+            },
+            Pattern::Unspecified(p) => match v {
+                AbsValue::Unspec(Some(ty)) => Self::bind(env, p, AbsValue::Ctype(ty)),
+                _ => Self::bind(env, p, AbsValue::Top),
+            },
+        }
+    }
+
+    fn match_quality(pat: &Pattern, v: &AbsValue) -> MatchQ {
+        match (pat, v) {
+            (Pattern::Wildcard, _) => MatchQ::Yes(Vec::new()),
+            (Pattern::Sym(name), _) => MatchQ::Yes(vec![(name.as_str().to_owned(), v.clone())]),
+            (Pattern::Tuple(ps), AbsValue::Tuple(vs)) if ps.len() == vs.len() => {
+                let mut bindings = Vec::new();
+                let mut certain = true;
+                for (p, item) in ps.iter().zip(vs) {
+                    match Self::match_quality(p, item) {
+                        MatchQ::Yes(mut bs) => bindings.append(&mut bs),
+                        MatchQ::Maybe(mut bs) => {
+                            certain = false;
+                            bindings.append(&mut bs);
+                        }
+                        MatchQ::No => return MatchQ::No,
+                    }
+                }
+                if certain {
+                    MatchQ::Yes(bindings)
+                } else {
+                    MatchQ::Maybe(bindings)
+                }
+            }
+            (Pattern::Tuple(ps), other) if ps.len() == 1 => Self::match_quality(&ps[0], other),
+            (Pattern::Tuple(ps), _) => MatchQ::Maybe(Self::bind_all_top(ps)),
+            (Pattern::Specified(p), AbsValue::Spec(inner)) => Self::match_quality(p, inner),
+            (Pattern::Specified(_), AbsValue::Unspec(_)) => MatchQ::No,
+            (Pattern::Specified(p), _) => match Self::match_quality(p, &AbsValue::Top) {
+                MatchQ::Yes(bs) | MatchQ::Maybe(bs) => MatchQ::Maybe(bs),
+                MatchQ::No => MatchQ::No,
+            },
+            (Pattern::Unspecified(p), AbsValue::Unspec(Some(ty))) => {
+                Self::match_quality(p, &AbsValue::Ctype(ty.clone()))
+            }
+            (Pattern::Unspecified(p), AbsValue::Unspec(None)) => {
+                match Self::match_quality(p, &AbsValue::Top) {
+                    MatchQ::Yes(bs) | MatchQ::Maybe(bs) => MatchQ::Yes(bs),
+                    MatchQ::No => MatchQ::No,
+                }
+            }
+            (Pattern::Unspecified(_), AbsValue::Spec(_)) => MatchQ::No,
+            (Pattern::Unspecified(p), _) => match Self::match_quality(p, &AbsValue::Top) {
+                MatchQ::Yes(bs) | MatchQ::Maybe(bs) => MatchQ::Maybe(bs),
+                MatchQ::No => MatchQ::No,
+            },
+        }
+    }
+
+    fn bind_all_top(ps: &[Pattern]) -> Vec<(String, AbsValue)> {
+        let mut out = Vec::new();
+        for p in ps {
+            match p {
+                Pattern::Sym(name) => out.push((name.as_str().to_owned(), AbsValue::Top)),
+                Pattern::Tuple(inner) => out.append(&mut Self::bind_all_top(inner)),
+                Pattern::Specified(inner) | Pattern::Unspecified(inner) => {
+                    out.append(&mut Self::bind_all_top(std::slice::from_ref(inner)))
+                }
+                Pattern::Wildcard => {}
+            }
+        }
+        out
+    }
+
+    /// Which arms can match `v`: all `Maybe`s up to and including the first
+    /// definite `Yes`. The bool marks a definite match.
+    fn select_arms<'p>(
+        &self,
+        v: &AbsValue,
+        pats: impl Iterator<Item = &'p Pattern>,
+    ) -> Vec<SelectedArm> {
+        let mut out = Vec::new();
+        for (idx, pat) in pats.enumerate() {
+            match Self::match_quality(pat, v) {
+                MatchQ::Yes(bs) => {
+                    out.push((idx, bs, true));
+                    break;
+                }
+                MatchQ::Maybe(bs) => out.push((idx, bs, false)),
+                MatchQ::No => {}
+            }
+        }
+        out
+    }
+
+    // ----- effectful expressions -------------------------------------------------
+
+    fn eval_expr(&mut self, env: &mut Env, e: &Expr) -> AFlow {
+        if self.tick() {
+            return AFlow::Val(AbsValue::Top);
+        }
+        match e {
+            Expr::Pure(pe) => AFlow::Val(self.eval_pexpr(env, pe)),
+            Expr::Memop(op, args) => self.eval_memop(env, *op, args),
+            Expr::Action(pol, action) => self.eval_action(env, action, *pol == Polarity::Negative),
+            Expr::Skip => AFlow::Val(AbsValue::Unit),
+            Expr::Let(pat, value, body) => {
+                let v = self.eval_pexpr(env, value);
+                Self::bind(env, pat, v);
+                self.eval_expr(env, body)
+            }
+            Expr::If(c, t, f) => {
+                let cond = self.eval_pexpr(env, c);
+                match self.as_bool(&cond) {
+                    Some(true) => self.eval_expr(env, t),
+                    Some(false) => self.eval_expr(env, f),
+                    None => self.eval_branches(env, &[t, f]),
+                }
+            }
+            Expr::Case(scrutinee, arms) => {
+                let v = self.eval_pexpr(env, scrutinee);
+                let candidates = self.select_arms(&v, arms.iter().map(|(p, _)| p));
+                match candidates.as_slice() {
+                    [(idx, bindings, true)] => {
+                        let mut env2 = env.clone();
+                        for (n, bv) in bindings {
+                            env2.insert(n.clone(), bv.clone());
+                        }
+                        self.eval_expr(&mut env2, &arms[*idx].1)
+                    }
+                    [] => AFlow::Val(AbsValue::Top),
+                    many => {
+                        let many = many.to_vec();
+                        let saved_def = self.definite;
+                        self.definite = false;
+                        let saved_state = self.state.clone();
+                        let mut results = Vec::new();
+                        for (idx, bindings, _) in many {
+                            self.state = saved_state.clone();
+                            let mut env2 = env.clone();
+                            for (n, bv) in bindings {
+                                env2.insert(n, bv);
+                            }
+                            let flow = self.eval_expr(&mut env2, &arms[idx].1);
+                            results.push((flow, self.state.clone()));
+                        }
+                        self.definite = saved_def;
+                        self.join_results(results)
+                    }
+                }
+            }
+            Expr::Ccall(f, args) => {
+                let fv = self.eval_pexpr(env, f);
+                let vs: Vec<AbsValue> = args.iter().map(|a| self.eval_pexpr(env, a)).collect();
+                // The elaborator wraps function designators as
+                // `Specified(cfunction(f))`; `as_ptr` sees through the
+                // wrapper and the env binding.
+                let name = self.as_ptr(&fv).func;
+                match name {
+                    Some(name) => AFlow::Val(self.call_proc(&name, vs)),
+                    None => {
+                        self.havoc_memory();
+                        AFlow::Val(AbsValue::Top)
+                    }
+                }
+            }
+            Expr::Unseq(items) => {
+                let mut frames = Vec::new();
+                let mut values = Vec::new();
+                for item in items {
+                    self.fp_stack.push(Vec::new());
+                    let flow = self.eval_expr(env, item);
+                    let frame = self.fp_stack.pop().unwrap_or_default();
+                    frames.push(frame);
+                    match flow {
+                        AFlow::Val(v) => values.push(v),
+                        other => {
+                            self.merge_frames(frames);
+                            return other;
+                        }
+                    }
+                }
+                for i in 0..frames.len() {
+                    for j in (i + 1)..frames.len() {
+                        self.check_race(&frames[i], &frames[j], false);
+                    }
+                }
+                self.merge_frames(frames);
+                AFlow::Val(AbsValue::Tuple(values))
+            }
+            Expr::Wseq(pat, a, b) => {
+                self.fp_stack.push(Vec::new());
+                let fa = self.eval_expr(env, a);
+                let fp_a = self.fp_stack.pop().unwrap_or_default();
+                match fa {
+                    AFlow::Val(v) => {
+                        Self::bind(env, pat, v);
+                        self.fp_stack.push(Vec::new());
+                        let fb = self.eval_expr(env, b);
+                        let fp_b = self.fp_stack.pop().unwrap_or_default();
+                        // Weak sequencing leaves only the negative actions of
+                        // the first operand unsequenced w.r.t. the second.
+                        self.check_race(&fp_a, &fp_b, true);
+                        self.merge_frames(vec![fp_a, fp_b]);
+                        fb
+                    }
+                    AFlow::Jump(l) => {
+                        self.merge_frames(vec![fp_a]);
+                        if Self::contains_save(b, &l) {
+                            self.eval_seeking(env, b, &l)
+                        } else {
+                            AFlow::Jump(l)
+                        }
+                    }
+                    other => {
+                        self.merge_frames(vec![fp_a]);
+                        other
+                    }
+                }
+            }
+            Expr::Sseq(pat, a, b) => match self.eval_expr(env, a) {
+                AFlow::Val(v) => {
+                    Self::bind(env, pat, v);
+                    self.eval_expr(env, b)
+                }
+                AFlow::Jump(l) => {
+                    if Self::contains_save(b, &l) {
+                        self.eval_seeking(env, b, &l)
+                    } else {
+                        AFlow::Jump(l)
+                    }
+                }
+                other => other,
+            },
+            Expr::Indet(body) => {
+                // Accesses inside an indeterminately-sequenced region are not
+                // candidates for the enclosing race checks.
+                let saved = std::mem::take(&mut self.fp_stack);
+                let flow = self.eval_expr(env, body);
+                self.fp_stack = saved;
+                flow
+            }
+            Expr::Bound(body) => self.eval_expr(env, body),
+            Expr::Nd(items) => {
+                let bodies: Vec<&Expr> = items.iter().collect();
+                self.eval_branches(env, &bodies)
+            }
+            Expr::Par(items) => {
+                for item in items {
+                    let mut env2 = env.clone();
+                    let _ = self.eval_expr(&mut env2, item);
+                }
+                AFlow::Val(AbsValue::Top)
+            }
+            Expr::Save(label, body) => self.eval_save(env, label, body),
+            Expr::Exit(label, body) => {
+                let flow = self.eval_expr(env, body);
+                let pending = self.jump_states.remove(label.as_str());
+                match pending {
+                    Some(js) => {
+                        // Some path broke out to this delimiter; its state
+                        // joins whatever the body ended with.
+                        self.state.join_from(&js);
+                        self.definite = false;
+                        match flow {
+                            AFlow::Val(v) => AFlow::Val(v.join(&AbsValue::Unit)),
+                            _ => AFlow::Val(AbsValue::Unit),
+                        }
+                    }
+                    None => match flow {
+                        AFlow::Jump(l) if l == *label => AFlow::Val(AbsValue::Unit),
+                        other => other,
+                    },
+                }
+            }
+            Expr::Run(label) => {
+                let snapshot = self.state.clone();
+                match self.jump_states.get_mut(label.as_str()) {
+                    Some(existing) => existing.join_from(&snapshot),
+                    None => {
+                        self.jump_states.insert(label.as_str().to_owned(), snapshot);
+                    }
+                }
+                AFlow::Jump(label.clone())
+            }
+            Expr::Return(pe) => {
+                let v = self.eval_pexpr(env, pe);
+                if let Some(slot) = self.ret_stack.last_mut() {
+                    *slot = Some(match slot.take() {
+                        Some(prev) => prev.join(&v),
+                        None => v,
+                    });
+                }
+                AFlow::Ret
+            }
+        }
+    }
+
+    /// Evaluate each alternative on a copy of the current state and join the
+    /// surviving outcomes.
+    fn eval_branches(&mut self, env: &Env, bodies: &[&Expr]) -> AFlow {
+        let saved_def = self.definite;
+        self.definite = false;
+        let saved_state = self.state.clone();
+        let mut results = Vec::new();
+        for body in bodies {
+            self.state = saved_state.clone();
+            let mut env2 = env.clone();
+            let flow = self.eval_expr(&mut env2, body);
+            results.push((flow, self.state.clone()));
+        }
+        self.definite = saved_def;
+        self.join_results(results)
+    }
+
+    /// Join branch outcomes: the post-state is the join of the states of the
+    /// branches that fall through (jumping branches parked their state in
+    /// `jump_states`; returning branches accumulated into `ret_stack`).
+    fn join_results(&mut self, results: Vec<(AFlow, State)>) -> AFlow {
+        let mut value: Option<AbsValue> = None;
+        let mut val_state: Option<State> = None;
+        for (flow, state) in &results {
+            if let AFlow::Val(v) = flow {
+                value = Some(match value {
+                    Some(j) => j.join(v),
+                    None => v.clone(),
+                });
+                match &mut val_state {
+                    Some(s) => s.join_from(state),
+                    None => val_state = Some(state.clone()),
+                }
+            }
+        }
+        if let Some(s) = val_state {
+            self.state = s;
+            return AFlow::Val(value.unwrap_or(AbsValue::Top));
+        }
+        // No branch falls through: propagate a jump if there is one (its
+        // state is registered at the run site), otherwise return.
+        let mut all_states: Option<State> = None;
+        for (_, state) in &results {
+            match &mut all_states {
+                Some(s) => s.join_from(state),
+                None => all_states = Some(state.clone()),
+            }
+        }
+        if let Some(s) = all_states {
+            self.state = s;
+        }
+        for (flow, _) in results {
+            if let AFlow::Jump(l) = flow {
+                return AFlow::Jump(l);
+            }
+        }
+        AFlow::Ret
+    }
+
+    fn eval_save(&mut self, env: &mut Env, label: &Ident, body: &Expr) -> AFlow {
+        let key = label.as_str().to_owned();
+        let mut iterations = 0usize;
+        loop {
+            if let Some(js) = self.jump_states.remove(&key) {
+                self.state.join_from(&js);
+            }
+            let flow = self.eval_expr(env, body);
+            let jumped_here = matches!(&flow, AFlow::Jump(l) if l.as_str() == key);
+            let pending = self.jump_states.contains_key(&key);
+            if !jumped_here && !pending {
+                return flow;
+            }
+            iterations += 1;
+            self.definite = false;
+            if iterations >= self.config.loop_bound || self.budget_exhausted {
+                self.jump_states.remove(&key);
+                self.widen_after_loop();
+                return match flow {
+                    AFlow::Jump(l) if l.as_str() == key => AFlow::Val(AbsValue::Top),
+                    other => other,
+                };
+            }
+        }
+    }
+
+    /// The loop bound was hit: further iterations could have written anything
+    /// the loop body writes, so give up on value precision.
+    fn widen_after_loop(&mut self) {
+        for a in &mut self.state.allocs {
+            if a.life != Lifetime::Dead {
+                a.content = AbsValue::Top;
+                a.init = a.init.touched();
+            }
+        }
+    }
+
+    fn contains_save(e: &Expr, label: &Ident) -> bool {
+        match e {
+            Expr::Save(l, body) => l == label || Self::contains_save(body, label),
+            Expr::Exit(_, body) | Expr::Indet(body) | Expr::Bound(body) => {
+                Self::contains_save(body, label)
+            }
+            Expr::Let(_, _, body) => Self::contains_save(body, label),
+            Expr::If(_, t, f) => Self::contains_save(t, label) || Self::contains_save(f, label),
+            Expr::Case(_, arms) => arms.iter().any(|(_, b)| Self::contains_save(b, label)),
+            Expr::Unseq(items) | Expr::Nd(items) | Expr::Par(items) => {
+                items.iter().any(|i| Self::contains_save(i, label))
+            }
+            Expr::Wseq(_, a, b) | Expr::Sseq(_, a, b) => {
+                Self::contains_save(a, label) || Self::contains_save(b, label)
+            }
+            _ => false,
+        }
+    }
+
+    /// Skip forward through `e` to the `save` for `label` (forward `goto` /
+    /// `switch` dispatch), mirroring the concrete interpreter's seeking mode.
+    /// Bindings on the skipped prefix stay unbound and read back as `Top`.
+    fn eval_seeking(&mut self, env: &mut Env, e: &Expr, label: &Ident) -> AFlow {
+        if self.tick() {
+            return AFlow::Val(AbsValue::Top);
+        }
+        match e {
+            Expr::Save(l, body) => {
+                if l == label {
+                    self.eval_save(env, label, body)
+                } else if Self::contains_save(body, label) {
+                    let flow = self.eval_seeking(env, body, label);
+                    match flow {
+                        AFlow::Jump(j) if &j == l => self.eval_save(env, l, body),
+                        other => other,
+                    }
+                } else {
+                    AFlow::Val(AbsValue::Top)
+                }
+            }
+            Expr::Exit(l, body) => {
+                let flow = self.eval_seeking(env, body, label);
+                let pending = self.jump_states.remove(l.as_str());
+                if let Some(js) = pending {
+                    self.state.join_from(&js);
+                    self.definite = false;
+                    return AFlow::Val(AbsValue::Unit);
+                }
+                match flow {
+                    AFlow::Jump(j) if &j == l => AFlow::Val(AbsValue::Unit),
+                    other => other,
+                }
+            }
+            Expr::Sseq(pat, a, b) | Expr::Wseq(pat, a, b) => {
+                if Self::contains_save(a, label) {
+                    let flow = self.eval_seeking(env, a, label);
+                    match flow {
+                        AFlow::Val(v) => {
+                            Self::bind(env, pat, v);
+                            self.eval_expr(env, b)
+                        }
+                        AFlow::Jump(l) => {
+                            if Self::contains_save(b, &l) {
+                                self.eval_seeking(env, b, &l)
+                            } else {
+                                AFlow::Jump(l)
+                            }
+                        }
+                        other => other,
+                    }
+                } else {
+                    self.eval_seeking(env, b, label)
+                }
+            }
+            Expr::Let(_, _, body) | Expr::Indet(body) | Expr::Bound(body) => {
+                self.eval_seeking(env, body, label)
+            }
+            Expr::If(_, t, f) => {
+                if Self::contains_save(t, label) {
+                    self.eval_seeking(env, t, label)
+                } else {
+                    self.eval_seeking(env, f, label)
+                }
+            }
+            Expr::Case(_, arms) => {
+                for (_, body) in arms {
+                    if Self::contains_save(body, label) {
+                        return self.eval_seeking(env, body, label);
+                    }
+                }
+                AFlow::Val(AbsValue::Top)
+            }
+            Expr::Unseq(items) | Expr::Nd(items) | Expr::Par(items) => {
+                for item in items {
+                    if Self::contains_save(item, label) {
+                        return self.eval_seeking(env, item, label);
+                    }
+                }
+                AFlow::Val(AbsValue::Top)
+            }
+            _ => AFlow::Val(AbsValue::Top),
+        }
+    }
+
+    // ----- memory actions --------------------------------------------------------
+
+    fn eval_action(&mut self, env: &mut Env, action: &MemAction, negative: bool) -> AFlow {
+        match action {
+            MemAction::Create { ty, .. } => {
+                let tv = self.eval_pexpr(env, ty);
+                let cty = self.as_ctype(&tv);
+                let size = cty.as_ref().and_then(|t| self.size_of_ty(t));
+                let id = self.alloc(StorageKind::Stack, cty, size, InitState::Uninit, "<auto>");
+                AFlow::Val(AbsValue::Ptr(AbsPtr::to_target(id)))
+            }
+            MemAction::Alloc { size, .. } => {
+                let sv = self.eval_pexpr(env, size);
+                let size = self.as_int(&sv).and_then(|s| u64::try_from(s).ok());
+                let id = self.alloc(StorageKind::Heap, None, size, InitState::Uninit, "<alloc>");
+                AFlow::Val(AbsValue::Ptr(AbsPtr::to_target(id)))
+            }
+            MemAction::Kill(ptr) => {
+                let pv = self.eval_pexpr(env, ptr);
+                let p = self.as_ptr(&pv);
+                // End-of-block kills are lenient in the concrete interpreter;
+                // abstractly they just end the lifetime.
+                if let Some(id) = p.single() {
+                    self.state.allocs[id].life = Lifetime::Dead;
+                } else {
+                    for &id in &p.targets {
+                        let a = &mut self.state.allocs[id];
+                        a.life = a.life.join(Lifetime::Dead);
+                    }
+                }
+                AFlow::Val(AbsValue::Unit)
+            }
+            MemAction::Store { ty, ptr, value, .. } => {
+                let tv = self.eval_pexpr(env, ty);
+                let pv = self.eval_pexpr(env, ptr);
+                let v = self.eval_pexpr(env, value);
+                let p = self.as_ptr(&pv);
+                let cty = self.as_ctype(&tv);
+                self.deref_check(&p, cty.as_ref(), true);
+                self.apply_store(&p, cty.as_ref(), v);
+                self.record_access(&p, true, negative);
+                AFlow::Val(AbsValue::Unit)
+            }
+            MemAction::Load { ty, ptr, .. } => {
+                let tv = self.eval_pexpr(env, ty);
+                let pv = self.eval_pexpr(env, ptr);
+                let p = self.as_ptr(&pv);
+                let cty = self.as_ctype(&tv);
+                self.deref_check(&p, cty.as_ref(), false);
+                self.record_access(&p, false, negative);
+                AFlow::Val(self.apply_load(&p, cty.as_ref()))
+            }
+        }
+    }
+
+    /// The checks every model performs before honouring an access.
+    fn deref_check(&mut self, p: &AbsPtr, ty: Option<&Ctype>, write: bool) {
+        let what = if write { "store" } else { "load" };
+        if p.definitely_null() {
+            self.finding(
+                UbKind::NullPointerDeref,
+                true,
+                format!("{what} through a pointer that is definitely null"),
+            );
+            return;
+        }
+        if p.null {
+            self.finding(
+                UbKind::NullPointerDeref,
+                false,
+                format!("{what} through a possibly-null pointer"),
+            );
+        }
+        if p.any {
+            self.finding(
+                UbKind::AccessWithoutProvenance,
+                false,
+                format!("{what} through a pointer with no tracked provenance"),
+            );
+            self.finding(
+                UbKind::OutOfBoundsAccess,
+                false,
+                format!("{what} through a pointer the analyzer cannot bound"),
+            );
+            if p.from_int && p.targets.is_empty() {
+                self.finding(
+                    UbKind::InvalidLvalue,
+                    false,
+                    format!("{what} through a pointer forged from an arbitrary integer"),
+                );
+            }
+        }
+        if p.from_int && !p.targets.is_empty() {
+            // The pointer went through an integer round trip. The models
+            // that do not track provenance across integers report the
+            // access as provenance-free even when the address is right.
+            self.finding(
+                UbKind::AccessWithoutProvenance,
+                false,
+                format!("{what} through a pointer reconstructed from an integer"),
+            );
+        }
+        let is_single = p.single().is_some();
+        let access_size = ty.and_then(|t| self.size_of_ty(t));
+        let targets: Vec<AllocId> = p.targets.iter().copied().collect();
+        for id in targets {
+            let (life, kind, size, name, decl_ty, last_store) = {
+                let a = &self.state.allocs[id];
+                (
+                    a.life,
+                    a.kind,
+                    a.size,
+                    a.name.clone(),
+                    a.ty.clone(),
+                    a.last_store.clone(),
+                )
+            };
+            match life {
+                Lifetime::Dead => self.finding(
+                    UbKind::AccessOutsideLifetime,
+                    is_single,
+                    format!("{what} to `{name}` after its lifetime ended"),
+                ),
+                Lifetime::MaybeDead => self.finding(
+                    UbKind::AccessOutsideLifetime,
+                    false,
+                    format!("{what} to `{name}` whose lifetime may have ended"),
+                ),
+                Lifetime::Live => {}
+            }
+            if life != Lifetime::Live {
+                // Models that recycle a dead region classify the same access
+                // as out of bounds rather than outside-lifetime.
+                self.finding(
+                    UbKind::OutOfBoundsAccess,
+                    false,
+                    format!("{what} to the possibly-recycled region of `{name}`"),
+                );
+            }
+            if write && kind == StorageKind::StringLit {
+                self.finding(
+                    UbKind::StringLiteralModification,
+                    is_single,
+                    format!("store into the string literal object `{name}`"),
+                );
+            }
+            let offset = if is_single { p.offset } else { None };
+            match (offset, size, access_size) {
+                (Some(off), Some(size), Some(len)) => {
+                    if off < 0 || off + i128::from(len) > i128::from(size) {
+                        self.finding(
+                            UbKind::OutOfBoundsAccess,
+                            is_single,
+                            format!(
+                                "{what} of {len} bytes at byte {off} of `{name}` ({size} bytes)"
+                            ),
+                        );
+                    }
+                }
+                _ => {
+                    // The access cannot be proven in-bounds; a may-analysis
+                    // must keep the possibility open.
+                    self.finding(
+                        UbKind::OutOfBoundsAccess,
+                        false,
+                        format!("{what} to `{name}` at an offset the analyzer cannot bound"),
+                    );
+                }
+            }
+            // Effective-type rules. A character-typed access inspects the
+            // object representation and is always permitted (6.5p7);
+            // anything else is checked against the declared type and the
+            // last store. Both loads *and* stores are checked — the
+            // strictest models flag a wrongly-typed store as the violation
+            // itself, not just the later read.
+            if let Some(t) = ty {
+                if !t.is_character() {
+                    let decl_mismatch = match &decl_ty {
+                        None => false,
+                        Some(decl) if decl == t => false,
+                        // The strict effective-type models treat any
+                        // member-typed access to an aggregate object as an
+                        // access at the wrong type: the object's effective
+                        // type is the aggregate itself.
+                        Some(Ctype::Struct(_) | Ctype::Union(_)) => true,
+                        Some(decl) => !Self::decl_compatible(decl, t),
+                    };
+                    if decl_mismatch {
+                        self.finding(
+                            UbKind::EffectiveTypeViolation,
+                            false,
+                            format!(
+                                "{what} at a type incompatible with the effective type of `{name}`"
+                            ),
+                        );
+                    }
+                    if let Some(stored) = &last_store {
+                        if !self.repr_compatible(stored, t) {
+                            self.finding(
+                                UbKind::EffectiveTypeViolation,
+                                false,
+                                format!(
+                                    "{what} at a type incompatible with the last store to `{name}`"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether an access at `access` is plausibly compatible with an object
+    /// declared at `decl` (loose: any member/element of an aggregate counts).
+    fn decl_compatible(decl: &Ctype, access: &Ctype) -> bool {
+        if decl == access || access.is_character() {
+            return true;
+        }
+        if decl.is_character() {
+            // A char object gives a wider access no effective-type cover in
+            // this direction: reading an int out of a char array is the
+            // textbook 6.5p6 violation.
+            return false;
+        }
+        match decl {
+            Ctype::Integer(_) => access.is_integer(),
+            Ctype::Pointer(..) => matches!(access, Ctype::Pointer(..)),
+            Ctype::Array(elem, _) => Self::decl_compatible(elem, access),
+            Ctype::Struct(_) | Ctype::Union(_) => {
+                // Without chasing the member at the concrete byte offset,
+                // accept any access; union punning is caught by the
+                // last-store check instead.
+                true
+            }
+            _ => true,
+        }
+    }
+
+    /// Whether loading at `access` after a store at `stored` reuses the same
+    /// representation (the effective-type read rule, 6.5p6/p7).
+    fn repr_compatible(&self, stored: &Ctype, access: &Ctype) -> bool {
+        if stored == access || access.is_character() || stored.is_character() {
+            return true;
+        }
+        match (stored, access) {
+            (Ctype::Integer(a), Ctype::Integer(b)) => {
+                self.ienv.integer_size(*a) == self.ienv.integer_size(*b)
+                    && self.ienv.is_signed(*a) == self.ienv.is_signed(*b)
+            }
+            (Ctype::Pointer(..), Ctype::Pointer(..)) => true,
+            _ => false,
+        }
+    }
+
+    fn apply_store(&mut self, p: &AbsPtr, ty: Option<&Ctype>, v: AbsValue) {
+        if p.any {
+            // A store through an untracked pointer may hit anything live.
+            for a in &mut self.state.allocs {
+                if a.life != Lifetime::Dead {
+                    a.content = AbsValue::Top;
+                    a.init = a.init.touched();
+                    a.last_store = None;
+                }
+            }
+            return;
+        }
+        let access_size = ty.and_then(|t| self.size_of_ty(t));
+        if let Some(id) = p.single() {
+            let whole = p.offset == Some(0)
+                && access_size.is_some()
+                && access_size == self.state.allocs[id].size;
+            let a = &mut self.state.allocs[id];
+            if whole && a.life == Lifetime::Live {
+                a.content = v;
+                a.init = InitState::Init;
+            } else {
+                a.content = AbsValue::Top;
+                a.init = a.init.touched();
+            }
+            a.last_store = ty.cloned();
+            return;
+        }
+        for &id in &p.targets {
+            let a = &mut self.state.allocs[id];
+            a.content = AbsValue::Top;
+            a.init = a.init.touched();
+            a.last_store = None;
+        }
+    }
+
+    fn apply_load(&mut self, p: &AbsPtr, ty: Option<&Ctype>) -> AbsValue {
+        let access_size = ty.and_then(|t| self.size_of_ty(t));
+        if let Some(id) = p.single() {
+            let (whole, init, content, name) = {
+                let a = &self.state.allocs[id];
+                (
+                    p.offset == Some(0) && access_size.is_some() && access_size == a.size,
+                    a.init,
+                    a.content.clone(),
+                    a.name.clone(),
+                )
+            };
+            match init {
+                InitState::Uninit => {
+                    self.finding(
+                        UbKind::IndeterminateValueUse,
+                        true,
+                        format!("load from `{name}` before any store to it"),
+                    );
+                    return AbsValue::Unspec(ty.cloned());
+                }
+                InitState::MaybeInit => {
+                    self.finding(
+                        UbKind::IndeterminateValueUse,
+                        false,
+                        format!("load from `{name}` that may precede initialisation"),
+                    );
+                    return AbsValue::Top;
+                }
+                InitState::Init => {}
+            }
+            if whole && matches!(content, AbsValue::Spec(_) | AbsValue::Unspec(_)) {
+                // A pointer representation read back at an integer type (a
+                // union pun or memcpy into an integer) materialises as an
+                // integer that merely *carries* the provenance: casting it
+                // back to a pointer is then the integer round-trip case.
+                if let Some(t) = ty {
+                    if t.is_integer() {
+                        if let AbsValue::Spec(inner) = &content {
+                            if let AbsValue::Ptr(ptr) = &**inner {
+                                return AbsValue::spec(AbsValue::Int {
+                                    val: None,
+                                    prov: Some(ptr.clone()),
+                                });
+                            }
+                        }
+                    }
+                }
+                return content;
+            }
+        }
+        AbsValue::Top
+    }
+
+    fn record_access(&mut self, p: &AbsPtr, write: bool, negative: bool) {
+        if let Some(frame) = self.fp_stack.last_mut() {
+            frame.push(AbsAccess {
+                targets: p.targets.clone(),
+                any: p.any,
+                write,
+                negative,
+            });
+        }
+    }
+
+    /// Report an unsequenced race between two footprints. With
+    /// `negative_only`, only negative-polarity actions of the first footprint
+    /// participate (weak sequencing).
+    fn check_race(&mut self, first: &[AbsAccess], second: &[AbsAccess], negative_only: bool) {
+        for a in first {
+            if negative_only && !a.negative {
+                continue;
+            }
+            for b in second {
+                if !(a.write || b.write) {
+                    continue;
+                }
+                if a.any || b.any {
+                    continue;
+                }
+                if a.targets.is_disjoint(&b.targets) {
+                    continue;
+                }
+                let certain = a.targets.len() == 1 && b.targets.len() == 1;
+                self.finding(
+                    UbKind::UnsequencedRace,
+                    certain,
+                    "conflicting unsequenced accesses to the same object",
+                );
+                return;
+            }
+        }
+    }
+
+    fn merge_frames(&mut self, frames: Vec<Vec<AbsAccess>>) {
+        if let Some(parent) = self.fp_stack.last_mut() {
+            for frame in frames {
+                parent.extend(frame);
+            }
+        }
+    }
+
+    // ----- C library builtins ----------------------------------------------------
+
+    fn call_builtin(&mut self, name: &str, args: &[AbsValue]) -> Option<AFlow> {
+        let arg_ptr = |i: usize, it: &Interp| {
+            args.get(i)
+                .map(|v| it.as_ptr(v))
+                .unwrap_or_else(AbsPtr::wild)
+        };
+        let arg_int = |i: usize, it: &Interp| args.get(i).and_then(|v| it.as_int(v));
+        let char_ty = Ctype::integer(IntegerType::Char);
+        match name {
+            "malloc" | "calloc" => {
+                let size = if name == "calloc" {
+                    match (arg_int(0, self), arg_int(1, self)) {
+                        (Some(n), Some(m)) => n.checked_mul(m),
+                        _ => None,
+                    }
+                } else {
+                    arg_int(0, self)
+                };
+                let size = size.and_then(|s| u64::try_from(s).ok());
+                let init = if name == "calloc" {
+                    InitState::Init
+                } else {
+                    InitState::Uninit
+                };
+                let id = self.alloc(StorageKind::Heap, None, size, init, name);
+                Some(AFlow::Val(AbsValue::spec(AbsValue::Ptr(
+                    AbsPtr::to_target(id),
+                ))))
+            }
+            "free" => {
+                let p = arg_ptr(0, self);
+                if !p.definitely_null() {
+                    if p.null && p.targets.is_empty() && p.any {
+                        // Nothing tracked: stay silent.
+                    } else {
+                        for &id in &p.targets.clone() {
+                            let (life, kind, name_) = {
+                                let a = &self.state.allocs[id];
+                                (a.life, a.kind, a.name.clone())
+                            };
+                            let single = p.single() == Some(id);
+                            match life {
+                                Lifetime::Dead => self.finding(
+                                    UbKind::InvalidFree,
+                                    single,
+                                    format!("free of `{name_}` after its lifetime already ended"),
+                                ),
+                                Lifetime::MaybeDead => self.finding(
+                                    UbKind::InvalidFree,
+                                    false,
+                                    format!("free of `{name_}` that may already be freed"),
+                                ),
+                                Lifetime::Live if kind != StorageKind::Heap => self.finding(
+                                    UbKind::InvalidFree,
+                                    single,
+                                    format!("free of `{name_}`, which is not a heap allocation"),
+                                ),
+                                Lifetime::Live => {}
+                            }
+                            let a = &mut self.state.allocs[id];
+                            a.life = if single {
+                                Lifetime::Dead
+                            } else {
+                                a.life.join(Lifetime::Dead)
+                            };
+                        }
+                    }
+                }
+                Some(AFlow::Val(AbsValue::spec(AbsValue::Unit)))
+            }
+            "memcpy" | "strcpy" => {
+                let dst = arg_ptr(0, self);
+                let src = arg_ptr(1, self);
+                self.deref_check(&src, Some(&char_ty), false);
+                self.deref_check(&dst, Some(&char_ty), true);
+                let n = if name == "memcpy" {
+                    arg_int(2, self)
+                } else {
+                    None
+                };
+                let whole_copy = match (dst.single(), src.single(), n) {
+                    (Some(d), Some(s), Some(n)) => {
+                        let n = u64::try_from(n).ok();
+                        dst.offset == Some(0)
+                            && src.offset == Some(0)
+                            && n.is_some()
+                            && self.state.allocs[d].size == n
+                            && self.state.allocs[s].size == n
+                    }
+                    _ => false,
+                };
+                if whole_copy {
+                    let (d, s) = (dst.single().unwrap(), src.single().unwrap());
+                    let (content, init, last) = {
+                        let sa = &self.state.allocs[s];
+                        (sa.content.clone(), sa.init, sa.last_store.clone())
+                    };
+                    let da = &mut self.state.allocs[d];
+                    da.content = content;
+                    da.init = init;
+                    da.last_store = last;
+                } else {
+                    self.apply_store(&dst, None, AbsValue::Top);
+                }
+                self.record_access(&src, false, false);
+                self.record_access(&dst, true, false);
+                Some(AFlow::Val(AbsValue::spec(AbsValue::Ptr(dst))))
+            }
+            "memset" => {
+                let dst = arg_ptr(0, self);
+                self.deref_check(&dst, Some(&char_ty), true);
+                let n = arg_int(2, self).and_then(|n| u64::try_from(n).ok());
+                if let Some(id) = dst.single() {
+                    if dst.offset == Some(0) && n.is_some() && n == self.state.allocs[id].size {
+                        let a = &mut self.state.allocs[id];
+                        a.content = AbsValue::Top;
+                        a.init = InitState::Init;
+                        a.last_store = None;
+                    } else {
+                        self.apply_store(&dst, None, AbsValue::Top);
+                    }
+                } else {
+                    self.apply_store(&dst, None, AbsValue::Top);
+                }
+                self.record_access(&dst, true, false);
+                Some(AFlow::Val(AbsValue::spec(AbsValue::Ptr(dst))))
+            }
+            "memcmp" | "strcmp" => {
+                let a = arg_ptr(0, self);
+                let b = arg_ptr(1, self);
+                self.deref_check(&a, Some(&char_ty), false);
+                self.deref_check(&b, Some(&char_ty), false);
+                self.record_access(&a, false, false);
+                self.record_access(&b, false, false);
+                Some(AFlow::Val(AbsValue::spec(AbsValue::unknown_int())))
+            }
+            "strlen" => {
+                let p = arg_ptr(0, self);
+                self.deref_check(&p, Some(&char_ty), false);
+                self.record_access(&p, false, false);
+                Some(AFlow::Val(AbsValue::spec(AbsValue::unknown_int())))
+            }
+            "printf" => Some(AFlow::Val(AbsValue::spec(AbsValue::unknown_int()))),
+            "abort" | "exit" => Some(AFlow::Ret),
+            "assert" => Some(AFlow::Val(AbsValue::spec(AbsValue::Unit))),
+            _ => None,
+        }
+    }
+
+    // ----- memory-involving pointer operations -----------------------------------
+
+    fn eval_memop(&mut self, env: &mut Env, op: PtrOp, args: &[PExpr]) -> AFlow {
+        let values: Vec<AbsValue> = args.iter().map(|a| self.eval_pexpr(env, a)).collect();
+        let spec_int =
+            |v: Option<i128>| AFlow::Val(AbsValue::spec(AbsValue::Int { val: v, prov: None }));
+        match op {
+            PtrOp::Eq | PtrOp::Ne => {
+                let a = self.as_ptr(&values[0]);
+                let b = self.as_ptr(&values[1]);
+                let eq = if a.definitely_null() && b.definitely_null() {
+                    Some(true)
+                } else if (a.definitely_null() && b.single().is_some())
+                    || (b.definitely_null() && a.single().is_some())
+                {
+                    Some(false)
+                } else {
+                    match (a.single(), b.single()) {
+                        (Some(x), Some(y)) if x == y => match (a.offset, b.offset) {
+                            (Some(o1), Some(o2)) => Some(o1 == o2),
+                            _ => None,
+                        },
+                        _ => None,
+                    }
+                };
+                let flip = op == PtrOp::Ne;
+                spec_int(eq.map(|e| i128::from(e != flip)))
+            }
+            PtrOp::Lt | PtrOp::Gt | PtrOp::Le | PtrOp::Ge => {
+                let a = self.as_ptr(&values[0]);
+                let b = self.as_ptr(&values[1]);
+                match (a.single(), b.single()) {
+                    (Some(x), Some(y)) if x == y => {
+                        let v = match (a.offset, b.offset) {
+                            (Some(o1), Some(o2)) => Some(match op {
+                                PtrOp::Lt => o1 < o2,
+                                PtrOp::Gt => o1 > o2,
+                                PtrOp::Le => o1 <= o2,
+                                _ => o1 >= o2,
+                            }),
+                            _ => None,
+                        };
+                        spec_int(v.map(i128::from))
+                    }
+                    (Some(_), Some(_)) => {
+                        self.finding(
+                            UbKind::RelationalCompareDifferentObjects,
+                            true,
+                            "relational comparison of pointers to different objects",
+                        );
+                        spec_int(None)
+                    }
+                    _ => {
+                        self.finding(
+                            UbKind::RelationalCompareDifferentObjects,
+                            false,
+                            "relational comparison of pointers that may refer to different objects",
+                        );
+                        spec_int(None)
+                    }
+                }
+            }
+            PtrOp::Diff => {
+                let a = self.as_ptr(&values[0]);
+                let b = self.as_ptr(&values[1]);
+                let elem = values.get(2).and_then(|v| self.as_ctype(v));
+                match (a.single(), b.single()) {
+                    (Some(x), Some(y)) if x == y => {
+                        let size = elem.as_ref().and_then(|t| self.size_of_ty(t));
+                        let v = match (a.offset, b.offset, size) {
+                            (Some(o1), Some(o2), Some(s)) if s > 0 => {
+                                Some((o1 - o2) / i128::from(s))
+                            }
+                            _ => None,
+                        };
+                        spec_int(v)
+                    }
+                    (Some(_), Some(_)) => {
+                        self.finding(
+                            UbKind::PointerSubtractionDifferentObjects,
+                            true,
+                            "subtraction of pointers into different objects",
+                        );
+                        spec_int(None)
+                    }
+                    _ => {
+                        self.finding(
+                            UbKind::PointerSubtractionDifferentObjects,
+                            false,
+                            "subtraction of pointers that may refer to different objects",
+                        );
+                        spec_int(None)
+                    }
+                }
+            }
+            PtrOp::IntFromPtr => {
+                let p = self.as_ptr(&values[0]);
+                let val = if p.definitely_null() { Some(0) } else { None };
+                AFlow::Val(AbsValue::spec(AbsValue::Int { val, prov: Some(p) }))
+            }
+            PtrOp::PtrFromInt => {
+                let p = self.as_ptr(&values[0]);
+                AFlow::Val(AbsValue::spec(AbsValue::Ptr(p)))
+            }
+            PtrOp::ValidForDeref => {
+                let p = self.as_ptr(&values[0]);
+                let v = if p.definitely_null() {
+                    Some(0)
+                } else {
+                    match p.single() {
+                        Some(id) => {
+                            let a = &self.state.allocs[id];
+                            match (a.life, p.offset, a.size) {
+                                (Lifetime::Live, Some(off), Some(size))
+                                    if off >= 0 && off < i128::from(size) =>
+                                {
+                                    Some(1)
+                                }
+                                (Lifetime::Dead, _, _) => Some(0),
+                                _ => None,
+                            }
+                        }
+                        None => None,
+                    }
+                };
+                spec_int(v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use cerberus_core::program::CoreProc;
+    use cerberus_core::syntax::MemOrder;
+
+    fn int_ty() -> Ctype {
+        Ctype::integer(IntegerType::Int)
+    }
+
+    fn proc_program(body: Expr) -> CoreProgram {
+        let mut p = CoreProgram::default();
+        p.procs.insert(
+            "main".to_owned(),
+            CoreProc {
+                name: Ident::new("main"),
+                params: vec![],
+                return_ty: int_ty(),
+                body,
+            },
+        );
+        p.main = Some(Ident::new("main"));
+        p
+    }
+
+    fn create_int() -> Expr {
+        Expr::Action(
+            Polarity::Positive,
+            MemAction::Create {
+                align: Box::new(PExpr::Integer(4)),
+                ty: Box::new(PExpr::CtypeConst(int_ty())),
+            },
+        )
+    }
+
+    fn store_int(ptr: &str, value: PExpr) -> Expr {
+        Expr::Action(
+            Polarity::Positive,
+            MemAction::Store {
+                ty: Box::new(PExpr::CtypeConst(int_ty())),
+                ptr: Box::new(PExpr::sym(ptr)),
+                value: Box::new(value),
+                order: MemOrder::NA,
+            },
+        )
+    }
+
+    fn load_int(ptr: &str) -> Expr {
+        Expr::Action(
+            Polarity::Positive,
+            MemAction::Load {
+                ty: Box::new(PExpr::CtypeConst(int_ty())),
+                ptr: Box::new(PExpr::sym(ptr)),
+                order: MemOrder::NA,
+            },
+        )
+    }
+
+    #[test]
+    fn reachable_undef_is_a_must_finding() {
+        let program = proc_program(Expr::Pure(PExpr::Undef(UbKind::DivisionByZero)));
+        let report = analyze(&program, &ImplEnv::default());
+        assert_eq!(
+            report.reports(UbKind::DivisionByZero),
+            Some(FindingSeverity::Must)
+        );
+    }
+
+    #[test]
+    fn undef_under_unknown_branch_is_may() {
+        // if (unknown) then Undef else pure — the analyzer cannot decide the
+        // condition, so the finding is May.
+        let body = Expr::Sseq(
+            Pattern::sym("p"),
+            Box::new(create_int()),
+            Box::new(Expr::Sseq(
+                Pattern::Wildcard,
+                Box::new(store_int("p", PExpr::specified_int(1))),
+                Box::new(Expr::Sseq(
+                    Pattern::sym("v"),
+                    Box::new(load_int("p")),
+                    Box::new(Expr::If(
+                        PExpr::Binop(
+                            Binop::Eq,
+                            Box::new(PExpr::sym("unbound")),
+                            Box::new(PExpr::Integer(0)),
+                        ),
+                        Box::new(Expr::Pure(PExpr::Undef(UbKind::ShiftTooLarge))),
+                        Box::new(Expr::Pure(PExpr::specified_int(0))),
+                    )),
+                )),
+            )),
+        );
+        let report = analyze(&proc_program(body), &ImplEnv::default());
+        assert_eq!(
+            report.reports(UbKind::ShiftTooLarge),
+            Some(FindingSeverity::May)
+        );
+    }
+
+    #[test]
+    fn load_before_store_is_indeterminate() {
+        let body = Expr::Sseq(
+            Pattern::sym("p"),
+            Box::new(create_int()),
+            Box::new(load_int("p")),
+        );
+        let report = analyze(&proc_program(body), &ImplEnv::default());
+        assert_eq!(
+            report.reports(UbKind::IndeterminateValueUse),
+            Some(FindingSeverity::Must)
+        );
+    }
+
+    #[test]
+    fn initialised_load_is_clean() {
+        let body = Expr::Sseq(
+            Pattern::sym("p"),
+            Box::new(create_int()),
+            Box::new(Expr::Sseq(
+                Pattern::Wildcard,
+                Box::new(store_int("p", PExpr::specified_int(7))),
+                Box::new(load_int("p")),
+            )),
+        );
+        let report = analyze(&proc_program(body), &ImplEnv::default());
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn access_after_kill_is_outside_lifetime() {
+        let body = Expr::Sseq(
+            Pattern::sym("p"),
+            Box::new(create_int()),
+            Box::new(Expr::Sseq(
+                Pattern::Wildcard,
+                Box::new(store_int("p", PExpr::specified_int(1))),
+                Box::new(Expr::Sseq(
+                    Pattern::Wildcard,
+                    Box::new(Expr::Action(
+                        Polarity::Positive,
+                        MemAction::Kill(Box::new(PExpr::sym("p"))),
+                    )),
+                    Box::new(load_int("p")),
+                )),
+            )),
+        );
+        let report = analyze(&proc_program(body), &ImplEnv::default());
+        assert_eq!(
+            report.reports(UbKind::AccessOutsideLifetime),
+            Some(FindingSeverity::Must)
+        );
+    }
+
+    #[test]
+    fn null_store_is_flagged() {
+        let body = Expr::Sseq(
+            Pattern::sym("p"),
+            Box::new(Expr::Pure(PExpr::NullPtr(int_ty()))),
+            Box::new(store_int("p", PExpr::specified_int(1))),
+        );
+        let report = analyze(&proc_program(body), &ImplEnv::default());
+        assert_eq!(
+            report.reports(UbKind::NullPointerDeref),
+            Some(FindingSeverity::Must)
+        );
+    }
+
+    #[test]
+    fn double_free_is_invalid() {
+        let free = |p: &str| {
+            Expr::Ccall(
+                Box::new(PExpr::FunctionPtr(Ident::new("free"))),
+                vec![PExpr::sym(p)],
+            )
+        };
+        let body = Expr::Sseq(
+            Pattern::Tuple(vec![Pattern::Specified(Box::new(Pattern::sym("p")))]),
+            Box::new(Expr::Ccall(
+                Box::new(PExpr::FunctionPtr(Ident::new("malloc"))),
+                vec![PExpr::specified_int(4)],
+            )),
+            Box::new(Expr::Sseq(
+                Pattern::Wildcard,
+                Box::new(free("p")),
+                Box::new(free("p")),
+            )),
+        );
+        let report = analyze(&proc_program(body), &ImplEnv::default());
+        assert_eq!(
+            report.reports(UbKind::InvalidFree),
+            Some(FindingSeverity::Must)
+        );
+    }
+
+    #[test]
+    fn string_literal_store_is_flagged() {
+        let mut program = proc_program(store_int("lit", PExpr::specified_int(1)));
+        program
+            .string_literals
+            .push((Ident::new("lit"), b"hi\0".to_vec()));
+        let report = analyze(&program, &ImplEnv::default());
+        assert_eq!(
+            report.reports(UbKind::StringLiteralModification),
+            Some(FindingSeverity::Must)
+        );
+    }
+
+    #[test]
+    fn infinite_loop_terminates_under_widening() {
+        let label = Ident::new("head");
+        let body = Expr::Save(
+            label.clone(),
+            Box::new(Expr::Sseq(
+                Pattern::Wildcard,
+                Box::new(Expr::Pure(PExpr::Unit)),
+                Box::new(Expr::Run(label.clone())),
+            )),
+        );
+        let report = analyze(&proc_program(body), &ImplEnv::default());
+        assert!(report.aborted.is_none());
+    }
+}

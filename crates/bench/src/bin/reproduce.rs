@@ -4,7 +4,7 @@
 //! reimplementation.
 //!
 //! Usage: `cargo run -p cerberus-bench --bin reproduce [--quick]
-//! [--models name,name,...] [--fuzz N] [--json] [--serve ADDR]`
+//! [--models name,name,...] [--fuzz N] [--analyze] [--json] [--serve ADDR]`
 //!
 //! `--models` restricts the per-model experiments (E11/E17) to the named
 //! configurations of `ModelConfig::all_named()` — e.g.
@@ -16,6 +16,11 @@
 //! CI fuzz smoke job): every seed must end in a structured verdict — agree
 //! or budget exhaustion — and any disagreement, pipeline failure or
 //! contained engine fault makes the run exit nonzero.
+//!
+//! `--analyze` skips the experiments and instead runs the static UB analyzer
+//! over the litmus catalogue, printing per-test Must/May finding counts and
+//! the UB kinds reported — the static half of the soundness cross-validation
+//! in `tests/analysis_soundness.rs`.
 //!
 //! `--json` emits the executable experiments (E5, E11/E17, E15/E16) as one
 //! JSON document on stdout, using the same encoder the UB-oracle service's
@@ -164,6 +169,62 @@ fn fuzz_smoke(count: usize) -> ! {
     std::process::exit(if bad > 0 { 1 } else { 0 });
 }
 
+/// The `--analyze` mode: run the static UB analyzer (validator + abstract
+/// interpretation) over every litmus test and print one row per test — the
+/// Must/May finding counts, the abstract step cost, and the UB kinds
+/// reported. The static column is what the soundness harness
+/// (`tests/analysis_soundness.rs`) cross-validates against the dynamic
+/// matrices; this mode is the human-readable view of the same pass. An
+/// aborted analysis (an interpreter panic downgraded to a structured report)
+/// exits nonzero: the analyzer is expected to be total.
+fn analyze_corpus() -> ! {
+    use cerberus::analysis::FindingSeverity;
+
+    let session = Session::default();
+    let suite = catalogue();
+    println!(
+        "{:<44} {:>4} {:>4} {:>8}  ub kinds",
+        "test", "must", "may", "steps"
+    );
+    let mut aborted = 0usize;
+    for test in &suite {
+        match session.analyze(&test.source) {
+            Ok(report) => {
+                if report.aborted.is_some() {
+                    aborted += 1;
+                }
+                let musts = report
+                    .findings
+                    .iter()
+                    .filter(|f| f.severity == FindingSeverity::Must)
+                    .count();
+                let mays = report.findings.len() - musts;
+                let kinds: Vec<&str> = report.ub_kinds().iter().map(|k| k.core_name()).collect();
+                println!(
+                    "{:<44} {:>4} {:>4} {:>8}{} {}",
+                    test.name,
+                    musts,
+                    mays,
+                    report.steps_used,
+                    if report.budget_exhausted { "!" } else { " " },
+                    kinds.join(", ")
+                );
+            }
+            Err(e) => println!(
+                "{:<44} front-end rejection ({} diagnostic(s))",
+                test.name,
+                e.diagnostic_count()
+            ),
+        }
+    }
+    println!(
+        "\n{} tests analyzed ('!' marks an exhausted step budget); {} aborted",
+        suite.len(),
+        aborted
+    );
+    std::process::exit(if aborted > 0 { 1 } else { 0 });
+}
+
 /// The `--serve ADDR` target, if the flag is present.
 fn serve_addr(args: &[String]) -> Option<String> {
     for (i, arg) in args.iter().enumerate() {
@@ -265,6 +326,9 @@ fn main() {
     }
     if let Some(count) = fuzz_count(&args) {
         fuzz_smoke(count);
+    }
+    if args.iter().any(|a| a == "--analyze") {
+        analyze_corpus();
     }
     let quick = args.iter().any(|a| a == "--quick");
     let models = selected_models(&args);
@@ -391,9 +455,16 @@ fn main() {
             summary.passed,
             summary.as_expected,
             summary.with_expectation,
-            summary.skipped_expectations,
+            summary.skipped_expectations.len(),
             summary.faulted
         );
+        if !summary.skipped_expectations.is_empty() {
+            println!(
+                "  !! expectation holes under '{}': {}",
+                summary.model,
+                summary.skipped_expectations.join(", ")
+            );
+        }
         if summary.faulted > 0 {
             println!(
                 "  !! engine fault: {} of {} tests panicked inside model '{}' (contained)",

@@ -1,0 +1,34 @@
+//! End-to-end drill of `reproduce --analyze`: run the built binary over the
+//! litmus corpus and check the rendered static-analysis table.
+
+use std::process::Command;
+
+#[test]
+fn reproduce_analyze_renders_the_corpus_table_and_exits_zero() {
+    let output = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .arg("--analyze")
+        .output()
+        .expect("reproduce --analyze runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "exit {:?}\nstdout:\n{stdout}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // The table header and some known verdicts from the golden corpus.
+    assert!(stdout.contains("ub kinds"), "{stdout}");
+    assert!(
+        stdout.contains("null_pointer_dereference") || stdout.contains("Null_pointer_dereference"),
+        "{stdout}"
+    );
+    let divide = stdout
+        .lines()
+        .find(|l| l.starts_with("misc_divide_by_zero"))
+        .expect("misc_divide_by_zero row");
+    assert!(divide.contains("Division_by_zero"), "{divide}");
+
+    // Every fixture analyzed, none aborted.
+    assert!(stdout.contains("; 0 aborted"), "{stdout}");
+}

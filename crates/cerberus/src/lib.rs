@@ -49,6 +49,7 @@ pub mod pipeline;
 pub mod tvc;
 
 pub use cerberus_ail as ail;
+pub use cerberus_analysis as analysis;
 pub use cerberus_ast as ast;
 pub use cerberus_core as core_lang;
 pub use cerberus_elab as elab;

@@ -35,6 +35,7 @@ use std::sync::{Arc, Mutex};
 
 use cerberus_ail::ail::AilProgram;
 use cerberus_ail::desugar::{desugar_translation_unit_all, FrontendError};
+use cerberus_analysis::{AnalysisConfig, AnalysisReport};
 use cerberus_ast::diag::{ConstraintViolation, Diagnostic};
 use cerberus_ast::env::ImplEnv;
 use cerberus_ast::loc::Span;
@@ -357,6 +358,7 @@ pub struct Session {
     config: Config,
     cache: Arc<Mutex<HashMap<String, Elaborated>>>,
     counters: Arc<CacheCounters>,
+    analysis_cache: Arc<Mutex<HashMap<String, Arc<AnalysisReport>>>>,
 }
 
 impl Session {
@@ -366,6 +368,7 @@ impl Session {
             config,
             cache: Arc::default(),
             counters: Arc::default(),
+            analysis_cache: Arc::default(),
         }
     }
 
@@ -451,10 +454,62 @@ impl Session {
         }
     }
 
-    /// Drop every memoised artifact (the artifacts themselves stay alive as
-    /// long as callers hold clones).
+    /// Drop every memoised artifact and analysis report (the artifacts
+    /// themselves stay alive as long as callers hold clones).
     pub fn clear_cache(&self) {
         self.cache.lock().expect("artifact cache").clear();
+        self.analysis_cache.lock().expect("analysis cache").clear();
+    }
+
+    /// Run the static UB analyzer (the Core well-formedness validator plus
+    /// the flow-sensitive abstract interpreter of `cerberus-analysis`) on a
+    /// source, memoising per-source analysis summaries alongside the
+    /// elaboration artifacts.
+    ///
+    /// Like [`Session::elaborate`], results are cached by source text (the
+    /// report is behind an `Arc`, so cache hits are cheap) with the same
+    /// generational eviction bound; front-end failures are not cached.
+    pub fn analyze(&self, source: &str) -> Result<Arc<AnalysisReport>, PipelineError> {
+        self.analyze_with(source, AnalysisConfig::default())
+    }
+
+    /// [`Session::analyze`] under an explicit analysis budget. Only
+    /// default-budget reports are memoised.
+    pub fn analyze_with(
+        &self,
+        source: &str,
+        config: AnalysisConfig,
+    ) -> Result<Arc<AnalysisReport>, PipelineError> {
+        let default_budget = config == AnalysisConfig::default();
+        if default_budget {
+            if let Some(hit) = self
+                .analysis_cache
+                .lock()
+                .expect("analysis cache")
+                .get(source)
+            {
+                return Ok(Arc::clone(hit));
+            }
+        }
+        let program = self.elaborate(source)?;
+        let report = Arc::new(cerberus_analysis::analyze_with(
+            program.core(),
+            program.impl_env(),
+            config,
+        ));
+        if default_budget {
+            let mut cache = self.analysis_cache.lock().expect("analysis cache");
+            if cache.len() >= Self::CACHE_CAPACITY {
+                cache.clear();
+            }
+            cache.insert(source.to_owned(), Arc::clone(&report));
+        }
+        Ok(report)
+    }
+
+    /// The number of memoised analysis reports.
+    pub fn cached_analyses(&self) -> usize {
+        self.analysis_cache.lock().expect("analysis cache").len()
     }
 
     /// Build an execution driver for a program under this session's model.
@@ -548,6 +603,27 @@ impl Elaborated {
     /// execution must use the same environment).
     pub fn impl_env(&self) -> &ImplEnv {
         &self.impl_env
+    }
+
+    /// Run the Core well-formedness validator over the elaborated program,
+    /// returning **every** violation (the elaboration-stage counterpart of
+    /// the desugaring pass's collect-all constraint reporting). The
+    /// elaborator produces well-formed Core by construction, so any violation
+    /// indicates a broken producer; an empty list is the expected outcome.
+    pub fn validate(&self) -> Vec<ConstraintViolation> {
+        cerberus_analysis::validate::validate(self.core())
+    }
+
+    /// The validator as a lint gate: `Ok(self)` when the Core is well formed,
+    /// otherwise a [`PipelineError::Constraint`] carrying all violations —
+    /// the same multi-diagnostic shape the desugaring stage reports.
+    pub fn checked(self) -> Result<Elaborated, PipelineError> {
+        let violations = self.validate();
+        if violations.is_empty() {
+            Ok(self)
+        } else {
+            Err(PipelineError::Constraint(violations))
+        }
     }
 
     /// A driver executing this program under the engine `model` selects
@@ -1298,6 +1374,48 @@ mod tests {
             program.run_under(&ModelConfig::de_facto()).exit_value(),
             Some(42)
         );
+    }
+
+    #[test]
+    fn analysis_is_memoised_per_source() {
+        use cerberus_analysis::FindingSeverity;
+
+        let session = Session::default();
+        let src = "int main(void) { int *p = 0; return *p; }";
+        let first = session.analyze(src).unwrap();
+        assert_eq!(
+            first.reports(UbKind::NullPointerDeref),
+            Some(FindingSeverity::Must),
+            "findings: {:?}",
+            first.findings
+        );
+        let again = session.analyze(src).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!(session.cached_analyses(), 1);
+        session.clear_cache();
+        assert_eq!(session.cached_analyses(), 0);
+        // Front-end failures surface as pipeline errors, not reports.
+        assert!(session.analyze("int main(void) { return 0 }").is_err());
+    }
+
+    #[test]
+    fn analysis_of_a_clean_program_is_clean() {
+        let report = Session::default()
+            .analyze("int main(void) { int x = 40; return x + 2; }")
+            .unwrap();
+        assert!(report.is_clean(), "{:?}", report);
+    }
+
+    #[test]
+    fn elaborated_core_passes_the_validator() {
+        let program = Session::default()
+            .elaborate(
+                "int add(int a, int b) { return a + b; }\n\
+                 int main(void) { int t[2] = {1, 2}; return add(t[0], t[1]); }",
+            )
+            .unwrap();
+        assert!(program.validate().is_empty());
+        assert!(program.checked().is_ok());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!
 //! | Route | Effect |
 //! |---|---|
-//! | `POST /api/v0/submit` | Enqueue a job; `202` with `{"job", "status", "poll"}` |
+//! | `POST /api/v0/submit` | Enqueue a job; `202` with `{"job", "status", "poll", "analysis"}` |
 //! | `GET /api/v0/jobs/{id}` | Job status, plus the result document when finished |
 //! | `GET /api/v0/models` | The named memory object models the service runs |
 //! | `GET /api/v0/stats` | Queue depth, cache hit/miss counters, per-worker activity |
@@ -344,12 +344,22 @@ fn submit_route(queue: &JobQueue, default_limits: &ResourceLimits, body: &[u8]) 
         Ok(id) => id,
         Err(_) => return (500, error_body("service is shutting down")),
     };
+    // The static analysis runs synchronously in the acknowledgement: it is a
+    // single memoised pass over the elaborated Core, cheap next to the
+    // differential execution the job just queued. A front-end rejection is
+    // reported in place rather than failing the submission — the queued job
+    // will surface the same rejection through the poll route.
+    let analysis = match queue.session().analyze(source) {
+        Ok(report) => cerberus_wire::analysis_report_to_json(&report),
+        Err(error) => Json::obj([("error", render::pipeline_error_to_json(&error))]),
+    };
     (
         202,
         Json::obj([
             ("job", Json::Int(i128::from(id.0))),
             ("status", Json::str(JobStatus::Queued.label())),
             ("poll", Json::str(format!("/api/v0/jobs/{id}"))),
+            ("analysis", analysis),
         ]),
     )
 }
@@ -439,6 +449,39 @@ mod tests {
         let (status, stats) = routed(&queue, &get("/api/v0/stats"));
         assert_eq!(status, 200);
         assert_eq!(stats.get("submitted").and_then(Json::as_int), Some(1));
+        queue.shutdown();
+    }
+
+    #[test]
+    fn submissions_are_acknowledged_with_a_static_analysis() {
+        let queue = JobQueue::start(1);
+        let (status, body) = routed(
+            &queue,
+            &post(
+                "/api/v0/submit",
+                r#"{"source": "int main(void) { int *p = 0; *p = 1; return 0; }", "models": ["concrete"]}"#,
+            ),
+        );
+        assert_eq!(status, 202, "{body:?}");
+        let analysis = body.get("analysis").expect("analysis member");
+        let findings = analysis.get("findings").and_then(Json::as_array).unwrap();
+        assert!(
+            findings.iter().any(|f| {
+                f.get("ub").and_then(Json::as_str) == Some("Null_pointer_dereference")
+            }),
+            "{analysis:?}"
+        );
+        assert_eq!(analysis.get("aborted"), Some(&Json::Null));
+
+        // A front-end rejection still acknowledges the job; the analysis
+        // member carries the error instead of findings.
+        let (status, body) = routed(
+            &queue,
+            &post("/api/v0/submit", r#"{"source": "int main(void) {"}"#),
+        );
+        assert_eq!(status, 202, "{body:?}");
+        let analysis = body.get("analysis").expect("analysis member");
+        assert!(analysis.get("error").is_some(), "{analysis:?}");
         queue.shutdown();
     }
 

@@ -100,9 +100,12 @@ pub fn suite_summary_to_json(summary: &SuiteSummary) -> Json {
             "with_expectation",
             Json::Int(summary.with_expectation as i128),
         ),
+        // The *names* of the fixtures that ran without a recorded
+        // expectation, not just a count: an expectation hole should be
+        // readable straight off the report.
         (
             "skipped_expectations",
-            Json::Int(summary.skipped_expectations as i128),
+            Json::Arr(summary.skipped_expectations.iter().map(Json::str).collect()),
         ),
         ("faulted", Json::Int(summary.faulted as i128)),
         ("total", Json::Int(summary.total as i128)),

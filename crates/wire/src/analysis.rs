@@ -1,0 +1,115 @@
+//! The wire shape of a static analysis report — the `analysis` member of the
+//! HTTP service's submit acknowledgement and the `reproduce --analyze --json`
+//! document render the same object produced here.
+
+use crate::json::Json;
+use cerberus_analysis::{AnalysisReport, StaticFinding};
+
+/// One static finding as a tagged object:
+/// `{"ub": ..., "severity": "must"|"may", "proc": ..., "clause": ..., "detail": ...}`.
+pub fn static_finding_to_json(finding: &StaticFinding) -> Json {
+    Json::obj([
+        ("ub", Json::str(finding.ub.core_name())),
+        ("severity", Json::str(finding.severity.to_string())),
+        ("proc", Json::str(&finding.proc)),
+        ("clause", Json::str(finding.iso_clause)),
+        ("detail", Json::str(&finding.detail)),
+    ])
+}
+
+/// The whole report: validator violations, interpreter findings and the
+/// budget accounting, in a deterministic shape.
+pub fn analysis_report_to_json(report: &AnalysisReport) -> Json {
+    Json::obj([
+        (
+            "violations",
+            Json::Arr(
+                report
+                    .violations
+                    .iter()
+                    .map(|v| {
+                        Json::obj([
+                            ("message", Json::str(v.message())),
+                            ("clause", Json::str(v.iso_clause())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "findings",
+            Json::Arr(report.findings.iter().map(static_finding_to_json).collect()),
+        ),
+        ("procs_analyzed", Json::Int(report.procs_analyzed as i128)),
+        ("steps_used", Json::Int(report.steps_used as i128)),
+        ("budget_exhausted", Json::Bool(report.budget_exhausted)),
+        (
+            "aborted",
+            match &report.aborted {
+                Some(message) => Json::str(message),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerberus_analysis::{FindingSeverity, StaticFinding};
+    use cerberus_ast::loc::Span;
+    use cerberus_ast::ub::UbKind;
+
+    fn sample_report() -> AnalysisReport {
+        AnalysisReport {
+            findings: vec![StaticFinding {
+                ub: UbKind::NullPointerDeref,
+                severity: FindingSeverity::Must,
+                span: Span::synthetic(),
+                iso_clause: UbKind::NullPointerDeref.iso_reference(),
+                proc: "main".into(),
+                detail: "store through a definitely-null pointer".into(),
+            }],
+            procs_analyzed: 1,
+            steps_used: 12,
+            ..AnalysisReport::default()
+        }
+    }
+
+    #[test]
+    fn findings_render_the_core_name_and_severity() {
+        let json = analysis_report_to_json(&sample_report());
+        let findings = match json.get("findings") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("findings missing: {other:?}"),
+        };
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].get("ub").and_then(Json::as_str),
+            Some("Null_pointer_dereference")
+        );
+        assert_eq!(
+            findings[0].get("severity").and_then(Json::as_str),
+            Some("must")
+        );
+        assert_eq!(findings[0].get("proc").and_then(Json::as_str), Some("main"));
+    }
+
+    #[test]
+    fn a_clean_report_is_all_empty_and_null() {
+        let json = analysis_report_to_json(&AnalysisReport::default());
+        assert_eq!(json.get("aborted"), Some(&Json::Null));
+        assert_eq!(json.get("findings"), Some(&Json::Arr(Vec::new())));
+        assert_eq!(json.get("violations"), Some(&Json::Arr(Vec::new())));
+        assert_eq!(json.get("budget_exhausted"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn the_encoding_is_deterministic() {
+        let report = sample_report();
+        let first = analysis_report_to_json(&report).encode();
+        let second = analysis_report_to_json(&report).encode();
+        assert_eq!(first, second);
+        assert!(first.contains("\"steps_used\":12"), "{first}");
+    }
+}

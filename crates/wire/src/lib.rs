@@ -4,21 +4,26 @@
 //! (`cerberus-litmus`), whose `.expect` files are exactly the per-model
 //! outcome objects rendered here.
 //!
-//! Two modules:
+//! Three modules:
 //!
 //! * [`json`] — a std-only JSON value, encoder (compact and pretty, object
 //!   keys always sorted) and decoder;
 //! * [`outcome`] — the one place that decides the wire shape of a single
 //!   execution result ([`outcome::exec_result_to_json`],
-//!   [`outcome::program_outcome_to_json`]).
+//!   [`outcome::program_outcome_to_json`]);
+//! * [`analysis`] — the wire shape of a static analysis report
+//!   ([`analysis::analysis_report_to_json`]), the `analysis` member of the
+//!   service's submit acknowledgement.
 //!
 //! Keeping this below both `cerberus-litmus` and `cerberus-server` in the
 //! crate graph is what lets the fixture corpus and the service speak the same
 //! format without a dependency cycle: the service renders matrices with it,
 //! and the litmus loader parses expectation files with it.
 
+pub mod analysis;
 pub mod json;
 pub mod outcome;
 
+pub use analysis::{analysis_report_to_json, static_finding_to_json};
 pub use json::{Json, JsonError};
 pub use outcome::{exec_result_kind, exec_result_to_json, program_outcome_to_json};

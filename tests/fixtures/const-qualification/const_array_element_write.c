@@ -1,0 +1,8 @@
+// @question: 39
+// @category: other
+int main(void) {
+  const int table[3] = {1, 2, 3};
+  int *p = (int *)&table[1];
+  *p = 20;
+  return table[0] + table[1];
+}

@@ -1,0 +1,8 @@
+// @question: 39
+// @category: other
+const int limit = 10;
+int main(void) {
+  int *p = (int *)&limit;
+  *p = 11;
+  return limit;
+}

@@ -1,0 +1,9 @@
+// @question: 39
+// @category: other
+struct s { const int locked; int open; };
+int main(void) {
+  struct s v = {1, 2};
+  int *p = (int *)&v.locked;
+  *p = 3;
+  return v.locked + v.open;
+}

@@ -1,0 +1,9 @@
+// @question: 39
+// @category: other
+int main(void) {
+  int writable = 5;
+  const int *view = &writable;
+  int *back = (int *)view;
+  *back = 6;
+  return writable;
+}

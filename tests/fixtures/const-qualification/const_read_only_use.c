@@ -1,0 +1,7 @@
+// @question: 39
+// @category: other
+int main(void) {
+  const int c = 7;
+  const int *p = &c;
+  return *p + c;
+}

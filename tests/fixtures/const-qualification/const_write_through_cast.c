@@ -1,0 +1,8 @@
+// @question: 39
+// @category: other
+int main(void) {
+  const int c = 41;
+  int *p = (int *)&c;
+  *p = 42;
+  return *p;
+}

@@ -173,6 +173,42 @@ proptest! {
         }
     }
 
+    /// Totality of the static analyzer: every generated seed and every
+    /// golden fixture analyzes to a structured [`AnalysisReport`] under a
+    /// tight step budget — the pass never panics (`aborted` stays unset) and
+    /// budget exhaustion surfaces as `budget_exhausted`, not as an abort.
+    /// Even seeds probe the generator corpus, odd seeds the fixture corpus.
+    #[test]
+    fn the_static_analyzer_is_total(seed in 0u64..500) {
+        use cerberus::analysis::AnalysisConfig;
+        use cerberus::pipeline::Session;
+
+        let session = Session::default();
+        let (label, source) = if seed % 2 == 0 {
+            let program = generate(seed / 2, GenConfig::small());
+            (format!("seed {seed}"), cerberus_gen::to_c_source(&program))
+        } else {
+            let suite = cerberus_litmus::catalogue();
+            let test = &suite[(seed as usize / 2) % suite.len()];
+            (format!("fixture {}", test.name), test.source.clone())
+        };
+        let report = session
+            .analyze_with(&source, AnalysisConfig::tight())
+            .unwrap_or_else(|e| panic!("{label} failed in the front end: {e}"));
+        prop_assert!(
+            report.aborted.is_none(),
+            "{}: the analyzer aborted: {:?}",
+            label,
+            report.aborted
+        );
+        prop_assert!(
+            report.violations.is_empty(),
+            "{}: elaborated Core failed the well-formedness validator: {:?}",
+            label,
+            report.violations
+        );
+    }
+
     #[test]
     fn every_named_model_is_total_under_tight_budgets(seed in 0u64..500) {
         use cerberus::pipeline::Session;

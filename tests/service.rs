@@ -179,3 +179,81 @@ fn the_service_answers_submissions_memoises_and_contains_faults() {
 
     server.shutdown();
 }
+
+#[test]
+fn submissions_carry_a_static_analysis_over_the_wire() {
+    let Some(server) = try_serve() else { return };
+    let addr = server.local_addr().to_string();
+
+    // The acknowledgement itself carries the static analyzer's report: a
+    // null-pointer store is a Must finding before any model has executed the
+    // program, and the dynamic matrix later agrees.
+    let body =
+        r#"{"source": "int main(void) { int *p = 0; *p = 1; return 0; }", "models": ["concrete"]}"#;
+    let (status, response) =
+        http_request(&addr, "POST", "/api/v0/submit", Some(body)).expect("submit");
+    assert_eq!(status, 202, "{}", response.encode());
+    let analysis = response
+        .get("analysis")
+        .expect("submit acknowledgement carries the static analysis");
+    assert_eq!(analysis.get("aborted"), Some(&Json::Null));
+    assert_eq!(
+        analysis
+            .get("violations")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(0),
+        "elaborated Core passes the well-formedness validator: {}",
+        analysis.encode()
+    );
+    let findings = analysis
+        .get("findings")
+        .and_then(Json::as_array)
+        .expect("analysis carries findings");
+    let null_deref = findings
+        .iter()
+        .find(|f| f.get("ub").and_then(Json::as_str) == Some("Null_pointer_dereference"))
+        .unwrap_or_else(|| panic!("no null-deref finding in {}", analysis.encode()));
+    assert_eq!(
+        null_deref.get("severity").and_then(Json::as_str),
+        Some("must")
+    );
+    assert_eq!(
+        null_deref.get("clause").and_then(Json::as_str),
+        Some("6.5.3.2p4")
+    );
+
+    // The dynamic oracle confirms the static verdict end-to-end.
+    let id = response
+        .get("job")
+        .and_then(Json::as_int)
+        .expect("job id in the acknowledgement");
+    let document = poll_job(&addr, id, DEADLINE).expect("job completes");
+    assert!(
+        row_kinds(&document).contains(&"undef"),
+        "dynamic run agrees the program is undefined: {}",
+        document.encode()
+    );
+
+    // A clean program analyzes clean.
+    let (status, response) = http_request(
+        &addr,
+        "POST",
+        "/api/v0/submit",
+        Some(r#"{"source": "int main(void) { return 0; }", "models": ["concrete"]}"#),
+    )
+    .expect("submit");
+    assert_eq!(status, 202);
+    let analysis = response.get("analysis").expect("analysis member");
+    assert_eq!(
+        analysis
+            .get("findings")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(0),
+        "{}",
+        analysis.encode()
+    );
+
+    server.shutdown();
+}
