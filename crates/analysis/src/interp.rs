@@ -1,4 +1,4 @@
-//! Flow-sensitive abstract interpretation of Core programs.
+//! Path-sensitive abstract interpretation of Core programs.
 //!
 //! The abstract domain mirrors what the dynamic memory object models track
 //! concretely: which allocation a pointer refers to (a finite points-to set
@@ -18,12 +18,28 @@
 //!   frees of non-heap or already-dead allocations, unsequenced conflicting
 //!   accesses), the checks the models perform at runtime.
 //!
+//! In the default [`AnalysisMode::PathSensitive`] mode, unknown run-time
+//! values (parameters, unknown loads, allocation base addresses, pointer
+//! comparisons over distinct objects) are tracked as symbolic variables
+//! ([`crate::solver::SymId`]). Branching on a condition involving such a
+//! value pushes a constraint [`Atom`] onto the current path, and the
+//! [`Solver`] decides feasibility: infeasible arms are pruned outright, a
+//! fork whose other arm is infeasible keeps definiteness (the `May` → `Must`
+//! flip), and findings that fire definitely in *every* feasible sibling stay
+//! `Must` across the merge. Each finding records the path constraints active
+//! when it fired: a `Must` finding turns them into a satisfying *witness*
+//! assignment (a concrete layout/value choice realising the UB), a `May`
+//! finding reports them as the residual constraint under which the UB fires.
+//! The [`AnalysisMode::FlowJoin`] mode keeps PR 7's join-everything
+//! behaviour as a differential baseline; path-sensitive results are a
+//! refinement of it (checked by a property test at the workspace root).
+//!
 //! The pass is deliberately a *may*-analysis: when the state cannot exclude a
 //! violation it reports `May` rather than staying silent, because the corpus
 //! contract (see `tests/analysis_soundness.rs`) is one-directional — every
-//! dynamically observed UB kind must be statically reported. Precision is
-//! best-effort; soundness holes that remain are recorded on the reviewed
-//! allowlist.
+//! dynamically observed UB kind must be statically reported. Precision has
+//! its own dual contract (`tests/analysis_precision.rs`): every `Must`
+//! finding must be realised dynamically by at least one named model.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -36,7 +52,10 @@ use cerberus_ast::ub::UbKind;
 use cerberus_core::program::CoreProgram;
 use cerberus_core::syntax::{Binop, BuiltinFn, Expr, MemAction, PExpr, Pattern, Polarity, PtrOp};
 
-use crate::{AnalysisConfig, AnalysisReport, FindingSeverity, StaticFinding};
+use crate::solver::{Atom, Model, Rel, Solver, SymId, Term, Verdict};
+use crate::{
+    AnalysisConfig, AnalysisMode, AnalysisReport, FindingSeverity, StaticFinding, Witness,
+};
 
 /// Index into [`State::allocs`].
 type AllocId = usize;
@@ -198,9 +217,18 @@ impl AbsPtr {
 enum AbsValue {
     Top,
     Unit,
-    Bool(Option<bool>),
+    Bool {
+        val: Option<bool>,
+        /// The path-constraint atom this boolean decides, when the value is
+        /// unknown but expressible over symbolic variables; branching on it
+        /// pushes the atom (or its negation) onto the path.
+        atom: Option<Box<Atom>>,
+    },
     Int {
         val: Option<i128>,
+        /// Symbolic handle: the (unknown) value is `sym + k` for the path
+        /// constraint solver.
+        sym: Option<(SymId, i128)>,
         /// Provenance carried through `intFromPtr` and arithmetic, so a
         /// round-tripped pointer keeps its points-to set.
         prov: Option<AbsPtr>,
@@ -216,6 +244,7 @@ impl AbsValue {
     fn int(val: i128) -> AbsValue {
         AbsValue::Int {
             val: Some(val),
+            sym: None,
             prov: None,
         }
     }
@@ -223,7 +252,19 @@ impl AbsValue {
     fn unknown_int() -> AbsValue {
         AbsValue::Int {
             val: None,
+            sym: None,
             prov: None,
+        }
+    }
+
+    fn bool_known(val: Option<bool>) -> AbsValue {
+        AbsValue::Bool { val, atom: None }
+    }
+
+    fn bool_atom(atom: Option<Atom>) -> AbsValue {
+        AbsValue::Bool {
+            val: None,
+            atom: atom.map(Box::new),
         }
     }
 
@@ -236,9 +277,24 @@ impl AbsValue {
         match (self, other) {
             (a, b) if a == b => a.clone(),
             (Spec(a), Spec(b)) => AbsValue::spec(a.join(b)),
-            (Bool(_), Bool(_)) => Bool(None),
-            (Int { val: v1, prov: p1 }, Int { val: v2, prov: p2 }) => Int {
+            (Bool { .. }, Bool { .. }) => Bool {
+                val: None,
+                atom: None,
+            },
+            (
+                Int {
+                    val: v1,
+                    sym: s1,
+                    prov: p1,
+                },
+                Int {
+                    val: v2,
+                    sym: s2,
+                    prov: p2,
+                },
+            ) => Int {
                 val: if v1 == v2 { *v1 } else { None },
+                sym: if s1 == s2 { *s1 } else { None },
                 prov: match (p1, p2) {
                     (None, None) => None,
                     (Some(a), Some(b)) => Some(a.join(b)),
@@ -341,20 +397,39 @@ enum MatchQ {
     No,
 }
 
+/// One finding as recorded during exploration; severity and witness are
+/// derived when the run finishes.
+#[derive(Debug, Clone)]
+struct LocalFinding {
+    /// Fires on every path through its innermost fork (relative certainty;
+    /// absolute `Must` additionally needs every enclosing fork to agree).
+    definite: bool,
+    detail: String,
+    /// Path constraints active when the finding fired, plus any predicate
+    /// enrichment (`from_int(p)`, `live(a)`); the witness/residual source.
+    path: Vec<Atom>,
+}
+
+/// Findings of one fork branch, merged into the parent when siblings join.
+type Frame = BTreeMap<(String, UbKind), LocalFinding>;
+
 struct Interp<'a> {
     program: &'a CoreProgram,
     ienv: &'a ImplEnv,
     config: AnalysisConfig,
+    solver: &'a Solver,
     state: State,
     globals: HashMap<String, AbsValue>,
-    /// Deduplicated findings: strongest severity per (procedure, kind).
-    findings: BTreeMap<(String, UbKind), (FindingSeverity, String)>,
+    /// Fork-scoped finding frames; the bottom frame survives the whole run
+    /// and is flushed into [`StaticFinding`]s at the end.
+    finding_frames: Vec<Frame>,
     steps: usize,
     budget_exhausted: bool,
     cur_proc: String,
     call_stack: Vec<String>,
-    /// False once evaluation is under a condition the analyzer could not
-    /// decide; findings on such paths are `May` at best.
+    /// False once evaluation is under an imprecision the fork machinery does
+    /// not model (loop widening, exit joins); findings are then `May` at
+    /// best. In flow mode this also covers every undecided branch.
     definite: bool,
     /// State snapshots registered at `run l` sites, consumed by the matching
     /// `save`/`exit`.
@@ -363,17 +438,36 @@ struct Interp<'a> {
     fp_stack: Vec<Vec<AbsAccess>>,
     /// Accumulated return values of the call being analyzed.
     ret_stack: Vec<Option<AbsValue>>,
+    /// Display names of minted symbolic variables, indexed by [`SymId`].
+    sym_names: Vec<String>,
+    /// Lazily minted base-address variables per allocation.
+    base_syms: HashMap<AllocId, SymId>,
+    /// Boolean-valued symbols linked to a pointer atom: the symbol is 1
+    /// exactly when the atom holds, so integer tests on it recover the atom.
+    linked_syms: HashMap<u32, Atom>,
+    /// Constraints of the path currently being explored.
+    path: Vec<Atom>,
+    paths_explored: usize,
+    paths_pruned: usize,
+    solver_queries: u64,
+    solver_memo_hits: u64,
 }
 
 /// Run the abstract interpreter over every procedure of `program`.
-pub(crate) fn run(program: &CoreProgram, env: &ImplEnv, config: AnalysisConfig) -> AnalysisReport {
+pub(crate) fn run(
+    program: &CoreProgram,
+    env: &ImplEnv,
+    config: AnalysisConfig,
+    solver: &Solver,
+) -> AnalysisReport {
     let mut it = Interp {
         program,
         ienv: env,
         config,
+        solver,
         state: State::default(),
         globals: HashMap::new(),
-        findings: BTreeMap::new(),
+        finding_frames: vec![Frame::new()],
         steps: 0,
         budget_exhausted: false,
         cur_proc: String::new(),
@@ -382,29 +476,55 @@ pub(crate) fn run(program: &CoreProgram, env: &ImplEnv, config: AnalysisConfig) 
         jump_states: HashMap::new(),
         fp_stack: Vec::new(),
         ret_stack: Vec::new(),
+        sym_names: Vec::new(),
+        base_syms: HashMap::new(),
+        linked_syms: HashMap::new(),
+        path: Vec::new(),
+        paths_explored: 0,
+        paths_pruned: 0,
+        solver_queries: 0,
+        solver_memo_hits: 0,
     };
     it.setup_globals();
     let base_state = it.state.clone();
     let mut names: Vec<&String> = program.procs.keys().collect();
     names.sort();
+    let entry = program.main.as_ref().map(|m| m.as_str().to_owned());
     for name in &names {
         it.state = base_state.clone();
         it.jump_states.clear();
-        it.definite = true;
+        it.path.clear();
+        // A Must finding claims every execution hits the UB. For procedures
+        // other than the entry point, the standalone analysis does not know
+        // the call context (or whether the procedure runs at all), so its
+        // findings cap at May in path mode; calls inlined from `main` still
+        // produce Must findings for the same procedure, and the strongest
+        // severity per (proc, kind) wins. Flow mode keeps the historical
+        // everything-definite-at-top behaviour.
+        it.definite = match it.config.mode {
+            AnalysisMode::FlowJoin => true,
+            AnalysisMode::PathSensitive => match &entry {
+                Some(main) => main == *name,
+                None => true,
+            },
+        };
         it.analyze_proc(name);
     }
-    let findings = it
-        .findings
-        .into_iter()
-        .map(|((proc, ub), (severity, detail))| StaticFinding {
+    debug_assert_eq!(it.finding_frames.len(), 1, "unbalanced finding frames");
+    let base = it.finding_frames.pop().unwrap_or_default();
+    let mut findings = Vec::new();
+    for ((proc, ub), lf) in base {
+        let (severity, witness) = it.classify(&lf);
+        findings.push(StaticFinding {
             ub,
             severity,
             span: Span::synthetic(),
             iso_clause: ub.iso_reference(),
             proc,
-            detail,
-        })
-        .collect();
+            witness,
+            detail: lf.detail,
+        });
+    }
     AnalysisReport {
         violations: Vec::new(),
         findings,
@@ -412,28 +532,226 @@ pub(crate) fn run(program: &CoreProgram, env: &ImplEnv, config: AnalysisConfig) 
         steps_used: it.steps,
         budget_exhausted: it.budget_exhausted,
         aborted: None,
+        paths_explored: it.paths_explored,
+        paths_pruned: it.paths_pruned,
+        solver_queries: it.solver_queries,
+        solver_memo_hits: it.solver_memo_hits,
     }
 }
 
 impl<'a> Interp<'a> {
     // ----- findings and budget ---------------------------------------------------
 
+    fn path_mode(&self) -> bool {
+        self.config.mode == AnalysisMode::PathSensitive
+    }
+
     fn finding(&mut self, ub: UbKind, must_candidate: bool, detail: impl Into<String>) {
-        let severity = if must_candidate && self.definite {
-            FindingSeverity::Must
-        } else {
-            FindingSeverity::May
+        self.finding_with(ub, must_candidate, detail, Vec::new());
+    }
+
+    /// Record a finding, optionally enriched with predicate atoms that feed
+    /// the rendered witness/residual (they never join the solved path).
+    fn finding_with(
+        &mut self,
+        ub: UbKind,
+        must_candidate: bool,
+        detail: impl Into<String>,
+        extra: Vec<Atom>,
+    ) {
+        let definite = must_candidate && self.definite;
+        let mut path = self.path.clone();
+        path.extend(extra);
+        let lf = LocalFinding {
+            definite,
+            detail: detail.into(),
+            path,
         };
-        let key = (self.cur_proc.clone(), ub);
-        match self.findings.get_mut(&key) {
+        self.record_local((self.cur_proc.clone(), ub), lf);
+    }
+
+    /// Merge one finding into the innermost frame: a definite finding
+    /// replaces a tentative one; otherwise the earliest record wins.
+    fn record_local(&mut self, key: (String, UbKind), lf: LocalFinding) {
+        let frame = self.finding_frames.last_mut().expect("finding frame");
+        match frame.get_mut(&key) {
             Some(existing) => {
-                if severity < existing.0 {
-                    *existing = (severity, detail.into());
+                if lf.definite && !existing.definite {
+                    *existing = lf;
                 }
             }
             None => {
-                self.findings.insert(key, (severity, detail.into()));
+                frame.insert(key, lf);
             }
+        }
+    }
+
+    /// Merge the finding frames of `branches` feasible fork siblings into the
+    /// parent frame: a finding stays definite only if it fired definitely in
+    /// every sibling; anything else downgrades to tentative (→ `May`).
+    fn merge_sibling_findings(&mut self, branches: Vec<Frame>) {
+        let n = branches.len();
+        let mut merged: BTreeMap<(String, UbKind), (LocalFinding, usize)> = BTreeMap::new();
+        for frame in branches {
+            for (key, lf) in frame {
+                match merged.get_mut(&key) {
+                    None => {
+                        let definite_count = usize::from(lf.definite);
+                        merged.insert(key, (lf, definite_count));
+                    }
+                    Some((best, definite_count)) => {
+                        if lf.definite {
+                            *definite_count += 1;
+                            if !best.definite {
+                                *best = lf;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (key, (mut lf, definite_count)) in merged {
+            lf.definite = lf.definite && definite_count == n;
+            self.record_local(key, lf);
+        }
+    }
+
+    /// Severity and witness of a finished finding. Definite findings become
+    /// `Must` and carry a satisfying assignment of their path constraints
+    /// (empty = the UB fires unconditionally); tentative ones become `May`
+    /// and carry the residual constraint set.
+    fn classify(&mut self, lf: &LocalFinding) -> (FindingSeverity, Witness) {
+        if lf.definite {
+            let verdict = if lf.path.is_empty() {
+                None
+            } else {
+                Some(self.query_solver(&lf.path))
+            };
+            let names = |v: SymId| {
+                self.sym_names
+                    .get(v.0 as usize)
+                    .cloned()
+                    .unwrap_or_else(|| v.to_string())
+            };
+            let assignment = match verdict {
+                Some(Verdict::Sat(Model {
+                    bindings,
+                    predicates,
+                })) => bindings
+                    .into_iter()
+                    .map(|(v, value)| (names(v), value))
+                    .chain(
+                        predicates
+                            .into_iter()
+                            .map(|(name, truth)| (name, i128::from(truth))),
+                    )
+                    .collect(),
+                // A definite finding with an unsolvable path (the fork
+                // machinery only keeps feasible paths, so this is at
+                // worst Unknown): claim the unconditional witness.
+                _ => Vec::new(),
+            };
+            (FindingSeverity::Must, Witness::Assignment(assignment))
+        } else {
+            let names = |v: SymId| {
+                self.sym_names
+                    .get(v.0 as usize)
+                    .cloned()
+                    .unwrap_or_else(|| v.to_string())
+            };
+            let mut seen = BTreeSet::new();
+            let residual = lf
+                .path
+                .iter()
+                .map(|a| a.render(&names))
+                .filter(|r| seen.insert(r.clone()))
+                .collect();
+            (FindingSeverity::May, Witness::Residual(residual))
+        }
+    }
+
+    /// One solver call, with the interpreter-side counters updated.
+    fn query_solver(&mut self, atoms: &[Atom]) -> Verdict {
+        let solved = self.solver.solve(atoms);
+        self.solver_queries += 1;
+        if solved.from_memo {
+            self.solver_memo_hits += 1;
+        }
+        solved.verdict
+    }
+
+    /// Whether the current path (with `atom` appended, if given) is feasible.
+    fn path_feasible(&mut self) -> bool {
+        if self.path.is_empty() {
+            return true;
+        }
+        let atoms = self.path.clone();
+        self.query_solver(&atoms).feasible()
+    }
+
+    /// Mint a fresh symbolic variable (path mode only).
+    fn mint_sym(&mut self, name: String) -> Option<(SymId, i128)> {
+        if !self.path_mode() {
+            return None;
+        }
+        let id = SymId(self.sym_names.len() as u32);
+        self.sym_names.push(name);
+        Some((id, 0))
+    }
+
+    /// The base-address variable of allocation `id`, minted on first use.
+    fn base_sym(&mut self, id: AllocId) -> Option<SymId> {
+        if !self.path_mode() {
+            return None;
+        }
+        if let Some(s) = self.base_syms.get(&id) {
+            return Some(*s);
+        }
+        let name = format!("base({})", self.state.allocs[id].name);
+        let s = SymId(self.sym_names.len() as u32);
+        self.sym_names.push(name);
+        self.base_syms.insert(id, s);
+        Some(s)
+    }
+
+    /// The linear term a value denotes, if expressible.
+    fn term_of(&self, v: &AbsValue) -> Option<Term> {
+        match v {
+            AbsValue::Spec(inner) => self.term_of(inner),
+            AbsValue::Int { val: Some(c), .. } => Some(Term::constant(*c)),
+            AbsValue::Int {
+                val: None,
+                sym: Some((s, k)),
+                ..
+            } => Some(Term::var(*s, *k)),
+            AbsValue::Bool { val: Some(b), .. } => Some(Term::constant(i128::from(*b))),
+            _ => None,
+        }
+    }
+
+    /// The atom an undecided branch condition pins down, if any.
+    fn cond_atom(&self, v: &AbsValue) -> Option<Atom> {
+        match v {
+            AbsValue::Spec(inner) => self.cond_atom(inner),
+            AbsValue::Bool { atom: Some(a), .. } => Some((**a).clone()),
+            AbsValue::Int {
+                val: None,
+                sym: Some((s, k)),
+                ..
+            } => {
+                if *k == 0 {
+                    if let Some(a) = self.linked_syms.get(&s.0) {
+                        return Some(a.clone());
+                    }
+                }
+                // Truthiness of a symbolic integer.
+                Some(Atom::Cmp {
+                    lhs: Term::var(*s, *k),
+                    rel: Rel::Ne,
+                    rhs: Term::constant(0),
+                })
+            }
+            _ => None,
         }
     }
 
@@ -653,7 +971,7 @@ impl<'a> Interp<'a> {
         match v {
             AbsValue::Ptr(p) => p.clone(),
             AbsValue::Spec(inner) => self.as_ptr(inner),
-            AbsValue::Int { val, prov } => {
+            AbsValue::Int { val, prov, .. } => {
                 if let Some(p) = prov {
                     if *val == Some(0) {
                         AbsPtr::null_ptr()
@@ -692,14 +1010,14 @@ impl<'a> Interp<'a> {
         match v {
             AbsValue::Int { val, .. } => *val,
             AbsValue::Spec(inner) => self.as_int(inner),
-            AbsValue::Bool(Some(b)) => Some(i128::from(*b)),
+            AbsValue::Bool { val: Some(b), .. } => Some(i128::from(*b)),
             _ => None,
         }
     }
 
     fn as_bool(&self, v: &AbsValue) -> Option<bool> {
         match v {
-            AbsValue::Bool(b) => *b,
+            AbsValue::Bool { val, .. } => *val,
             AbsValue::Int { val, .. } => val.map(|i| i != 0),
             AbsValue::Spec(inner) => self.as_bool(inner),
             _ => None,
@@ -727,7 +1045,7 @@ impl<'a> Interp<'a> {
                 .cloned()
                 .unwrap_or(AbsValue::Top),
             PExpr::Unit => AbsValue::Unit,
-            PExpr::Boolean(b) => AbsValue::Bool(Some(*b)),
+            PExpr::Boolean(b) => AbsValue::bool_known(Some(*b)),
             PExpr::Integer(i) => AbsValue::int(*i),
             PExpr::CtypeConst(ty) => AbsValue::Ctype(ty.clone()),
             PExpr::NullPtr(_) => AbsValue::Ptr(AbsPtr::null_ptr()),
@@ -764,7 +1082,10 @@ impl<'a> Interp<'a> {
             }
             PExpr::Not(inner) => {
                 let v = self.eval_pexpr(env, inner);
-                AbsValue::Bool(self.as_bool(&v).map(|b| !b))
+                match self.as_bool(&v) {
+                    Some(b) => AbsValue::bool_known(Some(!b)),
+                    None => AbsValue::bool_atom(self.cond_atom(&v).map(|a| a.negate())),
+                }
             }
             PExpr::Binop(op, a, b) => {
                 let va = self.eval_pexpr(env, a);
@@ -776,6 +1097,12 @@ impl<'a> Interp<'a> {
                 match self.as_bool(&cond) {
                     Some(true) => self.eval_pexpr(env, t),
                     Some(false) => self.eval_pexpr(env, f),
+                    None if self.path_mode() => {
+                        let atom = self.cond_atom(&cond);
+                        let arms: [(Option<Atom>, &PExpr); 2] =
+                            [(atom.clone(), t), (atom.as_ref().map(Atom::negate), f)];
+                        self.eval_pure_fork(env, &arms)
+                    }
                     None => {
                         // Pure expressions have no memory effects, so only the
                         // path-definiteness flag needs saving.
@@ -800,6 +1127,29 @@ impl<'a> Interp<'a> {
                         self.eval_pexpr(&mut env2, &arms[*idx].1)
                     }
                     [] => AbsValue::Top,
+                    many if self.path_mode() => {
+                        // Opaque fork (no per-arm constraint): the frame
+                        // machinery still merges definiteness across arms.
+                        let many = many.to_vec();
+                        let mut joined: Option<AbsValue> = None;
+                        let mut frames = Vec::new();
+                        for (idx, bindings, _) in many {
+                            self.finding_frames.push(Frame::new());
+                            self.paths_explored += 1;
+                            let mut env2 = env.clone();
+                            for (n, bv) in bindings {
+                                env2.insert(n, bv);
+                            }
+                            let v = self.eval_pexpr(&mut env2, &arms[idx].1);
+                            frames.push(self.finding_frames.pop().expect("fork frame"));
+                            joined = Some(match joined {
+                                Some(j) => j.join(&v),
+                                None => v,
+                            });
+                        }
+                        self.merge_sibling_findings(frames);
+                        joined.unwrap_or(AbsValue::Top)
+                    }
                     many => {
                         let saved = self.definite;
                         self.definite = false;
@@ -873,6 +1223,36 @@ impl<'a> Interp<'a> {
         }
     }
 
+    /// Path-mode fork over pure arms: each feasible arm is evaluated under
+    /// its constraint with a fresh finding frame; infeasible arms are pruned.
+    /// Pure expressions have no memory effects, so no state fork is needed.
+    fn eval_pure_fork(&mut self, env: &mut Env, arms: &[(Option<Atom>, &PExpr)]) -> AbsValue {
+        let mut joined: Option<AbsValue> = None;
+        let mut frames = Vec::new();
+        for (atom, arm) in arms {
+            let depth = self.path.len();
+            if let Some(a) = atom {
+                self.path.push(a.clone());
+                if !self.path_feasible() {
+                    self.path.truncate(depth);
+                    self.paths_pruned += 1;
+                    continue;
+                }
+            }
+            self.paths_explored += 1;
+            self.finding_frames.push(Frame::new());
+            let v = self.eval_pexpr(env, arm);
+            frames.push(self.finding_frames.pop().expect("fork frame"));
+            self.path.truncate(depth);
+            joined = Some(match joined {
+                Some(j) => j.join(&v),
+                None => v,
+            });
+        }
+        self.merge_sibling_findings(frames);
+        joined.unwrap_or(AbsValue::Top)
+    }
+
     fn array_shift(&mut self, pv: &AbsValue, elem_ty: &Ctype, index: Option<i128>) -> AbsValue {
         let p = self.as_ptr(pv);
         let elem_size = self.size_of_ty(elem_ty).map(i128::from);
@@ -934,7 +1314,22 @@ impl<'a> Interp<'a> {
                     }),
                     _ => None,
                 };
-                AbsValue::Bool(val)
+                if val.is_some() {
+                    return AbsValue::bool_known(val);
+                }
+                let rel = match op {
+                    Eq => Rel::Eq,
+                    Ne => Rel::Ne,
+                    Lt => Rel::Lt,
+                    Le => Rel::Le,
+                    Gt => Rel::Gt,
+                    _ => Rel::Ge,
+                };
+                let atom = match (self.term_of(a), self.term_of(b)) {
+                    (Some(lhs), Some(rhs)) => Some(self.comparison_atom(lhs, rel, rhs)),
+                    _ => None,
+                };
+                AbsValue::bool_atom(atom)
             }
             And | Or => {
                 let (ba, bb) = (self.as_bool(a), self.as_bool(b));
@@ -945,7 +1340,21 @@ impl<'a> Interp<'a> {
                     (Or, Some(false), Some(false)) => Some(false),
                     _ => None,
                 };
-                AbsValue::Bool(val)
+                // An undecided conjunct/disjunct with a decided partner keeps
+                // the undecided side's atom (`true && c` ≡ `c`).
+                let atom = if val.is_none() {
+                    match (op, ba, bb) {
+                        (And, Some(true), None) | (Or, Some(false), None) => self.cond_atom(b),
+                        (And, None, Some(true)) | (Or, None, Some(false)) => self.cond_atom(a),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                AbsValue::Bool {
+                    val,
+                    atom: atom.map(Box::new),
+                }
             }
             Add | Sub | Mul | Div | RemT | Exp | BitAnd | BitOr | BitXor => {
                 let (ia, ib) = (self.as_int(a), self.as_int(b));
@@ -963,6 +1372,31 @@ impl<'a> Interp<'a> {
                     },
                     _ => None,
                 };
+                // Linear symbolic form survives add/sub with a constant, and
+                // subtracting two offsets of the same variable is constant.
+                let sym = if val.is_some() {
+                    None
+                } else {
+                    match (op, self.term_of(a), self.term_of(b)) {
+                        (Add, Some(x), Some(y)) => match (x.var, y.var) {
+                            (Some(s), None) => Some((s, x.k + y.k)),
+                            (None, Some(s)) => Some((s, x.k + y.k)),
+                            _ => None,
+                        },
+                        (Sub, Some(x), Some(y)) => match (x.var, y.var) {
+                            (Some(s), None) => Some((s, x.k - y.k)),
+                            _ => None,
+                        },
+                        _ => None,
+                    }
+                };
+                let val = match (op, val, self.term_of(a), self.term_of(b)) {
+                    // x - x + (k1 - k2): same variable cancels.
+                    (Sub, None, Some(x), Some(y)) if x.var.is_some() && x.var == y.var => {
+                        Some(x.k - y.k)
+                    }
+                    (_, v, _, _) => v,
+                };
                 // Provenance survives add/sub with a pure integer (the
                 // de-facto int-to-pointer round trips); other operators (the
                 // XOR-linked-list trick) lose it.
@@ -970,9 +1404,32 @@ impl<'a> Interp<'a> {
                     (Add | Sub, Some(p), None) | (Add, None, Some(p)) => Some(p),
                     _ => None,
                 };
-                AbsValue::Int { val, prov }
+                AbsValue::Int { val, sym, prov }
             }
         }
+    }
+
+    /// Build a comparison atom; a test of a linked boolean symbol against
+    /// 0/1 resolves to the pointer atom it stands for.
+    fn comparison_atom(&self, lhs: Term, rel: Rel, rhs: Term) -> Atom {
+        let linked = |t: &Term, other: &Term| -> Option<(Atom, bool)> {
+            let s = t.var?;
+            if t.k != 0 || other.var.is_some() {
+                return None;
+            }
+            let a = self.linked_syms.get(&s.0)?;
+            // s is 0/1-valued: s == 1 and s != 0 assert the atom, s == 0 and
+            // s != 1 refute it.
+            match (rel, other.k) {
+                (Rel::Eq, 1) | (Rel::Ne, 0) => Some((a.clone(), true)),
+                (Rel::Eq, 0) | (Rel::Ne, 1) => Some((a.clone(), false)),
+                _ => None,
+            }
+        };
+        if let Some((a, positive)) = linked(&lhs, &rhs).or_else(|| linked(&rhs, &lhs)) {
+            return if positive { a } else { a.negate() };
+        }
+        Atom::Cmp { lhs, rel, rhs }
     }
 
     fn eval_builtin(&mut self, f: BuiltinFn, args: &[AbsValue]) -> AbsValue {
@@ -993,7 +1450,20 @@ impl<'a> Interp<'a> {
                     (Some(x), Some(it)) => Some(self.ienv.convert_int(x, it)),
                     _ => None,
                 };
-                AbsValue::Int { val, prov }
+                // The symbolic handle survives the conversion. This assumes
+                // the unknown value is representable in the target type (no
+                // wrap-around); the elaboration guards lossy conversions
+                // with IsRepresentable checks, which fork separately, so in
+                // practice constraints only relate in-range values.
+                let sym = if val.is_some() {
+                    None
+                } else {
+                    match &v {
+                        AbsValue::Int { sym, .. } => *sym,
+                        _ => None,
+                    }
+                };
+                AbsValue::Int { val, sym, prov }
             }
             BuiltinFn::IsRepresentable => {
                 let v = args.get(1).map(|v| self.as_int(v)).unwrap_or(None);
@@ -1001,7 +1471,21 @@ impl<'a> Interp<'a> {
                     (Some(x), Some(it)) => Some(self.ienv.representable(x, it)),
                     _ => None,
                 };
-                AbsValue::Bool(val)
+                if val.is_none() {
+                    // The guard around a lossy conversion: branching on it
+                    // constrains the symbolic value to (or out of) the
+                    // target type's range — the signed-overflow witness.
+                    let term = args.get(1).and_then(|v| self.term_of(v));
+                    if let (Some(term), Some(it)) = (term, int_ty) {
+                        return AbsValue::bool_atom(Some(Atom::InRange {
+                            term,
+                            lo: self.ienv.int_min(it),
+                            hi: self.ienv.int_max(it),
+                            positive: true,
+                        }));
+                    }
+                }
+                AbsValue::bool_known(val)
             }
             BuiltinFn::CtypeWidth => match int_ty {
                 Some(it) => AbsValue::int(i128::from(self.ienv.integer_width(it))),
@@ -1026,10 +1510,12 @@ impl<'a> Interp<'a> {
                 Some(a) => AbsValue::int(i128::from(a)),
                 None => AbsValue::unknown_int(),
             },
-            BuiltinFn::IsSigned => AbsValue::Bool(int_ty.map(|it| self.ienv.is_signed(it))),
-            BuiltinFn::IsUnsigned => AbsValue::Bool(int_ty.map(|it| !self.ienv.is_signed(it))),
-            BuiltinFn::IsInteger => AbsValue::Bool(ctype.as_ref().map(Ctype::is_integer)),
-            BuiltinFn::IsScalar => AbsValue::Bool(ctype.as_ref().map(Ctype::is_scalar)),
+            BuiltinFn::IsSigned => AbsValue::bool_known(int_ty.map(|it| self.ienv.is_signed(it))),
+            BuiltinFn::IsUnsigned => {
+                AbsValue::bool_known(int_ty.map(|it| !self.ienv.is_signed(it)))
+            }
+            BuiltinFn::IsInteger => AbsValue::bool_known(ctype.as_ref().map(Ctype::is_integer)),
+            BuiltinFn::IsScalar => AbsValue::bool_known(ctype.as_ref().map(Ctype::is_scalar)),
         }
     }
 
@@ -1170,7 +1656,16 @@ impl<'a> Interp<'a> {
                 match self.as_bool(&cond) {
                     Some(true) => self.eval_expr(env, t),
                     Some(false) => self.eval_expr(env, f),
-                    None => self.eval_branches(env, &[t, f]),
+                    None => {
+                        let atom = if self.path_mode() {
+                            self.cond_atom(&cond)
+                        } else {
+                            None
+                        };
+                        let branches: Vec<(Option<Atom>, &Expr)> =
+                            vec![(atom.clone(), t), (atom.as_ref().map(Atom::negate), f)];
+                        self.eval_forked(env, branches)
+                    }
                 }
             }
             Expr::Case(scrutinee, arms) => {
@@ -1185,6 +1680,28 @@ impl<'a> Interp<'a> {
                         self.eval_expr(&mut env2, &arms[*idx].1)
                     }
                     [] => AFlow::Val(AbsValue::Top),
+                    many if self.path_mode() => {
+                        // Opaque fork: no per-arm constraint, but definite
+                        // findings shared by every arm stay definite.
+                        let many = many.to_vec();
+                        let saved_state = self.state.clone();
+                        let mut results = Vec::new();
+                        let mut frames = Vec::new();
+                        for (idx, bindings, _) in many {
+                            self.finding_frames.push(Frame::new());
+                            self.paths_explored += 1;
+                            self.state = saved_state.clone();
+                            let mut env2 = env.clone();
+                            for (n, bv) in bindings {
+                                env2.insert(n, bv);
+                            }
+                            let flow = self.eval_expr(&mut env2, &arms[idx].1);
+                            frames.push(self.finding_frames.pop().expect("fork frame"));
+                            results.push((flow, self.state.clone()));
+                        }
+                        self.merge_sibling_findings(frames);
+                        self.join_results(results)
+                    }
                     many => {
                         let many = many.to_vec();
                         let saved_def = self.definite;
@@ -1355,6 +1872,10 @@ impl<'a> Interp<'a> {
     /// Evaluate each alternative on a copy of the current state and join the
     /// surviving outcomes.
     fn eval_branches(&mut self, env: &Env, bodies: &[&Expr]) -> AFlow {
+        if self.path_mode() {
+            let branches: Vec<(Option<Atom>, &Expr)> = bodies.iter().map(|b| (None, *b)).collect();
+            return self.eval_forked(env, branches);
+        }
         let saved_def = self.definite;
         self.definite = false;
         let saved_state = self.state.clone();
@@ -1366,6 +1887,47 @@ impl<'a> Interp<'a> {
             results.push((flow, self.state.clone()));
         }
         self.definite = saved_def;
+        self.join_results(results)
+    }
+
+    /// Path-mode fork over effectful branches, each under its constraint (if
+    /// any) on a copy of the state. Infeasible branches are pruned; when only
+    /// one branch survives, its findings keep full definiteness (the `May` →
+    /// `Must` flip); definite findings shared by all survivors stay definite.
+    fn eval_forked(&mut self, env: &Env, branches: Vec<(Option<Atom>, &Expr)>) -> AFlow {
+        if !self.path_mode() {
+            let bodies: Vec<&Expr> = branches.iter().map(|(_, b)| *b).collect();
+            return self.eval_branches(env, &bodies);
+        }
+        let saved_state = self.state.clone();
+        let mut results = Vec::new();
+        let mut frames = Vec::new();
+        for (atom, body) in branches {
+            let depth = self.path.len();
+            if let Some(a) = atom {
+                self.path.push(a);
+                if !self.path_feasible() {
+                    self.path.truncate(depth);
+                    self.paths_pruned += 1;
+                    continue;
+                }
+            }
+            self.paths_explored += 1;
+            self.finding_frames.push(Frame::new());
+            self.state = saved_state.clone();
+            let mut env2 = env.clone();
+            let flow = self.eval_expr(&mut env2, body);
+            frames.push(self.finding_frames.pop().expect("fork frame"));
+            self.path.truncate(depth);
+            results.push((flow, self.state.clone()));
+        }
+        if results.is_empty() {
+            // Every branch was infeasible: the fork is unreachable under the
+            // current path; leave the state untouched.
+            self.state = saved_state;
+            return AFlow::Val(AbsValue::Top);
+        }
+        self.merge_sibling_findings(frames);
         self.join_results(results)
     }
 
@@ -1648,10 +2210,20 @@ impl<'a> Interp<'a> {
             // The pointer went through an integer round trip. The models
             // that do not track provenance across integers report the
             // access as provenance-free even when the address is right.
-            self.finding(
+            let subject = p
+                .targets
+                .iter()
+                .next()
+                .map(|&id| self.state.allocs[id].name.clone())
+                .unwrap_or_else(|| "?".to_owned());
+            self.finding_with(
                 UbKind::AccessWithoutProvenance,
                 false,
                 format!("{what} through a pointer reconstructed from an integer"),
+                vec![Atom::Pred {
+                    name: format!("from_int(&{subject})"),
+                    positive: true,
+                }],
             );
         }
         let is_single = p.single().is_some();
@@ -1675,10 +2247,14 @@ impl<'a> Interp<'a> {
                     is_single,
                     format!("{what} to `{name}` after its lifetime ended"),
                 ),
-                Lifetime::MaybeDead => self.finding(
+                Lifetime::MaybeDead => self.finding_with(
                     UbKind::AccessOutsideLifetime,
                     false,
                     format!("{what} to `{name}` whose lifetime may have ended"),
+                    vec![Atom::Pred {
+                        name: format!("live({name})"),
+                        positive: false,
+                    }],
                 ),
                 Lifetime::Live => {}
             }
@@ -1884,6 +2460,7 @@ impl<'a> Interp<'a> {
                             if let AbsValue::Ptr(ptr) = &**inner {
                                 return AbsValue::spec(AbsValue::Int {
                                     val: None,
+                                    sym: None,
                                     prov: Some(ptr.clone()),
                                 });
                             }
@@ -1891,6 +2468,20 @@ impl<'a> Interp<'a> {
                     }
                 }
                 return content;
+            }
+            // Definitely-initialised but value-imprecise integer load: track
+            // it symbolically so later branches on it accumulate constraints.
+            if let Some(t) = ty {
+                if t.is_integer() {
+                    let sym = self.mint_sym(format!("load({name})"));
+                    if sym.is_some() {
+                        return AbsValue::spec(AbsValue::Int {
+                            val: None,
+                            sym,
+                            prov: None,
+                        });
+                    }
+                }
             }
         }
         AbsValue::Top
@@ -2099,8 +2690,13 @@ impl<'a> Interp<'a> {
 
     fn eval_memop(&mut self, env: &mut Env, op: PtrOp, args: &[PExpr]) -> AFlow {
         let values: Vec<AbsValue> = args.iter().map(|a| self.eval_pexpr(env, a)).collect();
-        let spec_int =
-            |v: Option<i128>| AFlow::Val(AbsValue::spec(AbsValue::Int { val: v, prov: None }));
+        let spec_int = |v: Option<i128>| {
+            AFlow::Val(AbsValue::spec(AbsValue::Int {
+                val: v,
+                sym: None,
+                prov: None,
+            }))
+        };
         match op {
             PtrOp::Eq | PtrOp::Ne => {
                 let a = self.as_ptr(&values[0]);
@@ -2121,6 +2717,40 @@ impl<'a> Interp<'a> {
                     }
                 };
                 let flip = op == PtrOp::Ne;
+                if eq.is_none() {
+                    // Equality of pointers into *distinct* objects depends
+                    // only on the allocator's layout choice: mint a boolean
+                    // symbol linked to a constraint over the symbolic base
+                    // addresses, so branches on the comparison carry a
+                    // layout constraint (and its witness realises e.g. the
+                    // one-past-the-end-meets-adjacent-base aliasing).
+                    if let (Some(x), Some(y), Some(o1), Some(o2)) =
+                        (a.single(), b.single(), a.offset, b.offset)
+                    {
+                        if let (Some(bx), Some(by)) = (self.base_sym(x), self.base_sym(y)) {
+                            let addr_eq = Atom::Cmp {
+                                lhs: Term::var(bx, o1),
+                                rel: Rel::Eq,
+                                rhs: Term::var(by, o2),
+                            };
+                            let (nx, ny) = (
+                                self.state.allocs[x].name.clone(),
+                                self.state.allocs[y].name.clone(),
+                            );
+                            let op_txt = if flip { "!=" } else { "==" };
+                            let sym = self.mint_sym(format!("(&{nx}+{o1} {op_txt} &{ny}+{o2})"));
+                            if let Some((s, _)) = sym {
+                                let atom = if flip { addr_eq.negate() } else { addr_eq };
+                                self.linked_syms.insert(s.0, atom);
+                                return AFlow::Val(AbsValue::spec(AbsValue::Int {
+                                    val: None,
+                                    sym,
+                                    prov: None,
+                                }));
+                            }
+                        }
+                    }
+                }
                 spec_int(eq.map(|e| i128::from(e != flip)))
             }
             PtrOp::Lt | PtrOp::Gt | PtrOp::Le | PtrOp::Ge => {
@@ -2193,7 +2823,19 @@ impl<'a> Interp<'a> {
             PtrOp::IntFromPtr => {
                 let p = self.as_ptr(&values[0]);
                 let val = if p.definitely_null() { Some(0) } else { None };
-                AFlow::Val(AbsValue::spec(AbsValue::Int { val, prov: Some(p) }))
+                // The cast result is the symbolic base address plus the known
+                // offset, so integer comparisons of cast pointers reduce to
+                // the same difference constraints as direct pointer
+                // comparisons.
+                let sym = match (val, p.single(), p.offset) {
+                    (None, Some(id), Some(off)) => self.base_sym(id).map(|base| (base, off)),
+                    _ => None,
+                };
+                AFlow::Val(AbsValue::spec(AbsValue::Int {
+                    val,
+                    sym,
+                    prov: Some(p),
+                }))
             }
             PtrOp::PtrFromInt => {
                 let p = self.as_ptr(&values[0]);
@@ -2220,6 +2862,18 @@ impl<'a> Interp<'a> {
                         None => None,
                     }
                 };
+                if v.is_none() {
+                    if let Some(id) = p.single() {
+                        let name = self.state.allocs[id].name.clone();
+                        if let Some(sym) = self.mint_sym(format!("valid(&{name})")) {
+                            return AFlow::Val(AbsValue::spec(AbsValue::Int {
+                                val: None,
+                                sym: Some(sym),
+                                prov: None,
+                            }));
+                        }
+                    }
+                }
                 spec_int(v)
             }
         }
@@ -2448,5 +3102,111 @@ mod tests {
         );
         let report = analyze(&proc_program(body), &ImplEnv::default());
         assert!(report.aborted.is_none());
+    }
+
+    /// `v = load(p)` where the stored value is unknown: the load is tracked
+    /// symbolically, and branching on `v == 0` twice accumulates constraints
+    /// the solver can refute. Shape:
+    /// `if (v == 0) outer_then else { if (v == 0) inner_then else inner_else }`
+    /// — `inner_then` sits on the unsatisfiable path `v != 0 && v == 0`.
+    fn branch_twice_on_symbolic_load(
+        outer_then: Expr,
+        inner_then: Expr,
+        inner_else: Expr,
+    ) -> CoreProgram {
+        let v_is_zero = || {
+            PExpr::Binop(
+                Binop::Eq,
+                Box::new(PExpr::sym("v")),
+                Box::new(PExpr::Integer(0)),
+            )
+        };
+        let body = Expr::Sseq(
+            Pattern::sym("p"),
+            Box::new(create_int()),
+            Box::new(Expr::Sseq(
+                Pattern::Wildcard,
+                Box::new(store_int("p", PExpr::sym("junk"))),
+                Box::new(Expr::Sseq(
+                    Pattern::sym("v"),
+                    Box::new(load_int("p")),
+                    Box::new(Expr::If(
+                        v_is_zero(),
+                        Box::new(outer_then),
+                        Box::new(Expr::If(
+                            v_is_zero(),
+                            Box::new(inner_then),
+                            Box::new(inner_else),
+                        )),
+                    )),
+                )),
+            )),
+        );
+        proc_program(body)
+    }
+
+    #[test]
+    fn contradictory_nested_branch_is_pruned() {
+        // The undef sits on the unsatisfiable path v != 0 && v == 0. Path
+        // mode prunes it entirely; the flow baseline joins and reports May.
+        let program = branch_twice_on_symbolic_load(
+            Expr::Pure(PExpr::specified_int(0)),
+            Expr::Pure(PExpr::Undef(UbKind::ShiftTooLarge)),
+            Expr::Pure(PExpr::specified_int(0)),
+        );
+        let report = analyze(&program, &ImplEnv::default());
+        assert_eq!(report.reports(UbKind::ShiftTooLarge), None, "{report:?}");
+        assert!(report.paths_pruned > 0, "{report:?}");
+
+        let flow = crate::analyze_with(
+            &program,
+            &ImplEnv::default(),
+            AnalysisConfig::default().flow_baseline(),
+        );
+        assert_eq!(
+            flow.reports(UbKind::ShiftTooLarge),
+            Some(FindingSeverity::May)
+        );
+    }
+
+    #[test]
+    fn pruning_a_sibling_flips_may_to_must() {
+        // The undef fires on both feasible paths (the inner then-arm is
+        // infeasible), so path mode proves Must where the flow baseline can
+        // only join to May.
+        let program = branch_twice_on_symbolic_load(
+            Expr::Pure(PExpr::Undef(UbKind::ShiftTooLarge)),
+            Expr::Pure(PExpr::specified_int(0)),
+            Expr::Pure(PExpr::Undef(UbKind::ShiftTooLarge)),
+        );
+        let report = analyze(&program, &ImplEnv::default());
+        assert_eq!(
+            report.reports(UbKind::ShiftTooLarge),
+            Some(FindingSeverity::Must),
+            "{report:?}"
+        );
+        let must = report
+            .findings
+            .iter()
+            .find(|f| f.ub == UbKind::ShiftTooLarge)
+            .expect("finding");
+        // The Must carries a satisfying assignment of its recorded path.
+        match &must.witness {
+            Witness::Assignment(bindings) => {
+                assert!(!bindings.is_empty(), "{:?}", must.witness);
+                assert_eq!(bindings[0].1, 0, "{:?}", must.witness);
+            }
+            other => panic!("Must finding with non-assignment witness: {other:?}"),
+        }
+
+        let flow = crate::analyze_with(
+            &program,
+            &ImplEnv::default(),
+            AnalysisConfig::default().flow_baseline(),
+        );
+        assert_eq!(
+            flow.reports(UbKind::ShiftTooLarge),
+            Some(FindingSeverity::May)
+        );
     }
 }

@@ -1,0 +1,112 @@
+//! Benchmark: the static UB analyzer over the whole litmus corpus.
+//!
+//! Three timing rows plus a set of counter rows:
+//!
+//! * `corpus_path_sensitive` is the headline number: analyze every litmus
+//!   fixture with a fresh session (cold analysis memo, cold solver memo) in
+//!   the default path-sensitive mode — the whole-corpus throughput the
+//!   ROADMAP asks to track.
+//! * `corpus_flow_baseline` is the same sweep in the flow-join baseline
+//!   mode, so the cost of path sensitivity (constraint tracking + solver
+//!   calls) is measurable as the delta.
+//! * `corpus_memoized` re-analyzes the corpus through a warm session: every
+//!   report resolves from the per-source analysis memo.
+//!
+//! The counter rows (recorded with `samples: 0` via the criterion shim's
+//! `record_value`) snapshot one cold whole-corpus pass: fixtures analyzed,
+//! paths explored/pruned, solver queries and solver memo hits. The committed
+//! `BENCH_analysis.json` checkpoint must show `solver_memo_hits > 0` — the
+//! Johnson-style memoization is only worth its table if constraint subgoals
+//! actually recur across the corpus (`tests/bench_checkpoints.rs` enforces
+//! this).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cerberus::analysis::AnalysisConfig;
+use cerberus::pipeline::Session;
+
+fn bench_analysis(c: &mut Criterion) {
+    let suite = cerberus_litmus::catalogue();
+
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.bench_function("corpus_path_sensitive", |b| {
+        b.iter(|| {
+            let session = Session::default();
+            let mut findings = 0usize;
+            for test in &suite {
+                if let Ok(report) = session.analyze(&test.source) {
+                    findings += report.findings.len();
+                }
+            }
+            findings
+        })
+    });
+    group.bench_function("corpus_flow_baseline", |b| {
+        b.iter(|| {
+            let session = Session::default();
+            let mut findings = 0usize;
+            for test in &suite {
+                if let Ok(report) =
+                    session.analyze_with(&test.source, AnalysisConfig::default().flow_baseline())
+                {
+                    findings += report.findings.len();
+                }
+            }
+            findings
+        })
+    });
+    group.bench_function("corpus_memoized", |b| {
+        let session = Session::default();
+        for test in &suite {
+            let _ = session.analyze(&test.source);
+        }
+        b.iter(|| {
+            let mut findings = 0usize;
+            for test in &suite {
+                if let Ok(report) = session.analyze(&test.source) {
+                    findings += report.findings.len();
+                }
+            }
+            findings
+        })
+    });
+    group.finish();
+
+    // One cold pass, instrumented: the solver memo hit rate and path counts
+    // the checkpoint records alongside the timings.
+    let session = Session::default();
+    let mut analyzed = 0u128;
+    let mut paths_explored = 0u128;
+    let mut paths_pruned = 0u128;
+    for test in &suite {
+        if let Ok(report) = session.analyze(&test.source) {
+            analyzed += 1;
+            paths_explored += report.paths_explored as u128;
+            paths_pruned += report.paths_pruned as u128;
+        }
+    }
+    let stats = session.cache_stats();
+    println!(
+        "analysis counters: {analyzed} fixtures, {paths_explored} paths explored \
+         ({paths_pruned} pruned), solver memo {}/{} hits",
+        stats.solver_hits,
+        stats.solver_lookups()
+    );
+    criterion::record_value("analysis_counters", "fixtures_analyzed", analyzed);
+    criterion::record_value("analysis_counters", "paths_explored", paths_explored);
+    criterion::record_value("analysis_counters", "paths_pruned", paths_pruned);
+    criterion::record_value(
+        "analysis_counters",
+        "solver_queries",
+        u128::from(stats.solver_lookups()),
+    );
+    criterion::record_value(
+        "analysis_counters",
+        "solver_memo_hits",
+        u128::from(stats.solver_hits),
+    );
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -171,8 +171,10 @@ fn fuzz_smoke(count: usize) -> ! {
 
 /// The `--analyze` mode: run the static UB analyzer (validator + abstract
 /// interpretation) over every litmus test and print one row per test — the
-/// Must/May finding counts, the abstract step cost, and the UB kinds
-/// reported. The static column is what the soundness harness
+/// Must/May finding counts, the abstract step cost, the UB kinds reported
+/// and the strongest finding's witness (the satisfying assignment realising
+/// a Must finding, or the residual constraint under which a May finding
+/// fires). The static column is what the soundness harness
 /// (`tests/analysis_soundness.rs`) cross-validates against the dynamic
 /// matrices; this mode is the human-readable view of the same pass. An
 /// aborted analysis (an interpreter panic downgraded to a structured report)
@@ -183,8 +185,8 @@ fn analyze_corpus() -> ! {
     let session = Session::default();
     let suite = catalogue();
     println!(
-        "{:<44} {:>4} {:>4} {:>8}  ub kinds",
-        "test", "must", "may", "steps"
+        "{:<44} {:>4} {:>4} {:>8}  {:<36} ub kinds",
+        "test", "must", "may", "steps", "witness"
     );
     let mut aborted = 0usize;
     for test in &suite {
@@ -200,13 +202,22 @@ fn analyze_corpus() -> ! {
                     .count();
                 let mays = report.findings.len() - musts;
                 let kinds: Vec<&str> = report.ub_kinds().iter().map(|k| k.core_name()).collect();
+                // The strongest finding's evidence: Must sorts before May,
+                // so this is a realising assignment whenever one exists.
+                let witness = report
+                    .findings
+                    .iter()
+                    .min_by_key(|f| f.severity)
+                    .map(|f| f.witness.to_string())
+                    .unwrap_or_else(|| "-".to_owned());
                 println!(
-                    "{:<44} {:>4} {:>4} {:>8}{} {}",
+                    "{:<44} {:>4} {:>4} {:>8}{} {:<36} {}",
                     test.name,
                     musts,
                     mays,
                     report.steps_used,
                     if report.budget_exhausted { "!" } else { " " },
+                    witness,
                     kinds.join(", ")
                 );
             }
@@ -217,10 +228,14 @@ fn analyze_corpus() -> ! {
             ),
         }
     }
+    let stats = session.cache_stats();
     println!(
-        "\n{} tests analyzed ('!' marks an exhausted step budget); {} aborted",
+        "\n{} tests analyzed ('!' marks an exhausted step budget); {} aborted; \
+         solver memo {}/{} hits",
         suite.len(),
-        aborted
+        aborted,
+        stats.solver_hits,
+        stats.solver_lookups(),
     );
     std::process::exit(if aborted > 0 { 1 } else { 0 });
 }

@@ -316,12 +316,23 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently cached.
     pub entries: usize,
+    /// Constraint-solver queries answered from the solver's memo table
+    /// (only populated by [`Session::cache_stats`]; zero for caches with no
+    /// attached solver).
+    pub solver_hits: u64,
+    /// Constraint-solver queries that ran the decision procedure.
+    pub solver_misses: u64,
 }
 
 impl CacheStats {
     /// Total lookups observed (`hits + misses`).
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses
+    }
+
+    /// Total constraint-solver queries (`solver_hits + solver_misses`).
+    pub fn solver_lookups(&self) -> u64 {
+        self.solver_hits + self.solver_misses
     }
 }
 
@@ -359,6 +370,7 @@ pub struct Session {
     cache: Arc<Mutex<HashMap<String, Elaborated>>>,
     counters: Arc<CacheCounters>,
     analysis_cache: Arc<Mutex<HashMap<String, Arc<AnalysisReport>>>>,
+    solver: Arc<cerberus_analysis::solver::Solver>,
 }
 
 impl Session {
@@ -369,6 +381,7 @@ impl Session {
             cache: Arc::default(),
             counters: Arc::default(),
             analysis_cache: Arc::default(),
+            solver: Arc::default(),
         }
     }
 
@@ -447,10 +460,13 @@ impl Session {
     /// only `entries`). [`Session::elaborate_uncached`] bypasses the cache
     /// *and* the counters.
     pub fn cache_stats(&self) -> CacheStats {
+        let solver = self.solver.stats();
         CacheStats {
             hits: self.counters.hits.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
             entries: self.cached_artifacts(),
+            solver_hits: solver.hits,
+            solver_misses: solver.misses,
         }
     }
 
@@ -462,9 +478,12 @@ impl Session {
     }
 
     /// Run the static UB analyzer (the Core well-formedness validator plus
-    /// the flow-sensitive abstract interpreter of `cerberus-analysis`) on a
+    /// the path-sensitive abstract interpreter of `cerberus-analysis`) on a
     /// source, memoising per-source analysis summaries alongside the
-    /// elaboration artifacts.
+    /// elaboration artifacts. The session owns one constraint solver whose
+    /// memo table persists across all `analyze` calls, so constraint subgoals
+    /// shared across sources (the corpus) are decided once; the hit rate is
+    /// surfaced in [`Session::cache_stats`].
     ///
     /// Like [`Session::elaborate`], results are cached by source text (the
     /// report is behind an `Arc`, so cache hits are cheap) with the same
@@ -492,10 +511,11 @@ impl Session {
             }
         }
         let program = self.elaborate(source)?;
-        let report = Arc::new(cerberus_analysis::analyze_with(
+        let report = Arc::new(cerberus_analysis::analyze_with_solver(
             program.core(),
             program.impl_env(),
             config,
+            &self.solver,
         ));
         if default_budget {
             let mut cache = self.analysis_cache.lock().expect("analysis cache");

@@ -280,6 +280,7 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.entries.lock().expect("result cache").len(),
+            ..CacheStats::default()
         }
     }
 }

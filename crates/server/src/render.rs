@@ -117,6 +117,8 @@ fn cache_stats_to_json(stats: &CacheStats) -> Json {
         ("hits", Json::Int(i128::from(stats.hits))),
         ("misses", Json::Int(i128::from(stats.misses))),
         ("entries", Json::Int(stats.entries as i128)),
+        ("solver_hits", Json::Int(i128::from(stats.solver_hits))),
+        ("solver_misses", Json::Int(i128::from(stats.solver_misses))),
     ])
 }
 

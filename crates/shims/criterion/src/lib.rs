@@ -12,8 +12,21 @@
 //! records every measurement as a machine-readable JSON checkpoint: an array
 //! of `{"group", "bench", "mean_ns", "samples"}` objects, rewritten after
 //! each benchmark so a timed-out run still leaves a valid partial file.
+//! Benches can also record non-timing observables (counters, hit rates)
+//! into the same checkpoint with [`record_value`]; those rows carry
+//! `"samples": 0` to mark the `mean_ns` field as a plain value rather than
+//! a measured duration.
 
 use std::time::Instant;
+
+/// Record a non-timing observable (a counter or rate gathered while the
+/// benches ran) into the `BENCH_JSON` checkpoint alongside the timing rows.
+/// The value lands in the `mean_ns` field with `samples` set to 0 — the
+/// schema stays uniform and consumers can distinguish counters by the zero
+/// sample count. Does nothing unless `BENCH_JSON` is set.
+pub fn record_value(group: &str, name: &str, value: u128) {
+    checkpoint::record(Some(group), name, value, 0);
+}
 
 /// The benchmark harness entry point.
 #[derive(Debug, Default)]
@@ -187,6 +200,7 @@ mod tests {
         std::env::set_var("BENCH_JSON", &path);
         super::checkpoint::record(Some("group \"a\""), "bench\none", 1234, 10);
         super::checkpoint::record(None, "standalone", 56, 3);
+        super::record_value("counters", "solver_memo_hits", 17);
         std::env::remove_var("BENCH_JSON");
         let json = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
@@ -196,5 +210,9 @@ mod tests {
         assert!(json.contains("\"bench\": \"bench\\none\""), "{json}");
         assert!(json.contains("\"mean_ns\": 1234"), "{json}");
         assert!(json.contains("\"group\": null"), "{json}");
+        assert!(
+            json.contains("\"bench\": \"solver_memo_hits\", \"mean_ns\": 17, \"samples\": 0"),
+            "{json}"
+        );
     }
 }

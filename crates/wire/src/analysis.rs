@@ -3,10 +3,18 @@
 //! document render the same object produced here.
 
 use crate::json::Json;
-use cerberus_analysis::{AnalysisReport, StaticFinding};
+use cerberus_analysis::{AnalysisReport, StaticFinding, Witness};
 
 /// One static finding as a tagged object:
-/// `{"ub": ..., "severity": "must"|"may", "proc": ..., "clause": ..., "detail": ...}`.
+/// `{"ub": ..., "severity": "must"|"may", "proc": ..., "clause": ...,
+///   "detail": ..., "witness": ...}`.
+///
+/// The witness member is itself tagged by kind: a `Must` finding carries
+/// `{"kind": "assignment", "bindings": [{"var": ..., "value": ...}, ...]}`
+/// (a satisfying assignment of the path constraints, empty when the UB is
+/// unconditional); a `May` finding carries
+/// `{"kind": "residual", "constraints": [...]}` (the rendered residual
+/// constraint set under which the UB fires).
 pub fn static_finding_to_json(finding: &StaticFinding) -> Json {
     Json::obj([
         ("ub", Json::str(finding.ub.core_name())),
@@ -14,7 +22,35 @@ pub fn static_finding_to_json(finding: &StaticFinding) -> Json {
         ("proc", Json::str(&finding.proc)),
         ("clause", Json::str(finding.iso_clause)),
         ("detail", Json::str(&finding.detail)),
+        ("witness", witness_to_json(&finding.witness)),
     ])
+}
+
+/// The witness of one finding (see [`static_finding_to_json`]).
+pub fn witness_to_json(witness: &Witness) -> Json {
+    match witness {
+        Witness::Assignment(bindings) => Json::obj([
+            ("kind", Json::str("assignment")),
+            (
+                "bindings",
+                Json::Arr(
+                    bindings
+                        .iter()
+                        .map(|(var, value)| {
+                            Json::obj([("var", Json::str(var)), ("value", Json::Int(*value))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Witness::Residual(constraints) => Json::obj([
+            ("kind", Json::str("residual")),
+            (
+                "constraints",
+                Json::Arr(constraints.iter().map(Json::str).collect()),
+            ),
+        ]),
+    }
 }
 
 /// The whole report: validator violations, interpreter findings and the
@@ -43,6 +79,16 @@ pub fn analysis_report_to_json(report: &AnalysisReport) -> Json {
         ("procs_analyzed", Json::Int(report.procs_analyzed as i128)),
         ("steps_used", Json::Int(report.steps_used as i128)),
         ("budget_exhausted", Json::Bool(report.budget_exhausted)),
+        ("paths_explored", Json::Int(report.paths_explored as i128)),
+        ("paths_pruned", Json::Int(report.paths_pruned as i128)),
+        (
+            "solver_queries",
+            Json::Int(i128::from(report.solver_queries)),
+        ),
+        (
+            "solver_memo_hits",
+            Json::Int(i128::from(report.solver_memo_hits)),
+        ),
         (
             "aborted",
             match &report.aborted {
@@ -69,9 +115,12 @@ mod tests {
                 iso_clause: UbKind::NullPointerDeref.iso_reference(),
                 proc: "main".into(),
                 detail: "store through a definitely-null pointer".into(),
+                witness: Witness::Assignment(vec![("load(n)".into(), 3)]),
             }],
             procs_analyzed: 1,
             steps_used: 12,
+            solver_queries: 4,
+            solver_memo_hits: 1,
             ..AnalysisReport::default()
         }
     }
@@ -93,6 +142,31 @@ mod tests {
             Some("must")
         );
         assert_eq!(findings[0].get("proc").and_then(Json::as_str), Some("main"));
+        let witness = findings[0].get("witness").expect("witness member");
+        assert_eq!(
+            witness.get("kind").and_then(Json::as_str),
+            Some("assignment")
+        );
+        let bindings = match witness.get("bindings") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("bindings missing: {other:?}"),
+        };
+        assert_eq!(
+            bindings[0].get("var").and_then(Json::as_str),
+            Some("load(n)")
+        );
+        assert_eq!(bindings[0].get("value"), Some(&Json::Int(3)));
+    }
+
+    #[test]
+    fn residual_witnesses_render_their_constraints() {
+        let witness = Witness::Residual(vec!["load(n) != 0".into()]);
+        let json = witness_to_json(&witness);
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("residual"));
+        assert_eq!(
+            json.get("constraints"),
+            Some(&Json::Arr(vec![Json::str("load(n) != 0")]))
+        );
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Precision cross-validation of the static UB analyzer — the dual of
+//! `tests/analysis_soundness.rs`.
+//!
+//! The contract: every `Must` finding the analyzer reports on a golden
+//! fixture must be realised dynamically by at least one of the named memory
+//! models (an `undef` cell of the same UB kind in the fixture's committed
+//! `.expect` matrix) — or the `(fixture, kind)` pair must be on the reviewed
+//! over-claim allowlist (`tests/precision_allowlist.txt`). `May` findings
+//! carry no penalty: over-approximation is the soundness side's prerogative.
+//! Together the two harnesses pin the analyzer from both directions — it may
+//! not stay silent about dynamic UB, and it may not *promise* UB no model
+//! exhibits.
+//!
+//! Must findings additionally must carry an assignment witness (the
+//! satisfying layout/value choice the path constraints admit): a Must with a
+//! residual witness means the severity and evidence machinery disagree.
+//!
+//! The allowlist follows the same lifecycle rules as the soundness one:
+//! sorted, unique, capped, every entry carries a one-line justification plus
+//! a `# reason:` review comment, and stale entries fail the run.
+
+#[path = "support/allowlist.rs"]
+mod support;
+
+use std::collections::BTreeSet;
+
+use cerberus::analysis::{FindingSeverity, Witness};
+use cerberus::Session;
+use cerberus_ast::ub::UbKind;
+use cerberus_litmus::fixtures::{discover, fixtures_root};
+
+use support::{allowlist_path, check_allowlist_hygiene, dynamic_ub_kinds, load_allowlist};
+
+/// Deliberately tighter than the soundness cap (15): an analyzer that
+/// over-claims `Must` undermines the witness contract, so over-claims should
+/// be fixed, not reviewed away.
+const ALLOWLIST_CAP: usize = 5;
+const ALLOWLIST_FILE: &str = "precision_allowlist.txt";
+
+#[test]
+fn every_must_finding_is_dynamically_realised_or_allowlisted() {
+    let entries = discover(&fixtures_root());
+    assert!(
+        entries.len() >= 60,
+        "fixture corpus shrank to {} entries",
+        entries.len()
+    );
+    let path = allowlist_path(ALLOWLIST_FILE);
+    let allowlist = load_allowlist(&path);
+    let known: BTreeSet<String> = entries
+        .iter()
+        .map(|e| format!("{}/{}", e.group, e.name))
+        .collect();
+    check_allowlist_hygiene(&path, &allowlist, ALLOWLIST_CAP, &known);
+
+    let session = Session::default();
+    let mut over_claims = Vec::new();
+    let mut used: BTreeSet<(String, UbKind)> = BTreeSet::new();
+    for entry in &entries {
+        let source = std::fs::read_to_string(&entry.source_path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", entry.source_path.display()));
+        let report = session.analyze(&source).unwrap_or_else(|e| {
+            panic!("{}/{} rejected by front end: {e}", entry.group, entry.name)
+        });
+        assert!(
+            report.aborted.is_none(),
+            "{}/{}: analyzer aborted: {:?}",
+            entry.group,
+            entry.name,
+            report.aborted
+        );
+        let fixture = format!("{}/{}", entry.group, entry.name);
+        let musts: BTreeSet<UbKind> = report
+            .findings
+            .iter()
+            .filter(|f| f.severity == FindingSeverity::Must)
+            .map(|f| f.ub)
+            .collect();
+        for finding in &report.findings {
+            if finding.severity == FindingSeverity::Must {
+                assert!(
+                    matches!(finding.witness, Witness::Assignment(_)),
+                    "{fixture}: Must finding {} carries a residual witness instead of an \
+                     assignment: {:?}",
+                    finding.ub.core_name(),
+                    finding.witness
+                );
+            }
+        }
+        if musts.is_empty() {
+            continue;
+        }
+        let dynamic = dynamic_ub_kinds(entry);
+        for kind in musts {
+            if dynamic.contains(&kind) {
+                continue;
+            }
+            if allowlist
+                .iter()
+                .any(|a| a.fixture == fixture && a.ub == kind)
+            {
+                used.insert((fixture.clone(), kind));
+                continue;
+            }
+            over_claims.push(format!(
+                "{fixture}: static Must {} realised by no named model (dynamic kinds: {:?})",
+                kind.core_name(),
+                dynamic.iter().map(|k| k.core_name()).collect::<Vec<_>>()
+            ));
+        }
+    }
+    assert!(
+        over_claims.is_empty(),
+        "Must over-claims not on the allowlist:\n  {}",
+        over_claims.join("\n  ")
+    );
+
+    let stale: Vec<String> = allowlist
+        .iter()
+        .filter(|a| !used.contains(&(a.fixture.clone(), a.ub)))
+        .map(|a| format!("{} {}", a.fixture, a.ub.core_name()))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale allowlist entries (these Musts are now realised or gone — remove the lines):\n  {}",
+        stale.join("\n  ")
+    );
+}
+
+#[test]
+fn allowlist_entries_are_sorted_and_unique() {
+    let path = allowlist_path(ALLOWLIST_FILE);
+    let allowlist = load_allowlist(&path);
+    let mut sorted = allowlist.clone();
+    sorted.sort();
+    sorted.dedup_by(|a, b| a.fixture == b.fixture && a.ub == b.ub);
+    assert_eq!(
+        allowlist, sorted,
+        "keep tests/precision_allowlist.txt sorted by fixture then UB kind, without duplicates"
+    );
+}

@@ -8,115 +8,28 @@
 //! be on the reviewed incompleteness allowlist
 //! (`tests/analysis_allowlist.txt`). False positives carry no penalty here:
 //! the analyzer is deliberately May-liberal, and over-approximation is what
-//! keeps the allowlist short.
+//! keeps the allowlist short. The dual direction — `Must` findings may not
+//! over-claim — is `tests/analysis_precision.rs`.
 //!
 //! The allowlist itself is checked both ways: an entry whose hole has been
 //! fixed is *stale* and fails the run (so the list can only shrink without
-//! review), every entry needs a one-line justification, and the list is
-//! capped so incompleteness cannot silently accumulate.
+//! review), every entry needs a one-line justification plus a `# reason:`
+//! review comment, and the list is capped so incompleteness cannot silently
+//! accumulate.
+
+#[path = "support/allowlist.rs"]
+mod support;
 
 use std::collections::BTreeSet;
-use std::path::PathBuf;
 
 use cerberus::Session;
 use cerberus_ast::ub::UbKind;
-use cerberus_litmus::fixtures::{discover, fixtures_root, FixtureEntry};
-use cerberus_wire::json::Json;
+use cerberus_litmus::fixtures::{discover, fixtures_root};
+
+use support::{allowlist_path, check_allowlist_hygiene, dynamic_ub_kinds, load_allowlist};
 
 const ALLOWLIST_CAP: usize = 15;
-
-fn allowlist_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests")
-        .join("analysis_allowlist.txt")
-}
-
-/// One reviewed incompleteness: the analyzer misses `ub` on `fixture`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct AllowEntry {
-    /// `group/name` of the fixture.
-    fixture: String,
-    /// The dynamically-reported UB kind the analyzer misses.
-    ub: UbKind,
-    /// Why this hole is accepted (mandatory).
-    justification: String,
-}
-
-/// Parse `tests/analysis_allowlist.txt`: one entry per line,
-/// `<group>/<name> <Ub_core_name> -- <justification>`; `#` starts a comment.
-fn load_allowlist() -> Vec<AllowEntry> {
-    let path = allowlist_path();
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let mut entries = Vec::new();
-    for (number, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (head, justification) = line
-            .split_once("--")
-            .unwrap_or_else(|| panic!("allowlist line {}: missing `--` justification", number + 1));
-        let mut fields = head.split_whitespace();
-        let fixture = fields
-            .next()
-            .unwrap_or_else(|| panic!("allowlist line {}: missing fixture", number + 1))
-            .to_owned();
-        let ub_name = fields
-            .next()
-            .unwrap_or_else(|| panic!("allowlist line {}: missing UB kind", number + 1));
-        assert!(
-            fields.next().is_none(),
-            "allowlist line {}: trailing fields before `--`",
-            number + 1
-        );
-        let ub = UbKind::from_core_name(ub_name).unwrap_or_else(|| {
-            panic!("allowlist line {}: unknown UB kind {ub_name:?}", number + 1)
-        });
-        let justification = justification.trim().to_owned();
-        assert!(
-            !justification.is_empty(),
-            "allowlist line {}: empty justification",
-            number + 1
-        );
-        entries.push(AllowEntry {
-            fixture,
-            ub,
-            justification,
-        });
-    }
-    entries
-}
-
-/// The UB kinds any model dynamically reports for a fixture, read from its
-/// committed `.expect` matrix (the same document the golden harness checks).
-fn dynamic_ub_kinds(entry: &FixtureEntry) -> BTreeSet<UbKind> {
-    let text = std::fs::read_to_string(&entry.expect_path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", entry.expect_path.display()));
-    let document = Json::parse(&text)
-        .unwrap_or_else(|e| panic!("{} is not JSON: {e}", entry.expect_path.display()));
-    let Some(Json::Obj(matrix)) = document.get("matrix") else {
-        panic!("{} has no matrix object", entry.expect_path.display());
-    };
-    let mut kinds = BTreeSet::new();
-    for cell in matrix.values() {
-        if cell.get("kind").and_then(Json::as_str) != Some("undef") {
-            continue;
-        }
-        let name = cell
-            .get("ub")
-            .and_then(Json::as_str)
-            .unwrap_or_else(|| panic!("undef cell without ub in {}", entry.expect_path.display()));
-        let kind = UbKind::from_core_name(name).unwrap_or_else(|| {
-            panic!(
-                "unknown UB name {name:?} in {}",
-                entry.expect_path.display()
-            )
-        });
-        kinds.insert(kind);
-    }
-    kinds
-}
+const ALLOWLIST_FILE: &str = "analysis_allowlist.txt";
 
 #[test]
 fn every_dynamic_ub_kind_is_statically_reported_or_allowlisted() {
@@ -126,24 +39,13 @@ fn every_dynamic_ub_kind_is_statically_reported_or_allowlisted() {
         "fixture corpus shrank to {} entries",
         entries.len()
     );
-    let allowlist = load_allowlist();
-    assert!(
-        allowlist.len() <= ALLOWLIST_CAP,
-        "allowlist has {} entries (cap {ALLOWLIST_CAP}): fix analyzer holes instead of growing it",
-        allowlist.len()
-    );
-
+    let path = allowlist_path(ALLOWLIST_FILE);
+    let allowlist = load_allowlist(&path);
     let known: BTreeSet<String> = entries
         .iter()
         .map(|e| format!("{}/{}", e.group, e.name))
         .collect();
-    for allowed in &allowlist {
-        assert!(
-            known.contains(&allowed.fixture),
-            "allowlist names unknown fixture {:?}",
-            allowed.fixture
-        );
-    }
+    check_allowlist_hygiene(&path, &allowlist, ALLOWLIST_CAP, &known);
 
     let session = Session::default();
     let mut holes = Vec::new();
@@ -208,7 +110,8 @@ fn every_dynamic_ub_kind_is_statically_reported_or_allowlisted() {
 
 #[test]
 fn allowlist_entries_are_sorted_and_unique() {
-    let allowlist = load_allowlist();
+    let path = allowlist_path(ALLOWLIST_FILE);
+    let allowlist = load_allowlist(&path);
     let mut sorted = allowlist.clone();
     sorted.sort();
     sorted.dedup_by(|a, b| a.fixture == b.fixture && a.ub == b.ub);

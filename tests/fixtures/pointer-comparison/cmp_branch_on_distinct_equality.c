@@ -1,0 +1,12 @@
+// @category: pointer-equality
+// Branching on an equality of pointers to distinct objects: the division is
+// reachable only under a layout where x and y share an address, which no
+// model produces — the static analyzer must keep the finding conditional
+// (the residual constraint base(x) == base(y)) rather than promise it.
+int x = 1, y = 2;
+int main(void) {
+  if (&x == &y) {
+    return 1 / (x - 1);
+  }
+  return 0;
+}

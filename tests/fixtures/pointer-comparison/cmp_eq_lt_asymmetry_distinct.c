@@ -1,0 +1,10 @@
+// @category: pointer-relational
+// The == vs < asymmetry on the same pair of pointers into distinct objects:
+// the equality is defined (and false under any model that keeps the objects
+// apart), the relational comparison is UB by 6.5.8p5.
+int a[2], b[2];
+int main(void) {
+  int eq = (a == b);
+  int lt = (a < b);
+  return eq + lt;
+}

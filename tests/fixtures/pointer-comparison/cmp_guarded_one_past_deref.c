@@ -1,0 +1,14 @@
+// @category: pointer-equality
+// The one-past pointer is dereferenced only when it compares equal to the
+// base of another object — the de-facto "adjacent objects alias" idiom. The
+// access is in bounds of neither interpretation: if the guard is taken the
+// pointer still carries a's provenance while addressing b's storage.
+int a[2], b[2];
+int main(void) {
+  int *p = a + 2;
+  b[0] = 7;
+  if (p == b) {
+    return *p;
+  }
+  return 0;
+}

@@ -1,0 +1,6 @@
+// @category: pointer-equality
+// One-past-the-end of `a` compared with the base of a separately declared
+// object: ISO makes the == result unspecified (it depends on whether the
+// implementation placed b directly after a); the models disagree.
+int a, b;
+int main(void) { return &a + 1 == &b; }

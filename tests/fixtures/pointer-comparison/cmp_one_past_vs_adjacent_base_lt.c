@@ -1,0 +1,6 @@
+// @category: pointer-relational
+// The same one-past-vs-adjacent-base comparison as the == fixture, but
+// relational: 6.5.8p5 restricts <Relational> to pointers into the same
+// object, so this is UB where the equality was merely unspecified.
+int a, b;
+int main(void) { return &a + 1 < &b; }

@@ -1,0 +1,11 @@
+// @category: pointer-relational
+// Comparisons within one object with statically known offsets: every
+// operator is decided by the analyzer without consulting the solver, and
+// every model agrees on the concrete results.
+int a[4];
+int main(void) {
+  int eq = (a + 2 == a + 2);
+  int lt = (a < a + 1);
+  int le = (a + 4 <= a + 4);
+  return eq + lt + le;
+}

@@ -209,6 +209,44 @@ proptest! {
         );
     }
 
+    /// Path sensitivity is a *refinement* of the flow-join baseline: pruning
+    /// infeasible paths and tracking constraints may drop findings or sharpen
+    /// May into Must, but must never surface a UB kind the join analysis
+    /// proves absent.
+    #[test]
+    fn path_sensitive_analysis_refines_the_flow_baseline(seed in 0u64..500) {
+        use cerberus::analysis::AnalysisConfig;
+        use cerberus::pipeline::Session;
+
+        let session = Session::default();
+        let (label, source) = if seed % 2 == 0 {
+            let program = generate(seed / 2, GenConfig::small());
+            (format!("seed {seed}"), cerberus_gen::to_c_source(&program))
+        } else {
+            let suite = cerberus_litmus::catalogue();
+            let test = &suite[(seed as usize / 2) % suite.len()];
+            (format!("fixture {}", test.name), test.source.clone())
+        };
+        let path = session
+            .analyze_with(&source, AnalysisConfig::tight())
+            .unwrap_or_else(|e| panic!("{label} failed in the front end: {e}"));
+        let flow = session
+            .analyze_with(&source, AnalysisConfig::tight().flow_baseline())
+            .unwrap_or_else(|e| panic!("{label} failed in the front end: {e}"));
+        // Budget exhaustion truncates the explored portion of the program,
+        // and the two modes spend steps differently; only compare complete
+        // analyses.
+        if !path.budget_exhausted && !flow.budget_exhausted {
+            let extra: Vec<_> = path.ub_kinds().difference(&flow.ub_kinds()).copied().collect();
+            prop_assert!(
+                extra.is_empty(),
+                "{}: path-sensitive mode reported kinds the flow baseline excludes: {:?}",
+                label,
+                extra
+            );
+        }
+    }
+
     #[test]
     fn every_named_model_is_total_under_tight_budgets(seed in 0u64..500) {
         use cerberus::pipeline::Session;

@@ -1,0 +1,181 @@
+//! Shared allowlist machinery for the two static-analysis corpus contracts
+//! (`tests/analysis_soundness.rs` and `tests/analysis_precision.rs`).
+//!
+//! Both harnesses keep a reviewed exception list with the same shape and the
+//! same lifecycle rules: entries must be sorted and unique, every entry needs
+//! a one-line `--` justification *and* a preceding `# reason:` comment (the
+//! longer-form review rationale, so a future reader can judge whether the
+//! exception should still stand), stale entries fail the run, and each list
+//! is capped so exceptions cannot silently accumulate.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use cerberus_ast::ub::UbKind;
+use cerberus_litmus::fixtures::FixtureEntry;
+use cerberus_wire::json::Json;
+
+/// One reviewed exception: the pair `(fixture, ub)` is excused from the
+/// harness's contract.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowEntry {
+    /// `group/name` of the fixture.
+    pub fixture: String,
+    /// The UB kind the exception covers.
+    pub ub: UbKind,
+    /// One-line justification from the entry line itself (mandatory).
+    pub justification: String,
+    /// The `# reason:` comment preceding the entry (mandatory): the
+    /// longer-form rationale recorded at review time.
+    pub reason: String,
+}
+
+/// Absolute path of an allowlist file at the workspace root's `tests/`.
+pub fn allowlist_path(file_name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join(file_name)
+}
+
+/// Parse an allowlist: one entry per line,
+/// `<group>/<name> <Ub_core_name> -- <justification>`, where the closest
+/// preceding comment line must be a `# reason: ...` comment carrying the
+/// review rationale. Plain `#` comments elsewhere are ignored.
+pub fn load_allowlist(path: &Path) -> Vec<AllowEntry> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut entries = Vec::new();
+    let mut pending_reason: Option<String> = None;
+    for (number, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if let Some(reason) = comment.trim().strip_prefix("reason:") {
+                let reason = reason.trim();
+                assert!(
+                    !reason.is_empty(),
+                    "{} line {}: empty `# reason:` comment",
+                    path.display(),
+                    number + 1
+                );
+                pending_reason = Some(reason.to_owned());
+            }
+            continue;
+        }
+        let reason = pending_reason.take().unwrap_or_else(|| {
+            panic!(
+                "{} line {}: entry without a preceding `# reason:` comment \
+                 (record the review rationale above the line)",
+                path.display(),
+                number + 1
+            )
+        });
+        let (head, justification) = line.split_once("--").unwrap_or_else(|| {
+            panic!(
+                "{} line {}: missing `--` justification",
+                path.display(),
+                number + 1
+            )
+        });
+        let mut fields = head.split_whitespace();
+        let fixture = fields
+            .next()
+            .unwrap_or_else(|| panic!("{} line {}: missing fixture", path.display(), number + 1))
+            .to_owned();
+        let ub_name = fields
+            .next()
+            .unwrap_or_else(|| panic!("{} line {}: missing UB kind", path.display(), number + 1));
+        assert!(
+            fields.next().is_none(),
+            "{} line {}: trailing fields before `--`",
+            path.display(),
+            number + 1
+        );
+        let ub = UbKind::from_core_name(ub_name).unwrap_or_else(|| {
+            panic!(
+                "{} line {}: unknown UB kind {ub_name:?}",
+                path.display(),
+                number + 1
+            )
+        });
+        let justification = justification.trim().to_owned();
+        assert!(
+            !justification.is_empty(),
+            "{} line {}: empty justification",
+            path.display(),
+            number + 1
+        );
+        entries.push(AllowEntry {
+            fixture,
+            ub,
+            justification,
+            reason,
+        });
+    }
+    entries
+}
+
+/// Shared lifecycle checks: the list respects its cap, names only known
+/// fixtures, and is sorted by fixture then UB kind without duplicates.
+pub fn check_allowlist_hygiene(
+    path: &Path,
+    allowlist: &[AllowEntry],
+    cap: usize,
+    known_fixtures: &BTreeSet<String>,
+) {
+    assert!(
+        allowlist.len() <= cap,
+        "{} has {} entries (cap {cap}): fix analyzer holes instead of growing it",
+        path.display(),
+        allowlist.len()
+    );
+    for allowed in allowlist {
+        assert!(
+            known_fixtures.contains(&allowed.fixture),
+            "{} names unknown fixture {:?}",
+            path.display(),
+            allowed.fixture
+        );
+    }
+    let mut sorted = allowlist.to_vec();
+    sorted.sort();
+    sorted.dedup_by(|a, b| a.fixture == b.fixture && a.ub == b.ub);
+    assert_eq!(
+        allowlist,
+        sorted.as_slice(),
+        "keep {} sorted by fixture then UB kind, without duplicates",
+        path.display()
+    );
+}
+
+/// The UB kinds any model dynamically reports for a fixture, read from its
+/// committed `.expect` matrix (the same document the golden harness checks).
+pub fn dynamic_ub_kinds(entry: &FixtureEntry) -> BTreeSet<UbKind> {
+    let text = std::fs::read_to_string(&entry.expect_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", entry.expect_path.display()));
+    let document = Json::parse(&text)
+        .unwrap_or_else(|e| panic!("{} is not JSON: {e}", entry.expect_path.display()));
+    let Some(Json::Obj(matrix)) = document.get("matrix") else {
+        panic!("{} has no matrix object", entry.expect_path.display());
+    };
+    let mut kinds = BTreeSet::new();
+    for cell in matrix.values() {
+        if cell.get("kind").and_then(Json::as_str) != Some("undef") {
+            continue;
+        }
+        let name = cell
+            .get("ub")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("undef cell without ub in {}", entry.expect_path.display()));
+        let kind = UbKind::from_core_name(name).unwrap_or_else(|| {
+            panic!(
+                "unknown UB name {name:?} in {}",
+                entry.expect_path.display()
+            )
+        });
+        kinds.insert(kind);
+    }
+    kinds
+}
